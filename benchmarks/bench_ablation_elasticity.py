@@ -1,0 +1,135 @@
+"""Ablation — rigid vs. moldable vs. malleable scheduling.
+
+Paper, Challenge 3: "the RJMS must support multiple levels of
+elasticity ... e.g., rigid vs. moldable vs. malleable scheduling
+against different workload and resource types."
+
+Workload: a mix of long parallel jobs and bursts of small short jobs
+on a 256-core instance.  We run the identical work three ways — the
+long jobs rigid, moldable (scheduler picks the start size), and
+malleable (resized while running) — and regenerate a makespan /
+mean-wait / utilization table.  Elasticity should monotonically improve
+the schedule.
+"""
+
+import random
+
+import pytest
+
+from conftest import write_table
+from repro.core import FluxInstance, JobSpec
+from repro.resource import ResourcePool, build_cluster_graph
+from repro.sched import EasyBackfillPolicy
+from repro.sim import Simulation
+
+TOTAL_CORES = 256
+N_LONG = 8
+N_BURST = 48
+
+#: Elasticity shape of the long jobs per scenario.
+SHAPES = ("rigid", "moldable", "malleable")
+
+
+def long_job(shape: str, i: int) -> JobSpec:
+    base = dict(ncores=64, duration=20.0, name=f"long{i}",
+                serial_fraction=0.05)
+    if shape == "rigid":
+        return JobSpec(**base)
+    if shape == "moldable":
+        return JobSpec(**base, min_cores=16, max_cores=128)
+    return JobSpec(**base, min_cores=16, max_cores=128, malleable=True)
+
+
+def burst_jobs(seed: int) -> list[tuple[float, JobSpec]]:
+    """(arrival time, spec) pairs: three waves of short small jobs."""
+    rng = random.Random(seed)
+    out = []
+    for wave in range(3):
+        t = 5.0 + wave * 15.0
+        for j in range(N_BURST // 3):
+            out.append((t + rng.uniform(0, 1.0),
+                        JobSpec(ncores=4, duration=rng.uniform(0.5, 2.0),
+                                name=f"b{wave}.{j}")))
+    return out
+
+
+def run_scenario(shape: str) -> dict:
+    sim = Simulation(seed=0)
+    graph = build_cluster_graph("el", n_racks=2,
+                                nodes_per_rack=TOTAL_CORES // 32)
+    inst = FluxInstance(sim, ResourcePool(graph),
+                        policy=EasyBackfillPolicy())
+    for i in range(N_LONG):
+        inst.submit(long_job(shape, i))
+
+    def arrivals():
+        last = 0.0
+        for t, spec in sorted(burst_jobs(seed=2), key=lambda x: x[0]):
+            if t > last:
+                yield sim.timeout(t - last)
+                last = t
+            inst.submit(spec)
+
+    sim.spawn(arrivals())
+    sim.run()
+    waits = [j.wait_time for j in inst.jobs.values()
+             if j.wait_time is not None and j.spec.name.startswith("b")]
+    long_waits = [j.wait_time for j in inst.jobs.values()
+                  if j.wait_time is not None
+                  and j.spec.name.startswith("long")]
+    return {
+        "makespan": inst.makespan(),
+        "burst_wait": sum(waits) / len(waits) if waits else 0.0,
+        "long_wait": (sum(long_waits) / len(long_waits)
+                      if long_waits else 0.0),
+        "util": inst.utilization(),
+    }
+
+
+@pytest.fixture(scope="module")
+def shape_results():
+    results = {shape: run_scenario(shape) for shape in SHAPES}
+    lines = [f"Ablation: elasticity shapes — {N_LONG} x 64-core long "
+             f"jobs + {N_BURST} short-burst jobs on {TOTAL_CORES} cores",
+             f"{'shape':>10} {'makespan(s)':>12} {'burst wait(s)':>14} "
+             f"{'long wait(s)':>13} {'utilization':>12}"]
+    for shape, r in results.items():
+        lines.append(f"{shape:>10} {r['makespan']:>12.2f} "
+                     f"{r['burst_wait']:>14.2f} "
+                     f"{r['long_wait']:>13.2f} {r['util']:>12.2%}")
+    write_table("ablation_elasticity", "\n".join(lines))
+    return results
+
+
+def test_elasticity_table_regenerated(shape_results):
+    assert set(shape_results) == set(SHAPES)
+
+
+def test_moldable_starts_immediately(shape_results):
+    """Moldable long jobs squeeze into whatever is free now instead of
+    queueing for their preferred size; with imperfect scaling (Amdahl)
+    this trades a slightly longer makespan for zero queue wait."""
+    assert shape_results["moldable"]["long_wait"] == pytest.approx(0.0)
+    assert shape_results["rigid"]["long_wait"] > 5.0
+    assert (shape_results["moldable"]["makespan"]
+            < shape_results["rigid"]["makespan"] * 1.15)
+
+
+def test_malleable_cuts_burst_waits(shape_results):
+    """Malleable long jobs give cores back when bursts arrive, so the
+    short jobs wait far less than behind rigid 64-core blocks."""
+    assert (shape_results["malleable"]["burst_wait"]
+            <= shape_results["rigid"]["burst_wait"] / 2)
+
+
+def test_malleable_keeps_machine_busy(shape_results):
+    """Resizing costs almost nothing in utilization or makespan while
+    eliminating the burst waits entirely."""
+    assert shape_results["malleable"]["util"] > 0.90
+    assert (shape_results["malleable"]["makespan"]
+            < shape_results["rigid"]["makespan"] * 1.1)
+
+
+def test_elasticity_benchmark_representative(benchmark, shape_results):
+    benchmark.pedantic(lambda: run_scenario("malleable"), rounds=2,
+                       iterations=1)

@@ -1,0 +1,91 @@
+"""Ablation — scheduler parallelism (paper Sections II-III).
+
+The hierarchical job model's scalability claim: a monolithic scheduler
+serializes placement decisions for the whole center, while sibling
+Flux instances decide concurrently over parent-granted subsets.  This
+bench runs a high-throughput ensemble through 1, 2, 4, 8 and 16-way
+instance hierarchies with a realistic decision-cost model and
+regenerates a makespan/throughput table.
+"""
+
+import random
+
+import pytest
+
+from conftest import write_table
+from repro.core import FluxInstance, JobSpec, partitioned_specs
+from repro.resource import ResourcePool, build_cluster_graph
+from repro.sched import AffineCostModel, EasyBackfillPolicy
+from repro.sim import Simulation
+
+TOTAL_CORES = 512
+N_MEMBERS = 1024
+FANOUTS = (1, 2, 4, 8, 16)
+
+
+def make_members(seed=1):
+    rng = random.Random(seed)
+    return [JobSpec(ncores=8, duration=rng.uniform(0.2, 0.6),
+                    name=f"m{i}") for i in range(N_MEMBERS)]
+
+
+def run_with_fanout(nchildren: int) -> dict:
+    sim = Simulation(seed=0)
+    graph = build_cluster_graph("abl", n_racks=4,
+                                nodes_per_rack=TOTAL_CORES // 64)
+    cost = AffineCostModel(base=2e-3, per_job=1e-3)
+    root = FluxInstance(sim, ResourcePool(graph),
+                        policy=EasyBackfillPolicy(), cost_model=cost,
+                        name="root")
+    members = make_members()
+    if nchildren == 1:
+        for spec in members:
+            root.submit(spec)
+    else:
+        for part in partitioned_specs(TOTAL_CORES, nchildren, members,
+                                      child_policy=EasyBackfillPolicy):
+            root.submit(part)
+    sim.run()
+    makespan = root.makespan()
+    return {
+        "makespan": makespan,
+        "throughput": N_MEMBERS / makespan,
+        "util": root.utilization(),
+    }
+
+
+@pytest.fixture(scope="module")
+def fanout_results():
+    results = {k: run_with_fanout(k) for k in FANOUTS}
+    lines = [f"Ablation: scheduler parallelism, {N_MEMBERS} x 8-core "
+             f"members on {TOTAL_CORES} cores",
+             f"{'children':>9} {'makespan(s)':>12} {'jobs/s':>8} "
+             f"{'utilization':>12}"]
+    for k, r in results.items():
+        lines.append(f"{k:>9} {r['makespan']:>12.2f} "
+                     f"{r['throughput']:>8.1f} {r['util']:>12.2%}")
+    write_table("ablation_hierarchy", "\n".join(lines))
+    return results
+
+
+def test_ablation_hierarchy_table_regenerated(fanout_results):
+    assert set(fanout_results) == set(FANOUTS)
+
+
+def test_hierarchy_beats_monolithic(fanout_results):
+    assert fanout_results[8]["makespan"] < \
+        fanout_results[1]["makespan"] / 1.5
+
+
+def test_throughput_improves_then_saturates(fanout_results):
+    """More children help until per-child pools get too small to hold
+    a wave of members; the curve should be monotone-ish then flatten
+    (not keep doubling)."""
+    tp = [fanout_results[k]["throughput"] for k in FANOUTS]
+    assert tp[2] > tp[0]               # 4-way beats monolithic
+    gain_late = tp[-1] / tp[-2]
+    gain_early = tp[2] / tp[0]
+    assert gain_late < gain_early      # diminishing returns
+
+def test_ablation_benchmark_8way(benchmark, fanout_results):
+    benchmark.pedantic(lambda: run_with_fanout(8), rounds=2, iterations=1)

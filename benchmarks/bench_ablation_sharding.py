@@ -1,0 +1,91 @@
+"""Ablation — distributing the KVS master (paper Section VII).
+
+"We must also continue to push the scalability envelope of our
+infrastructure, in particular in the KVS.  We plan to address the
+latter by distributing the KVS master itself."
+
+Workload: every process owns a private namespace and repeatedly writes
+keys and commits — the multi-job/multi-service pattern that serializes
+at a single root master.  The master service-time model is enabled
+(50 us per commit + 5 us per op — hashing, dedup, hash-tree rebuild),
+since the serialization being relieved is the master's processing; with
+a cost-free master the workload is communication-bound and sharding
+merely lengthens paths.  We sweep the shard-master count and regenerate
+a throughput table.
+"""
+
+import pytest
+
+from conftest import write_table
+from repro.cmb.session import CommsSession
+from repro.cmb.topology import TreeTopology
+from repro.kvs.sharding import ShardedKvsClient, sharded_kvs_specs
+from repro.sim.cluster import make_cluster
+
+SHARD_COUNTS = (1, 2, 4, 8)
+N_NODES = 16
+CLIENTS = 32
+ROUNDS = 4
+VALUE = "x" * 2048
+
+
+def run_workload(nshards: int) -> dict:
+    cluster = make_cluster(N_NODES, seed=55)
+    session = CommsSession(
+        cluster, topology=TreeTopology(N_NODES),
+        modules=sharded_kvs_specs(nshards, N_NODES,
+                                  master_commit_cost=5e-5,
+                                  master_op_cost=5e-6)).start()
+    sim = cluster.sim
+
+    def client(i):
+        kvs = ShardedKvsClient(session.connect(i % N_NODES), nshards)
+        for r in range(ROUNDS):
+            yield kvs.put(f"job{i}.round{r}", VALUE)
+            yield kvs.commit_shard(kvs.shard_of(f"job{i}.round{r}"))
+        value = yield kvs.get(f"job{i}.round{ROUNDS - 1}")
+        assert value == VALUE
+
+    procs = [sim.spawn(client(i)) for i in range(CLIENTS)]
+    sim.run()
+    assert all(p.ok for p in procs)
+    return {
+        "time": sim.now,
+        "commits_per_s": CLIENTS * ROUNDS / sim.now,
+        "bytes": cluster.network.total_bytes_sent(),
+    }
+
+
+@pytest.fixture(scope="module")
+def shard_results():
+    results = {k: run_workload(k) for k in SHARD_COUNTS}
+    lines = [f"Ablation: distributed KVS master — {CLIENTS} clients x "
+             f"{ROUNDS} commits of 2 KiB, private namespaces",
+             f"{'masters':>8} {'time(ms)':>10} {'commits/s':>11} "
+             f"{'MB moved':>9}"]
+    for k, r in results.items():
+        lines.append(f"{k:>8} {r['time'] * 1e3:>10.3f} "
+                     f"{r['commits_per_s']:>11.0f} "
+                     f"{r['bytes'] / 1e6:>9.2f}")
+    write_table("ablation_sharding", "\n".join(lines))
+    return results
+
+
+def test_sharding_table_regenerated(shard_results):
+    assert set(shard_results) == set(SHARD_COUNTS)
+
+
+def test_distributed_master_beats_single(shard_results):
+    """The future-work hypothesis: sharding the master improves commit
+    throughput on namespace-disjoint workloads."""
+    assert shard_results[4]["time"] < shard_results[1]["time"]
+
+
+def test_returns_diminish(shard_results):
+    gain_2 = shard_results[1]["time"] / shard_results[2]["time"]
+    gain_8 = shard_results[4]["time"] / shard_results[8]["time"]
+    assert gain_8 < gain_2
+
+
+def test_sharding_benchmark_representative(benchmark, shard_results):
+    benchmark.pedantic(lambda: run_workload(4), rounds=2, iterations=1)

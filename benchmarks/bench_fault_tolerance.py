@@ -1,0 +1,130 @@
+"""Fault-tolerance characterization — detection and self-healing.
+
+Paper, System Challenges: "it must be tolerant of hardware and
+software faults and failures and have no single point of failure";
+Section IV-A: "each message plane ... can self-heal when interior
+nodes fail", with liveness driven by heartbeat-synchronized hellos
+(``missed_max`` consecutive misses declare a child dead).
+
+This bench sweeps the heartbeat period and the miss threshold,
+measures time-to-detection and verifies post-heal service, and checks
+multi-failure tolerance.  (Root failure is explicitly future work in
+the paper and out of scope here too.)
+"""
+
+import pytest
+
+from conftest import write_table
+from repro import make_cluster, standard_session
+from repro.kvs import KvsClient
+
+N_NODES = 31  # depth-4 binary tree
+PERIODS = (0.02, 0.05, 0.1, 0.2)
+MISS_MAXES = (2, 3, 5)
+
+
+def detection_time(period: float, missed_max: int,
+                   victim: int = 1) -> dict:
+    """Kill an interior broker; measure detection and verify service."""
+    cluster = make_cluster(N_NODES, seed=71)
+    session = standard_session(cluster, with_heartbeat=True,
+                               hb_period=period, hb_max_epochs=100000)
+    # Patch the live module threshold everywhere.
+    for rank in range(N_NODES):
+        session.module_at(rank, "live").missed_max = missed_max
+    session.start()
+    sim = cluster.sim
+    sim.run(until=10 * period)  # settle
+    t_fail = sim.now
+    session.fail_rank(victim)
+    live0 = session.module_at(0, "live")
+    deadline = t_fail + 100 * period
+    while victim not in live0.announced and sim.now < deadline:
+        sim.run(until=sim.now + period / 2)
+    detected = victim in live0.announced
+    t_detect = sim.now - t_fail
+
+    # Service check: a client below the dead node commits and reads.
+    ok = False
+    if detected:
+        sim.run(until=sim.now + 2 * period)  # let the heal settle
+
+        def client():
+            kvs = KvsClient(session.connect(victim * 2 + 1,
+                                            collective=False))
+            yield kvs.put("post.heal", 42)
+            yield kvs.commit()
+            return (yield kvs.get("post.heal"))
+
+        proc = sim.spawn(client())
+        sim.run(until=sim.now + 1.0)
+        ok = proc.triggered and proc.ok and proc.value == 42
+    session.stop()
+    return {"detected": detected, "t_detect": t_detect, "healed": ok}
+
+
+@pytest.fixture(scope="module")
+def detection_grid():
+    grid = {(p, m): detection_time(p, m)
+            for p in PERIODS for m in MISS_MAXES}
+    lines = [f"Fault tolerance: interior-broker failure on a "
+             f"{N_NODES}-node binary tree",
+             f"{'hb period(s)':>13} {'missed_max':>11} "
+             f"{'detect(s)':>10} {'healed':>7}"]
+    for (p, m), r in grid.items():
+        lines.append(f"{p:>13.2f} {m:>11} {r['t_detect']:>10.3f} "
+                     f"{str(r['healed']):>7}")
+    write_table("fault_tolerance", "\n".join(lines))
+    return grid
+
+
+def test_fault_table_regenerated(detection_grid):
+    assert len(detection_grid) == len(PERIODS) * len(MISS_MAXES)
+
+
+def test_all_failures_detected_and_healed(detection_grid):
+    for key, r in detection_grid.items():
+        assert r["detected"], f"undetected at {key}"
+        assert r["healed"], f"service not restored at {key}"
+
+
+def test_detection_time_tracks_parameters(detection_grid):
+    """Detection latency ~ period x missed_max (plus one pulse of
+    propagation slack)."""
+    for (p, m), r in detection_grid.items():
+        assert r["t_detect"] <= p * (m + 3), (p, m, r)
+        assert r["t_detect"] >= p * (m - 1)
+
+
+def test_multiple_simultaneous_failures():
+    """Two disjoint interior failures heal independently."""
+    cluster = make_cluster(N_NODES, seed=72)
+    session = standard_session(cluster, with_heartbeat=True,
+                               hb_period=0.05, hb_max_epochs=100000)
+    session.start()
+    sim = cluster.sim
+    sim.run(until=0.5)
+    session.fail_rank(1)
+    session.fail_rank(2)
+    sim.run(until=2.0)
+    live0 = session.module_at(0, "live")
+    assert {1, 2} <= live0.announced
+    # Orphans of both re-attach to the root.
+    for orphan in (3, 4, 5, 6):
+        assert session.brokers[orphan].parent == 0
+
+    def client(rank):
+        kvs = KvsClient(session.connect(rank, collective=False))
+        yield kvs.put(f"multi.{rank}", rank)
+        yield kvs.commit()
+        return (yield kvs.get(f"multi.{rank}"))
+
+    procs = [sim.spawn(client(r)) for r in (7, 11, 30)]
+    sim.run(until=3.0)
+    assert all(p.ok and p.value == r for p, r in zip(procs, (7, 11, 30)))
+    session.stop()
+
+
+def test_fault_benchmark_representative(benchmark, detection_grid):
+    benchmark.pedantic(lambda: detection_time(0.05, 3), rounds=2,
+                       iterations=1)

@@ -1,0 +1,65 @@
+"""Figure 2 — max producer-phase (kvs_put) latency vs producer count.
+
+Paper claim: "kvs_put simply performs and scales well ... because
+objects are cached in write-back mode at kvs_put time and flushed to
+the master at the next consistency event" — i.e. the latency curve is
+flat in the producer count for every value size.
+"""
+
+import pytest
+
+from conftest import write_table
+from repro.kap import KapConfig, format_series_table, run_kap
+
+
+def producer_config(nnodes, ppn, vsize):
+    return KapConfig(nnodes=nnodes, procs_per_node=ppn, value_size=vsize,
+                     nconsumers=0, naccess=0)
+
+
+@pytest.fixture(scope="module")
+def fig2_series(scale):
+    """Sweep value size x node count; return {label: {procs: latency}}."""
+    cols = {}
+    for vsize in scale["vsizes"]:
+        series = {}
+        for nn in scale["nodes"]:
+            cfg = producer_config(nn, scale["ppn"], vsize)
+            series[cfg.nprocs] = run_kap(cfg).max_producer_latency
+        cols[f"vsize-{vsize}"] = series
+    write_table("fig2_producer", format_series_table(
+        "Figure 2: max producer (kvs_put) latency vs producer count",
+        "producers", cols))
+    return cols
+
+
+def test_fig2_table_regenerated(fig2_series):
+    assert (len(fig2_series) >= 3
+            and all(len(s) >= 4 for s in fig2_series.values()))
+
+
+def test_fig2_flat_in_producer_count(fig2_series):
+    """The paper's headline: put latency does not grow with scale."""
+    for label, series in fig2_series.items():
+        lats = [series[k] for k in sorted(series)]
+        assert max(lats) < 2.0 * min(lats), \
+            f"{label}: producer latency not flat: {lats}"
+
+
+def test_fig2_latency_grows_with_value_size(fig2_series):
+    ordered = [series for _label, series in sorted(
+        fig2_series.items(), key=lambda kv: int(kv[0].split("-")[1]))]
+    smallest = ordered[0]
+    largest = ordered[-1]
+    procs = max(smallest)
+    assert largest[procs] >= smallest[procs]
+
+
+def test_fig2_benchmark_representative(benchmark, scale, fig2_series):
+    """Wall-clock cost of simulating one mid-sweep producer phase."""
+    cfg = producer_config(scale["nodes"][1], scale["ppn"], 512)
+    result = benchmark.pedantic(lambda: run_kap(cfg), rounds=3,
+                                iterations=1)
+    benchmark.extra_info["max_producer_latency_s"] = \
+        result.max_producer_latency
+    benchmark.extra_info["sim_events"] = result.events

@@ -1,0 +1,89 @@
+"""Figure 3 — max sync-phase (kvs_fence) latency, unique vs redundant.
+
+Paper claims: (1) with unique values the fence "would perform linearly
+with respect to the number of producers because these values are simply
+being concatenated while being sent up the tree"; (2) redundant values
+improve markedly because they are reduced (deduplicated by SHA1) at
+every level; (3) yet "the redundant-value case fails short of
+logarithmic scaling ... because while values are reduced, the
+(key, SHA1) tuples referring to them are still concatenated".
+"""
+
+import pytest
+
+from conftest import write_table
+from repro.kap import KapConfig, format_series_table, run_kap
+
+
+def fence_config(nnodes, ppn, vsize, redundant):
+    return KapConfig(nnodes=nnodes, procs_per_node=ppn, value_size=vsize,
+                     redundant_values=redundant, nconsumers=0, naccess=0)
+
+
+@pytest.fixture(scope="module")
+def fig3_series(scale):
+    cols = {}
+    for vsize in scale["vsizes"]:
+        for redundant in (False, True):
+            label = f"{'red-' if redundant else ''}vsize-{vsize}"
+            series = {}
+            for nn in scale["nodes"]:
+                cfg = fence_config(nn, scale["ppn"], vsize, redundant)
+                series[cfg.nprocs] = run_kap(cfg).max_sync_latency
+            cols[label] = series
+    write_table("fig3_fence", format_series_table(
+        "Figure 3: max sync (kvs_fence) latency, unique vs redundant",
+        "producers", cols))
+    return cols
+
+
+def test_fig3_table_regenerated(fig3_series):
+    assert len(fig3_series) >= 6
+
+
+def test_fig3_unique_values_scale_linearly(fig3_series, scale):
+    """Largest value size, unique values: ~linear in producer count."""
+    vsize = max(scale["vsizes"])
+    series = fig3_series[f"vsize-{vsize}"]
+    procs = sorted(series)
+    span = procs[-1] / procs[0]           # e.g. 8x more producers
+    growth = series[procs[-1]] / series[procs[0]]
+    assert growth > span / 4, \
+        f"unique fence growth {growth:.2f}x over {span}x producers"
+
+
+def test_fig3_redundant_beats_unique_at_scale(fig3_series, scale):
+    vsize = max(scale["vsizes"])
+    procs = max(scale["nodes"]) * scale["ppn"]
+    unique = fig3_series[f"vsize-{vsize}"][procs]
+    red = fig3_series[f"red-vsize-{vsize}"][procs]
+    assert red < unique / 1.5
+
+    # ... and the gap widens with scale (the reduction wins more the
+    # more producers contribute the same value).
+    procs0 = min(scale["nodes"]) * scale["ppn"]
+    gap_small = fig3_series[f"vsize-{vsize}"][procs0] / \
+        fig3_series[f"red-vsize-{vsize}"][procs0]
+    gap_large = unique / red
+    assert gap_large > gap_small
+
+
+def test_fig3_redundant_short_of_logarithmic(fig3_series, scale):
+    """Tuple concatenation keeps redundant fences superlogarithmic:
+    latency grows by more than a constant per producer doubling."""
+    vsize = max(scale["vsizes"])
+    series = fig3_series[f"red-vsize-{vsize}"]
+    procs = sorted(series)
+    increments = [series[b] - series[a]
+                  for a, b in zip(procs, procs[1:])]
+    # Logarithmic scaling would give (roughly) equal increments per
+    # doubling; the concatenated tuples make later increments larger.
+    assert increments[-1] > increments[0]
+
+
+def test_fig3_benchmark_representative(benchmark, scale, fig3_series):
+    cfg = fence_config(scale["nodes"][1], scale["ppn"],
+                       max(scale["vsizes"]), False)
+    result = benchmark.pedantic(lambda: run_kap(cfg), rounds=3,
+                                iterations=1)
+    benchmark.extra_info["max_sync_latency_s"] = result.max_sync_latency

@@ -1,0 +1,83 @@
+"""Section V-B analytic models vs simulation.
+
+The paper derives ``max consumer latency = log2(C) x T(G)`` and argues
+via a geometric series that latency doubles when G doubles with C.
+These benches regenerate a model-vs-measured table and assert the
+model tracks the simulator within a small factor.
+"""
+
+import pytest
+
+from conftest import write_table
+from repro.kap import (KapConfig, predict_consumer_latency,
+                       predict_fence_latency, predict_producer_latency,
+                       run_kap)
+from repro.sim.cluster import zin_like_params
+
+
+@pytest.fixture(scope="module")
+def model_rows(scale):
+    params = zin_like_params()
+    rows = []
+    for nn in scale["nodes"]:
+        cfg = KapConfig(nnodes=nn, procs_per_node=scale["ppn"],
+                        value_size=8, naccess=4,
+                        nputs=1 if scale["paper"] else 16)
+        res = run_kap(cfg)
+        rows.append({
+            "consumers": cfg.nprocs,
+            "model": predict_consumer_latency(cfg, params),
+            "measured": res.max_consumer_latency,
+            "producer_model": predict_producer_latency(cfg, params),
+            "producer_measured": res.max_producer_latency,
+            "fence_model": predict_fence_latency(cfg, params),
+            "fence_measured": res.max_sync_latency,
+        })
+    lines = ["Consumer model log2(C) x T(G) vs simulation",
+             f"{'consumers':>10} {'model(ms)':>10} {'meas(ms)':>10} "
+             f"{'ratio':>6}"]
+    for row in rows:
+        ratio = row["measured"] / row["model"]
+        lines.append(f"{row['consumers']:>10} {row['model']*1e3:>10.3f} "
+                     f"{row['measured']*1e3:>10.3f} {ratio:>6.2f}")
+    write_table("model_validation", "\n".join(lines))
+    return rows
+
+
+def test_model_table_regenerated(model_rows):
+    assert len(model_rows) >= 4
+
+
+def test_consumer_model_within_factor(model_rows):
+    """Model and simulation agree within ~3x across the sweep (the
+    paper's model omits per-access constants; shapes must match)."""
+    for row in model_rows:
+        ratio = row["measured"] / row["model"]
+        assert 1 / 3 < ratio < 3, f"model off by {ratio:.2f}x: {row}"
+
+    # Consistency of *growth*: model and measurement scale similarly.
+    first, last = model_rows[0], model_rows[-1]
+    model_growth = last["model"] / first["model"]
+    measured_growth = last["measured"] / first["measured"]
+    assert measured_growth == pytest.approx(model_growth, rel=0.6)
+
+
+def test_geometric_series_doubling(model_rows):
+    """G doubles with C here, so each doubling of consumers should
+    roughly double the measured latency (the 2T(2G)/T(G) argument)."""
+    for a, b in zip(model_rows, model_rows[1:]):
+        growth = b["measured"] / a["measured"]
+        assert 1.3 < growth < 3.0, f"doubling growth {growth:.2f}"
+
+
+def test_producer_model_tracks_measurement(model_rows):
+    for row in model_rows:
+        ratio = row["producer_measured"] / row["producer_model"]
+        assert 1 / 4 < ratio < 4
+
+
+def test_model_evaluation_is_fast(benchmark, scale, model_rows):
+    """Model evaluation itself is trivially cheap (pure arithmetic)."""
+    params = zin_like_params()
+    cfg = KapConfig(nnodes=max(scale["nodes"]), procs_per_node=scale["ppn"])
+    benchmark(lambda: predict_consumer_latency(cfg, params))

@@ -1,0 +1,233 @@
+"""Table I — functional micro-benchmarks of every prototyped comms
+module (hb, live, log, mon, group, barrier, kvs, wexec, resvc).
+
+The paper's Table I is an inventory, not a measurement; these benches
+document that all nine modules exist and are functional, and time a
+representative operation of each so regressions in any service are
+caught.  A summary table is written to ``benchmarks/out/``.
+"""
+
+import pytest
+
+from conftest import write_table
+from repro import ModuleSpec, make_cluster, standard_session
+from repro.cmb.modules import HeartbeatModule, LiveModule
+from repro.kvs import KvsClient
+
+N_NODES = 16
+
+
+def fresh_session(task_registry=None, heartbeat=False):
+    cluster = make_cluster(N_NODES, seed=13)
+    session = standard_session(
+        cluster, with_heartbeat=heartbeat, hb_period=0.05,
+        hb_max_epochs=40, task_registry=task_registry or {}).start()
+    return cluster, session
+
+
+def drive(cluster, gen):
+    proc = cluster.sim.spawn(gen)
+    return cluster.sim.run_until_complete(proc)
+
+
+# Collected (module, simulated latency) rows for the summary table.
+_rows = []
+
+
+def _record(module, op, simulated_s):
+    _rows.append((module, op, simulated_s))
+
+
+def test_hb_heartbeat(benchmark):
+    def run():
+        cluster, session = fresh_session(heartbeat=True)
+        cluster.sim.run()
+        assert session.module_at(N_NODES - 1, "hb").epoch == 40
+        return cluster.sim.now / 40
+
+    per_pulse = benchmark.pedantic(run, rounds=2, iterations=1)
+    _record("hb", "pulse propagation", per_pulse)
+
+
+def test_live_failure_detection(benchmark):
+    def run():
+        cluster, session = fresh_session(heartbeat=True)
+        cluster.sim.run(until=0.3)
+        t0 = cluster.sim.now
+        session.fail_rank(1)
+        live0 = session.module_at(0, "live")
+        while 1 not in live0.announced and cluster.sim.now < 2.0:
+            cluster.sim.run(until=cluster.sim.now + 0.05)
+        assert 1 in live0.announced
+        return cluster.sim.now - t0
+
+    detect = benchmark.pedantic(run, rounds=2, iterations=1)
+    _record("live", "failure detection", detect)
+
+
+def test_log_reduction(benchmark):
+    def run():
+        cluster, session = fresh_session()
+        t0 = cluster.sim.now
+        for i in range(100):
+            session.brokers[N_NODES - 1].log("info", f"line{i}")
+        cluster.sim.run()
+        sink = session.module_at(0, "log").sink
+        assert len(sink) == 100
+        return cluster.sim.now - t0
+
+    latency = benchmark.pedantic(run, rounds=2, iterations=1)
+    _record("log", "100 records to root", latency)
+
+
+def test_mon_sampled_reduction(benchmark):
+    def run():
+        cluster = make_cluster(N_NODES, seed=13)
+        from repro.cmb.session import CommsSession
+        from repro.cmb.modules import MonModule
+        from repro.kvs import KvsModule
+        session = CommsSession(cluster, modules=[
+            ModuleSpec(KvsModule),
+            ModuleSpec(MonModule,
+                       samplers={"load": lambda b: float(b.rank)}),
+            ModuleSpec(HeartbeatModule, period=0.05, max_epochs=10),
+        ]).start()
+
+        def client():
+            h = session.connect(0, collective=False)
+            yield h.rpc("mon.activate", {"name": "load", "op": "sum"})
+            yield cluster.sim.timeout(0.45)
+            res = yield h.rpc("mon.results", {"name": "load"})
+            assert set(res["results"].values()) == \
+                {sum(range(N_NODES)) * 1.0}
+            return res
+
+        drive(cluster, client())
+        return 0.05  # one epoch per reduction
+
+    latency = benchmark.pedantic(run, rounds=2, iterations=1)
+    _record("mon", "epoch reduction", latency)
+
+
+def test_group_membership(benchmark):
+    def run():
+        cluster, session = fresh_session()
+
+        def client():
+            h = session.connect(5, collective=False)
+            t0 = cluster.sim.now
+            for i in range(10):
+                yield h.rpc("group.join",
+                            {"name": "g", "rank": 5, "client": i})
+            size = yield h.rpc("group.size", {"name": "g"})
+            assert size["size"] == 10
+            return (cluster.sim.now - t0) / 10
+
+        return drive(cluster, client())
+
+    latency = benchmark.pedantic(run, rounds=2, iterations=1)
+    _record("group", "join rpc", latency)
+
+
+def test_barrier_collective(benchmark):
+    def run():
+        cluster, session = fresh_session()
+        sim = cluster.sim
+        N = N_NODES * 2
+        t0 = sim.now
+
+        def member(i):
+            h = session.connect(i % N_NODES)
+            yield h.barrier("bench", N)
+
+        procs = [sim.spawn(member(i)) for i in range(N)]
+        sim.run()
+        assert all(p.ok for p in procs)
+        return sim.now - t0
+
+    latency = benchmark.pedantic(run, rounds=2, iterations=1)
+    _record("barrier", f"{N_NODES * 2}-way barrier", latency)
+
+
+def test_kvs_put_fence_get(benchmark):
+    def run():
+        cluster, session = fresh_session()
+        sim = cluster.sim
+        N = N_NODES
+        t0 = sim.now
+
+        def member(i):
+            kvs = KvsClient(session.connect(i))
+            yield kvs.put(f"bench.k{i}", "v" * 64)
+            yield kvs.fence("bench", N)
+            yield kvs.get(f"bench.k{(i + 1) % N}")
+
+        procs = [sim.spawn(member(i)) for i in range(N)]
+        sim.run()
+        assert all(p.ok for p in procs)
+        return sim.now - t0
+
+    latency = benchmark.pedantic(run, rounds=2, iterations=1)
+    _record("kvs", "put+fence+get x16", latency)
+
+
+def test_wexec_bulk_launch(benchmark):
+    def task(ctx):
+        ctx.print("ran")
+        yield ctx.sim.timeout(1e-4)
+
+    def run():
+        cluster, session = fresh_session(task_registry={"t": task})
+
+        def client():
+            h = session.connect(0, collective=False)
+            done = h.wait_event("wexec.done")
+            t0 = cluster.sim.now
+            yield h.rpc("wexec.run",
+                        {"jobid": "b", "task": "t",
+                         "nprocs": N_NODES * 4})
+            msg = yield done
+            assert msg.payload["status"] == 0
+            return cluster.sim.now - t0
+
+        return drive(cluster, client())
+
+    latency = benchmark.pedantic(run, rounds=2, iterations=1)
+    _record("wexec", f"launch {N_NODES * 4} tasks", latency)
+
+
+def test_resvc_alloc_cycle(benchmark):
+    def run():
+        cluster, session = fresh_session()
+
+        def client():
+            h = session.connect(3, collective=False)
+            t0 = cluster.sim.now
+            for i in range(10):
+                yield h.rpc("resvc.alloc", {"jobid": f"j{i}", "cores": 8})
+            for i in range(10):
+                yield h.rpc("resvc.free", {"jobid": f"j{i}"})
+            return (cluster.sim.now - t0) / 20
+
+        return drive(cluster, client())
+
+    latency = benchmark.pedantic(run, rounds=2, iterations=1)
+    _record("resvc", "alloc/free rpc", latency)
+
+
+def test_zz_write_table1_summary(benchmark):
+    """Runs last (file order): dump the Table I inventory.
+
+    Uses the benchmark fixture so the summary is also produced under
+    ``--benchmark-only`` (it times the table formatting, trivially)."""
+    def render():
+        lines = [f"Table I: prototyped comms modules on a {N_NODES}-node "
+                 "session (simulated latencies)",
+                 f"{'module':>8}  {'operation':<26} "
+                 f"{'sim latency (us)':>18}"]
+        for module, op, latency in _rows:
+            lines.append(f"{module:>8}  {op:<26} {latency * 1e6:>18.1f}")
+        return "\n".join(lines)
+
+    write_table("table1_modules", benchmark(render))
+    assert len(_rows) == 9  # every Table I module measured

@@ -1,0 +1,49 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_*`` module regenerates one of the paper's tables/figures:
+it sweeps the relevant KAP parameters on the simulator, prints the
+same series the paper plots, persists them under ``benchmarks/out/``,
+and asserts the qualitative shape (who wins, how it grows).
+pytest-benchmark additionally times a representative configuration so
+simulator performance regressions are visible.
+
+Scale: defaults are laptop-sized (8-64 nodes x 4 procs).  Set
+``KAP_PAPER_SCALE=1`` to sweep the paper's 64-512 nodes x 16 procs
+(minutes of wall time and several GB of RAM at the largest points).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+#: Paper scale toggle.
+PAPER_SCALE = os.environ.get("KAP_PAPER_SCALE") == "1"
+
+#: Node counts swept (x PROCS_PER_NODE processes).
+NODE_COUNTS = (64, 128, 256, 512) if PAPER_SCALE else (8, 16, 32, 64)
+PROCS_PER_NODE = 16 if PAPER_SCALE else 4
+
+#: Value sizes for Figures 2-3 (paper sweeps 8..32768).
+VALUE_SIZES = (8, 512, 8192, 32768) if PAPER_SCALE else (8, 512, 2048)
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def write_table(name: str, text: str) -> None:
+    """Persist a regenerated figure table and echo it to stdout."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The active sweep dimensions, as a dict for bench modules."""
+    return {
+        "nodes": NODE_COUNTS,
+        "ppn": PROCS_PER_NODE,
+        "vsizes": VALUE_SIZES,
+        "paper": PAPER_SCALE,
+    }

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""A STAT-like debugging tool attached to a running job.
+
+Challenge 4 (Productivity): Flux "must provide basic, scalable
+monitoring and communication primitives at the job level that can be
+leveraged by tools", and the CMB's rank-addressed overlay exists for
+"tools for debugging the system, where the high latency of a ring is
+manageable".
+
+This example launches a simulated MPI-ish job in which one rank hangs
+(never reaches the barrier), then attaches a tool that — without
+touching the application —
+
+1. sweeps every broker with rank-addressed ``wexec.query`` RPCs to
+   collect per-task status (the stack-trace-aggregation pattern of
+   STAT),
+2. pulls the hung rank's circular debug log (``log.dump``),
+3. delivers a signal to terminate the stuck job.
+
+Run:  python examples/debug_tool.py
+"""
+
+from collections import Counter
+
+from repro import make_cluster, standard_session
+from repro.kvs import KvsClient
+
+N_NODES = 8
+NPROCS = 16
+HUNG_RANK = 11
+
+
+def stencil_task(ctx):
+    """A compute task; task rank 11 deadlocks before the barrier."""
+    handle = ctx.connect()
+    kvs = KvsClient(handle)
+    ctx.status = "exchanging halos"
+    yield kvs.put(f"halo.{ctx.taskrank}", [0.0] * 8)
+    ctx.module.broker.log("debug",
+                          f"task {ctx.taskrank} wrote halo")
+    if ctx.taskrank == HUNG_RANK:
+        ctx.status = "DEADLOCK: waiting on a message that never comes"
+        ctx.module.broker.log("err",
+                              f"task {ctx.taskrank} stuck in recv")
+        yield ctx.sim.timeout(1e9)  # hangs forever
+    ctx.status = "in barrier"
+    yield kvs.fence("halo-exchange", ctx.nprocs)
+    ctx.status = "computing"
+    yield ctx.sim.timeout(0.01)
+
+
+def main() -> None:
+    cluster = make_cluster(N_NODES, seed=29)
+    session = standard_session(
+        cluster, task_registry={"stencil": stencil_task}).start()
+    sim = cluster.sim
+
+    def launcher():
+        handle = session.connect(0, collective=False)
+        yield handle.rpc("wexec.run", {"jobid": "app", "task": "stencil",
+                                       "nprocs": NPROCS})
+
+    sim.spawn(launcher())
+    sim.run(until=0.5)  # job is now wedged in the fence
+
+    def tool():
+        """The attached debugger: a plain CMB client."""
+        handle = session.connect(3, collective=False)
+
+        # 1. Job-wide status sweep over the rank-addressed overlay.
+        snapshot = []
+        for rank in range(N_NODES):
+            resp = yield handle.rpc_rank(rank, "wexec.query",
+                                         {"jobid": "app"})
+            snapshot.extend(resp["tasks"])
+        by_status = Counter(t["status"] for t in snapshot)
+        print("tool: job-wide task states "
+              f"({len(snapshot)} tasks on {N_NODES} brokers):")
+        for status, count in by_status.most_common():
+            print(f"   {count:3d} x {status}")
+        stuck = [t for t in snapshot if "DEADLOCK" in t["status"]]
+        print(f"tool: outlier task(s): "
+              f"{[t['taskrank'] for t in stuck]}")
+
+        # 2. Pull the hung broker's circular debug buffer for context.
+        hung_broker = HUNG_RANK % N_NODES
+        dump = yield handle.rpc_rank(hung_broker, "log.dump", {})
+        err_lines = [r["text"] for r in dump["records"]
+                     if r["level"] == "err"]
+        print(f"tool: debug buffer on broker {hung_broker}: {err_lines}")
+
+        # 3. Put the job out of its misery.
+        done = handle.wait_event("wexec.done")
+        yield handle.rpc("wexec.signal", {"jobid": "app", "signum": 9})
+        msg = yield done
+        print(f"tool: job terminated, status {msg.payload['status']} "
+              f"(128+9 = SIGKILL)")
+
+    proc = sim.spawn(tool())
+    sim.run()
+    assert proc.ok
+    print("\nEverything above used only generic CMB services — no")
+    print("application cooperation, no extra daemons: the tool-support")
+    print("story Challenge 4 asks the RJMS to provide.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Figures 2-4 series with the KAP driver.
+
+Prints the same table shapes the paper plots: max phase latency versus
+producer/consumer count, one column per value size (Figs 2-3) or per
+access count (Fig 4).  Scale defaults to a laptop-friendly sweep; set
+KAP_PAPER_SCALE=1 for the paper's 64-512 nodes x 16 procs (slow!).
+
+Run:  python examples/kap_figures.py
+"""
+
+import os
+
+from repro.kap import (KapConfig, format_series_table, run_kap,
+                       predict_consumer_latency)
+from repro.sim.cluster import zin_like_params
+
+PAPER = os.environ.get("KAP_PAPER_SCALE") == "1"
+NODES = (64, 128, 256, 512) if PAPER else (8, 16, 32, 64)
+PPN = 16 if PAPER else 4
+VSIZES = (8, 512, 8192) if PAPER else (8, 512, 2048)
+
+
+def fig2_producer() -> None:
+    cols = {}
+    for vsize in VSIZES:
+        series = {}
+        for nn in NODES:
+            cfg = KapConfig(nnodes=nn, procs_per_node=PPN,
+                            value_size=vsize, nconsumers=0, naccess=0)
+            series[cfg.nprocs] = run_kap(cfg).max_producer_latency
+        cols[f"vsize-{vsize}"] = series
+    print(format_series_table(
+        "Figure 2: max producer (kvs_put) latency", "producers", cols))
+    print()
+
+
+def fig3_fence() -> None:
+    cols = {}
+    for vsize in VSIZES:
+        for red in (False, True):
+            label = f"{'red-' if red else ''}vsize-{vsize}"
+            series = {}
+            for nn in NODES:
+                cfg = KapConfig(nnodes=nn, procs_per_node=PPN,
+                                value_size=vsize, redundant_values=red,
+                                nconsumers=0, naccess=0)
+                series[cfg.nprocs] = run_kap(cfg).max_sync_latency
+            cols[label] = series
+    print(format_series_table(
+        "Figure 3: max sync (kvs_fence) latency, unique vs redundant",
+        "producers", cols))
+    print()
+
+
+def fig4_consumer() -> None:
+    nputs = 16 if not PAPER else 1  # match the paper's G at small scale
+    for dir_width, sub in ((None, "(a) single directory"),
+                           (128, "(b) directories of <=128")):
+        cols = {}
+        for naccess in (1, 4, 16):
+            series = {}
+            for nn in NODES:
+                cfg = KapConfig(nnodes=nn, procs_per_node=PPN,
+                                value_size=8, naccess=naccess,
+                                nputs=nputs, dir_width=dir_width)
+                series[cfg.nprocs] = run_kap(cfg).max_consumer_latency
+            cols[f"access-{naccess}"] = series
+        print(format_series_table(
+            f"Figure 4{sub}: max consumer (kvs_get) latency",
+            "consumers", cols))
+        print()
+
+    # The paper's analytic model for the single-directory case.
+    params = zin_like_params()
+    print("Consumer model check (single dir, access-4): "
+          "log2(C) x T(G) vs simulation")
+    print(f"{'consumers':>10} {'model (ms)':>12} {'simulated (ms)':>15}")
+    for nn in NODES:
+        cfg = KapConfig(nnodes=nn, procs_per_node=PPN, value_size=8,
+                        naccess=4, nputs=nputs)
+        model = predict_consumer_latency(cfg, params)
+        sim = run_kap(cfg).max_consumer_latency
+        print(f"{cfg.nprocs:>10} {model * 1e3:>12.3f} {sim * 1e3:>15.3f}")
+
+
+def main() -> None:
+    scale = "paper" if PAPER else "reduced"
+    print(f"KAP figure regeneration at {scale} scale "
+          f"(nodes={NODES}, procs/node={PPN})\n")
+    fig2_producer()
+    fig3_fence()
+    fig4_consumer()
+
+
+if __name__ == "__main__":
+    main()

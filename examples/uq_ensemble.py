@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Hierarchical scheduling of an Uncertainty Quantification ensemble.
+
+Section II calls out "ensembles of jobs, e.g., for Uncertainty
+Quantification" as the workload breaking the traditional one-job-one-
+allocation paradigm.  Under Flux's unified job model, the ensemble is
+submitted as ONE nested-instance job; the child instance then schedules
+the ensemble members within its grant using its own policy — scheduler
+parallelism in action.
+
+This example runs the same 1024-member UQ campaign (many short
+members — the high-throughput regime the paper's ensembles live in)
+two ways on a 512-core simulated cluster and compares makespans:
+
+  1. flat      — every member queued at one monolithic scheduler;
+  2. hierarchy — eight child Flux instances, each granted an eighth of
+                 the machine and an eighth of the members.
+
+Scheduling passes charge simulated decision time (AffineCostModel), so
+the monolithic queue's serialization shows up as real slowdown.
+
+Run:  python examples/uq_ensemble.py
+"""
+
+from repro.core import FluxInstance, JobSpec, partitioned_specs
+from repro.resource import ResourcePool, build_cluster_graph
+from repro.sched import AffineCostModel, EasyBackfillPolicy
+from repro.sim import Simulation
+
+
+def make_members(n: int, seed: int = 1) -> list[JobSpec]:
+    """UQ members: same code, varying runtimes (parameter-dependent)."""
+    import random
+    rng = random.Random(seed)
+    return [JobSpec(ncores=8, duration=rng.uniform(0.2, 0.6),
+                    name=f"uq{i:04d}")
+            for i in range(n)]
+
+
+def run_flat(members: list[JobSpec]) -> tuple[float, float]:
+    sim = Simulation(seed=0)
+    graph = build_cluster_graph("uq", n_racks=4, nodes_per_rack=8)
+    inst = FluxInstance(sim, ResourcePool(graph),
+                        policy=EasyBackfillPolicy(),
+                        cost_model=AffineCostModel(base=2e-3, per_job=1e-3))
+    for spec in members:
+        inst.submit(spec)
+    sim.run()
+    return inst.makespan(), inst.sched_time
+
+
+def run_hierarchical(members: list[JobSpec],
+                     nchildren: int = 8) -> tuple[float, float]:
+    sim = Simulation(seed=0)
+    graph = build_cluster_graph("uq", n_racks=4, nodes_per_rack=8)
+    root = FluxInstance(sim, ResourcePool(graph),
+                        policy=EasyBackfillPolicy(),
+                        cost_model=AffineCostModel(base=2e-3, per_job=1e-3),
+                        name="root")
+    jobs = [root.submit(p) for p in partitioned_specs(
+        512, nchildren, members, child_policy=EasyBackfillPolicy)]
+    sim.run()
+    child_sched = sum(j.child.sched_time for j in jobs if j.child)
+    return root.makespan(), child_sched
+
+
+def main() -> None:
+    members = make_members(1024)
+    total_work = sum(m.duration for m in members) * 8  # core-seconds
+
+    flat_make, flat_sched = run_flat(members)
+    hier_make, hier_sched = run_hierarchical(members)
+
+    print("1024-member UQ ensemble on 512 cores (8 cores/member)")
+    print(f"  ideal lower bound : {total_work / 512:8.1f} s")
+    print(f"  flat (1 scheduler): {flat_make:8.1f} s "
+          f"(scheduler busy {flat_sched:.1f} s)")
+    print(f"  hierarchy (8 kids): {hier_make:8.1f} s "
+          f"(children busy {hier_sched:.1f} s, overlapped)")
+    print(f"  speedup           : {flat_make / hier_make:8.2f}x")
+    print()
+    print("The children's scheduling work overlaps (scheduler")
+    print("parallelism), while the monolithic queue serializes every")
+    print("decision — the gap grows with member count and pool size.")
+
+
+if __name__ == "__main__":
+    main()

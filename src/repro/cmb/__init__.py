@@ -1,0 +1,23 @@
+"""The Comms Message Broker framework (paper Section IV-A).
+
+Multi-part messages (:mod:`.message`), overlay topologies
+(:mod:`.topology`), the broker daemon (:mod:`.broker`), session wiring
+(:mod:`.session`), the client handle (:mod:`.api`), the comms-module
+plugin base (:mod:`.module`), the Table I service plugins
+(:mod:`.modules`) and the PMI bootstrap library (:mod:`.pmi`).
+"""
+
+from .api import Handle, RpcError
+from .broker import Broker
+from .message import HEADER_BYTES, Message, MessageType, split_topic
+from .module import CommsModule, NoHandlerError
+from .pmi import PmiClient
+from .session import CommsSession, ModuleSpec
+from .topology import RingTopology, TreeTopology, flat_topology
+
+__all__ = [
+    "Handle", "RpcError", "Broker", "HEADER_BYTES", "Message",
+    "MessageType", "split_topic", "CommsModule", "NoHandlerError",
+    "PmiClient", "CommsSession", "ModuleSpec", "RingTopology",
+    "TreeTopology", "flat_topology",
+]

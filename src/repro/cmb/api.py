@@ -1,0 +1,189 @@
+"""Client-side access to the CMB — the ``flux_open`` equivalent.
+
+External (simulated) programs never touch broker internals; they hold a
+:class:`Handle` connected to the broker on their node, mirroring the
+paper's UNIX-domain-socket transport: every request and response pays
+an IPC hop, and subscribed events arrive with the same local delay.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..sim.kernel import Event
+from .broker import RpcError, _Source
+from .message import Message, MessageType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .session import CommsSession
+
+__all__ = ["Handle", "RpcError"]
+
+
+class Handle:
+    """A client connection to the local CMB broker.
+
+    Created via :meth:`repro.cmb.session.CommsSession.connect`.  All
+    methods are non-blocking: they return
+    :class:`~repro.sim.kernel.Event` objects that a simulated process
+    waits on with ``yield``.
+    """
+
+    def __init__(self, session: "CommsSession", rank: int):
+        self.session = session
+        self.rank = rank
+        self.broker = session.brokers[rank]
+        self.sim = session.sim
+        # Per-session ids keep payload encodings (and therefore message
+        # sizes and simulated latencies) independent of how many other
+        # sessions this Python process has created: runs stay
+        # bit-deterministic.
+        self.client_id = session._next_client_id
+        session._next_client_id += 1
+        self._waiters: dict[int, Event] = {}
+        self._subs: list[tuple[str, Callable[[Message], None]]] = []
+
+    # ------------------------------------------------------------------
+    # request / response
+    # ------------------------------------------------------------------
+    def rpc(self, topic: str, payload: Optional[dict] = None,
+            timeout: Optional[float] = None) -> Event:
+        """Issue an RPC; the returned event fires with the response
+        payload, or fails with :class:`RpcError` on an error response.
+
+        ``timeout`` (simulated seconds) bounds the wait: a response
+        lost to a node failure otherwise hangs the caller forever.  On
+        expiry the event fails with an ``RpcError('timeout ...')``; the
+        stale response, if it ever arrives, is dropped.
+        """
+        ev = self.sim.event(name=f"client-rpc:{topic}")
+        msg = Message(topic=topic, payload=payload or {},
+                      src_rank=self.rank)
+        self._waiters[msg.msgid] = ev
+        self._ipc_deliver(msg)
+        if timeout is not None:
+            self._arm_timeout(msg.msgid, ev, topic, timeout)
+        return ev
+
+    def _arm_timeout(self, msgid: int, ev: Event, topic: str,
+                     timeout: float) -> None:
+        timer = self.sim.timeout(timeout)
+
+        def expire(_e) -> None:
+            if ev.triggered:
+                return
+            self._waiters.pop(msgid, None)
+            ev.fail(RpcError(topic, f"timeout after {timeout:g}s"))
+
+        timer.add_callback(expire)
+        # Cancel the timer when the response wins the race.
+        ev.add_callback(lambda _e: timer.abandon()
+                        if not timer.processed else None)
+
+    def rpc_rank(self, dst_rank: int, topic: str,
+                 payload: Optional[dict] = None) -> Event:
+        """Rank-addressed RPC routed over the ring overlay."""
+        ev = self.sim.event(name=f"client-ring:{topic}@{dst_rank}")
+        msg = Message(topic=topic, mtype=MessageType.RING,
+                      payload=payload or {}, src_rank=self.rank,
+                      dst_rank=dst_rank)
+        self._waiters[msg.msgid] = ev
+        delay = self._ipc_delay(msg.size())
+        t = self.sim.timeout(delay)
+        t.add_callback(lambda _e: self._inject_ring(msg))
+        return ev
+
+    def publish(self, topic: str, payload: Optional[dict] = None) -> None:
+        """Publish an event session-wide (pays the IPC hop first)."""
+        delay = self._ipc_delay(
+            Message(topic=topic, payload=payload or {}).size())
+        t = self.sim.timeout(delay)
+        t.add_callback(
+            lambda _e: self.broker.publish(topic, payload or {}))
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def subscribe(self, prefix: str,
+                  fn: Callable[[Message], None]) -> None:
+        """Deliver matching events to ``fn`` after the local IPC delay."""
+        def relay(msg: Message) -> None:
+            t = self.sim.timeout(self._ipc_delay(msg.size()))
+            t.add_callback(lambda _e: fn(msg))
+        self.broker.subscribe(prefix, relay)
+        self._subs.append((prefix, relay))
+
+    def wait_event(self, prefix: str) -> Event:
+        """Event firing with the next published message under ``prefix``."""
+        ev = self.sim.event(name=f"wait-event:{prefix}")
+
+        def once(msg: Message) -> None:
+            if not ev.triggered:
+                self.broker.unsubscribe(prefix, relay)
+                ev.succeed(msg)
+
+        def relay(msg: Message) -> None:
+            t = self.sim.timeout(self._ipc_delay(msg.size()))
+            t.add_callback(lambda _e: once(msg))
+
+        self.broker.subscribe(prefix, relay)
+        return ev
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def barrier(self, name: str, nprocs: int) -> Event:
+        """Enter the named collective barrier of ``nprocs`` participants;
+        fires when every participant has entered."""
+        return self.rpc("barrier.enter", {"name": name, "nprocs": nprocs})
+
+    def close(self) -> None:
+        """Disconnect: drop subscriptions and the collective registration."""
+        for prefix, relay in self._subs:
+            try:
+                self.broker.unsubscribe(prefix, relay)
+            except ValueError:
+                pass
+        self._subs.clear()
+        self.session.disconnect(self)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _ipc_delay(self, size: int) -> float:
+        p = self.session.network.params
+        return p.ipc_latency + size / p.ipc_bandwidth + p.per_message_overhead
+
+    def _ipc_deliver(self, msg: Message) -> None:
+        t = self.sim.timeout(self._ipc_delay(msg.size()))
+        t.add_callback(
+            lambda _e: self.broker._route_request(
+                msg, _Source("client", self)))
+
+    def _inject_ring(self, msg: Message) -> None:
+        if msg.dst_rank == self.rank:
+            self.broker._route_request(msg, _Source("client", self))
+        else:
+            self.broker._pending[msg.msgid] = _Source("client", self)
+            self.broker._send(self.session.ring.next_rank(self.rank),
+                              "ring", msg)
+
+    def _deliver_response(self, resp: Message) -> None:
+        """Called by the broker; pays the IPC hop, then wakes the waiter."""
+        ev = self._waiters.pop(resp.msgid, None)
+        if ev is None or ev.triggered:
+            return
+        t = self.sim.timeout(self._ipc_delay(resp.size()))
+
+        def finish(_e) -> None:
+            if ev.triggered:
+                return
+            if resp.error is not None:
+                ev.fail(RpcError(resp.topic, resp.error))
+            else:
+                ev.succeed(resp.payload)
+
+        t.add_callback(finish)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Handle client={self.client_id} rank={self.rank}>"

@@ -1,0 +1,396 @@
+"""The Comms Message Broker (CMB) daemon.
+
+One :class:`Broker` runs on every node of a comms session, wired into
+three overlay planes exactly as in the paper:
+
+- **tree plane** — request/response RPCs.  Requests route *upstream*
+  toward the root until they hit the first broker with a matching
+  comms module loaded; responses retrace the same hops in reverse.
+  Module instances along the path may intercept and aggregate
+  (reduce) requests instead of forwarding them verbatim.
+- **event plane** — pub-sub.  A publish travels up to the root, which
+  floods it down the tree; FIFO links give every broker the same
+  total event order, which the KVS root-version protocol relies on.
+- **ring plane** — rank-addressed RPCs forwarded around a ring
+  "without routing tables", used by debugging tools.
+
+External programs talk to their local broker over an IPC hop via
+:class:`~repro.cmb.api.Handle`, mirroring the paper's UNIX-domain
+socket client transport.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from ..sim.kernel import Event, Simulation
+from .message import Message, MessageType
+from .module import CommsModule, NoHandlerError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .session import CommsSession
+
+__all__ = ["Broker", "RpcError"]
+
+# Planes (tags on fabric payloads so a broker knows how a message got in).
+PLANE_TREE = "tree"
+PLANE_EVENT_UP = "event_up"
+PLANE_EVENT_DOWN = "event_down"
+PLANE_RING = "ring"
+PLANE_TREE_RANK = "tree_rank"  # rank-addressed over the tree (extension)
+
+
+class RpcError(Exception):
+    """An RPC completed with an error response."""
+
+    def __init__(self, topic: str, error: str):
+        super().__init__(f"{topic}: {error}")
+        self.topic = topic
+        self.error = error
+
+
+class _Source:
+    """Where a request came from, i.e. where its response must go.
+
+    kind is one of ``child`` (downstream broker rank), ``client``
+    (local Handle), ``local`` (an Event a local caller waits on), or
+    ``callback`` (module-supplied function).
+    """
+
+    __slots__ = ("kind", "target")
+
+    def __init__(self, kind: str, target: Any):
+        self.kind = kind
+        self.target = target
+
+
+class Broker:
+    """One CMB daemon instance: routing, module hosting, client service."""
+
+    def __init__(self, session: "CommsSession", rank: int):
+        self.session = session
+        self.rank = rank
+        self.sim: Simulation = session.sim
+        self.network = session.network
+        self.node_id = session.node_of_rank(rank)
+        # Live wiring (mutable for self-healing).
+        self.parent: Optional[int] = session.parent_map[rank]
+        self.children: list[int] = [
+            r for r, p in session.parent_map.items() if p == rank]
+        self.modules: dict[str, CommsModule] = {}
+        self._pending: dict[int, _Source] = {}
+        self._subs: list[tuple[str, Callable[[Message], None]]] = []
+        self._inbox = session.network.open_port(
+            self.node_id, session.port_key)
+        self._proc = None
+        self.alive = True
+        # Observability.
+        self.requests_handled = 0
+        self.events_seen = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def load_module(self, module: CommsModule) -> None:
+        """Install a comms module into this broker's address space."""
+        if module.name in self.modules:
+            raise ValueError(f"module {module.name!r} already loaded "
+                             f"at rank {self.rank}")
+        self.modules[module.name] = module
+
+    def unload_module(self, name: str) -> CommsModule:
+        """Remove a module (supports the paper's live-reconfiguration)."""
+        mod = self.modules.pop(name)
+        mod.shutdown()
+        return mod
+
+    def start(self) -> None:
+        """Begin consuming the node inbox and start loaded modules."""
+        self._proc = self.sim.spawn(self._main_loop(),
+                                    name=f"broker[{self.rank}]")
+        for mod in list(self.modules.values()):
+            mod.start()
+
+    def stop(self) -> None:
+        """Stop the broker (used for failure injection / teardown)."""
+        self.alive = False
+        for mod in list(self.modules.values()):
+            mod.shutdown()
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("broker stop")
+        self.network.close_port(self.node_id, self.session.port_key)
+
+    def _main_loop(self):
+        while self.alive:
+            item = yield self._inbox.get()
+            plane, msg = item
+            if not self.alive:
+                break
+            self._dispatch(plane, msg)
+
+    # ------------------------------------------------------------------
+    # plane-level sends
+    # ------------------------------------------------------------------
+    def _send(self, peer_rank: int, plane: str, msg: Message) -> None:
+        msg.hops += 1
+        self.network.send(self.node_id, self.session.node_of_rank(peer_rank),
+                          (plane, msg), msg.size(),
+                          port=self.session.port_key)
+
+    # ------------------------------------------------------------------
+    # inbound dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, plane: str, msg: Message) -> None:
+        if plane == PLANE_RING:
+            self._dispatch_ring(msg)
+        elif plane == PLANE_TREE_RANK:
+            self._dispatch_tree_rank(msg)
+        elif plane in (PLANE_EVENT_UP, PLANE_EVENT_DOWN):
+            self._dispatch_event(plane, msg)
+        elif msg.mtype == MessageType.RESPONSE:
+            self._dispatch_response(msg)
+        else:
+            self._route_request(msg, _Source("child", msg.src_rank))
+
+    # -- request path ---------------------------------------------------
+    def _route_request(self, msg: Message, source: _Source) -> None:
+        """Deliver to a local module or forward upstream (paper: requests
+        are routed upstream to the first matching comms module)."""
+        mod = self.modules.get(msg.module_name())
+        if mod is not None:
+            self.requests_handled += 1
+            msg._source = source  # type: ignore[attr-defined]
+            msg._broker = self    # type: ignore[attr-defined]
+            try:
+                mod.dispatch_request(msg)
+            except NoHandlerError as exc:
+                self._send_response(source, msg.make_response(error=str(exc)))
+            return
+        if self.parent is None:
+            self._send_response(
+                source,
+                msg.make_response(
+                    error=f"no module matches topic {msg.topic!r}"))
+            return
+        self._pending[msg.msgid] = source
+        fwd = msg.copy(src_rank=self.rank)
+        self._send(self.parent, PLANE_TREE, fwd)
+
+    def _dispatch_response(self, msg: Message) -> None:
+        source = self._pending.pop(msg.msgid, None)
+        if source is None:
+            return  # response for a forgotten/failed request: drop
+        self._send_response(source, msg)
+
+    def _send_response(self, source: _Source, resp: Message) -> None:
+        if source.kind == "child":
+            self._send(source.target, PLANE_TREE, resp)
+        elif source.kind == "client":
+            source.target._deliver_response(resp)
+        elif source.kind == "local":
+            ev: Event = source.target
+            if not ev.triggered:
+                if resp.error is not None:
+                    ev.fail(RpcError(resp.topic, resp.error))
+                else:
+                    ev.succeed(resp.payload)
+        elif source.kind == "callback":
+            source.target(resp)
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"unknown source kind {source.kind}")
+
+    # -- event path -------------------------------------------------------
+    def _dispatch_event(self, plane: str, msg: Message) -> None:
+        if plane == PLANE_EVENT_UP:
+            if self.parent is None:
+                self._flood_event(msg)
+            else:
+                self._send(self.parent, PLANE_EVENT_UP, msg)
+            return
+        # EVENT_DOWN: deliver locally, then keep flooding to children.
+        self._deliver_event(msg)
+        for child in self.children:
+            self._send(child, PLANE_EVENT_DOWN, msg)
+
+    def _flood_event(self, msg: Message) -> None:
+        """Root only: inject the event into the downward flood."""
+        self._deliver_event(msg)
+        for child in self.children:
+            self._send(child, PLANE_EVENT_DOWN, msg)
+
+    def _deliver_event(self, msg: Message) -> None:
+        self.events_seen += 1
+        for prefix, fn in list(self._subs):
+            if msg.topic.startswith(prefix):
+                fn(msg)
+
+    # -- tree-routed rank addressing (extension) ---------------------------
+    # The paper's secondary rank-addressed overlay uses a ring ("the
+    # high latency of a ring is manageable" for debug tools).  The
+    # distributed-KVS-master extension needs low-latency point-to-point
+    # RPCs, so this plane routes rank-addressed requests along the tree
+    # (up to the lowest common ancestor, then down); responses retrace.
+    def _dispatch_tree_rank(self, msg: Message) -> None:
+        if msg.mtype == MessageType.RESPONSE:
+            self._dispatch_response(msg)
+            return
+        if msg.dst_rank == self.rank:
+            self._route_request(msg, _Source("child", msg.src_rank))
+            return
+        hop = self.session.topology.next_hop_toward(self.rank, msg.dst_rank)
+        self._pending[msg.msgid] = _Source("child", msg.src_rank)
+        fwd = msg.copy(src_rank=self.rank)
+        self._send(hop, PLANE_TREE_RANK, fwd)
+
+    def rpc_rank_tree(self, dst_rank: int, topic: str,
+                      payload: dict) -> Event:
+        """Rank-addressed RPC routed over the tree instead of the ring:
+        O(log n) hops at the cost of routing knowledge at each hop."""
+        ev = self.sim.event(name=f"treerank:{topic}@{dst_rank}")
+        msg = Message(topic=topic, mtype=MessageType.RING, payload=payload,
+                      src_rank=self.rank, dst_rank=dst_rank)
+        if dst_rank == self.rank:
+            self._route_request(msg, _Source("local", ev))
+            return ev
+        self._pending[msg.msgid] = _Source("local", ev)
+        hop = self.session.topology.next_hop_toward(self.rank, dst_rank)
+        self._send(hop, PLANE_TREE_RANK, msg)
+        return ev
+
+    def rpc_hop_cb(self, peer_rank: int, topic: str, payload: dict,
+                   callback: Callable[[Message], None]) -> None:
+        """Send a request directly to an adjacent tree neighbour
+        (parent OR child), bypassing the local module match — the
+        generalization of :meth:`rpc_parent_cb` that lets comms-module
+        chains run toward an arbitrary rank (e.g. a non-root KVS
+        master)."""
+        msg = Message(topic=topic, payload=payload, src_rank=self.rank)
+        self._pending[msg.msgid] = _Source("callback", callback)
+        self._send(peer_rank, PLANE_TREE, msg)
+
+    # -- ring path --------------------------------------------------------
+    def _dispatch_ring(self, msg: Message) -> None:
+        if msg.mtype == MessageType.RESPONSE:
+            if msg.src_rank == self.rank:
+                self._dispatch_response(msg)
+            else:
+                self._send(self.session.ring.next_rank(self.rank),
+                           PLANE_RING, msg)
+            return
+        if msg.dst_rank == self.rank:
+            self._route_request(msg, _Source("ringback", None))
+            return
+        self._send(self.session.ring.next_rank(self.rank), PLANE_RING, msg)
+
+    # ------------------------------------------------------------------
+    # services offered to modules and clients
+    # ------------------------------------------------------------------
+    def respond(self, request: Message, payload: Optional[dict] = None,
+                error: Optional[str] = None) -> None:
+        """Send the response for ``request`` back where it came from."""
+        source: _Source = request._source  # type: ignore[attr-defined]
+        resp = request.make_response(payload, error=error)
+        if source.kind == "ringback":
+            # Responses on the ring keep travelling forward to the origin.
+            self._send(self.session.ring.next_rank(self.rank),
+                       PLANE_RING, resp)
+        else:
+            self._send_response(source, resp)
+
+    def rpc_up(self, topic: str, payload: dict) -> Event:
+        """Module/local RPC routed upstream; returns a result event."""
+        ev = self.sim.event(name=f"rpc:{topic}")
+        msg = Message(topic=topic, payload=payload, src_rank=self.rank)
+        self._route_request(msg, _Source("local", ev))
+        return ev
+
+    def rpc_up_cb(self, topic: str, payload: dict,
+                  callback: Callable[[Message], None]) -> None:
+        """Like :meth:`rpc_up` but delivers the raw response to a
+        callback — used by modules aggregating many child requests."""
+        msg = Message(topic=topic, payload=payload, src_rank=self.rank)
+        self._route_request(msg, _Source("callback", callback))
+
+    def rpc_parent_cb(self, topic: str, payload: dict,
+                      callback: Callable[[Message], None]) -> None:
+        """Send a request directly to the tree parent, bypassing the
+        local module match — how instances of the same comms module
+        talk upstream to each other (cache fault-in, flush/fence
+        forwarding).  The raw response is handed to ``callback``."""
+        if self.parent is None:
+            raise RpcError(topic, "root has no parent")
+        msg = Message(topic=topic, payload=payload, src_rank=self.rank)
+        self._pending[msg.msgid] = _Source("callback", callback)
+        self._send(self.parent, PLANE_TREE, msg)
+
+    def send_parent(self, topic: str, payload: dict) -> None:
+        """One-way message to the tree parent (no response expected),
+        e.g. the ``live`` module's heartbeat-synchronized hellos."""
+        if self.parent is None:
+            return
+        msg = Message(topic=topic, payload=payload, src_rank=self.rank)
+        self._send(self.parent, PLANE_TREE, msg)
+
+    def rpc_rank(self, dst_rank: int, topic: str, payload: dict) -> Event:
+        """Rank-addressed RPC over the ring overlay."""
+        ev = self.sim.event(name=f"ring:{topic}@{dst_rank}")
+        msg = Message(topic=topic, mtype=MessageType.RING, payload=payload,
+                      src_rank=self.rank, dst_rank=dst_rank)
+        if dst_rank == self.rank:
+            self._route_request(msg, _Source("local", ev))
+        else:
+            self._pending[msg.msgid] = _Source("local", ev)
+            self._send(self.session.ring.next_rank(self.rank),
+                       PLANE_RING, msg)
+        return ev
+
+    def publish(self, topic: str, payload: dict) -> None:
+        """Publish an event session-wide via the event plane."""
+        msg = Message(topic=topic, mtype=MessageType.EVENT,
+                      payload=payload, src_rank=self.rank)
+        if self.parent is None:
+            self._flood_event(msg)
+        else:
+            self._send(self.parent, PLANE_EVENT_UP, msg)
+
+    def subscribe(self, prefix: str, fn: Callable[[Message], None]) -> None:
+        """Register ``fn`` for events whose topic starts with ``prefix``."""
+        self._subs.append((prefix, fn))
+
+    def unsubscribe(self, prefix: str, fn: Callable[[Message], None]) -> None:
+        """Remove a previously registered subscription."""
+        self._subs.remove((prefix, fn))
+
+    def after(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn`` after ``delay`` simulated seconds (module timers)."""
+        ev = self.sim.timeout(delay)
+        ev.add_callback(lambda _e: fn() if self.alive else None)
+        return ev
+
+    def log(self, level: str, text: str) -> None:
+        """Route a log record into the ``log`` module when loaded."""
+        mod = self.modules.get("log")
+        if mod is not None:
+            mod.append(level, text)  # type: ignore[attr-defined]
+
+    # -- self-healing ------------------------------------------------------
+    def handle_peer_down(self, dead_rank: int) -> None:
+        """Rewire around a dead interior node (paper: planes self-heal).
+
+        If our parent died we attach to the grandparent; if a child
+        died we drop it (its own children will re-attach to us if we
+        are the grandparent).
+        """
+        if self.parent == dead_rank:
+            new_parent = self.session.parent_of(dead_rank)
+            self.parent = new_parent
+        if dead_rank in self.children:
+            self.children.remove(dead_rank)
+        if (self.session.parent_of(dead_rank) == self.rank):
+            # Adopt the dead node's orphans.
+            for orphan in self.session.children_of(dead_rank):
+                if orphan != self.rank and orphan not in self.children:
+                    self.children.append(orphan)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Broker rank={self.rank} node={self.node_id}>"

@@ -1,0 +1,91 @@
+"""Comms-module plugin framework.
+
+The paper implements Flux services as *comms modules*: "plugins which
+are loaded into the CMB address space and pass messages over shared
+memory".  A module instance lives inside each broker that loads it;
+request messages whose topic head matches the module name are handed to
+it, and the tree overlay lets instances of the same module aggregate
+("reduce") upstream traffic between them.
+
+Subclasses define request handlers as methods named ``req_<method>``
+(``kvs.put`` dispatches to the ``kvs`` module's ``req_put``) and may
+subscribe to event topics at :meth:`start` time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from .message import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .broker import Broker
+
+__all__ = ["CommsModule", "NoHandlerError"]
+
+
+class NoHandlerError(Exception):
+    """A module received a request for a method it does not implement."""
+
+
+class CommsModule:
+    """Base class for CMB service plugins.
+
+    Attributes
+    ----------
+    name:
+        The topic head this module claims (class attribute; subclasses
+        must override).
+    broker:
+        The hosting :class:`~repro.cmb.broker.Broker` — provides
+        messaging primitives (respond / rpc_up / publish / after).
+    """
+
+    name: str = ""
+
+    def __init__(self, broker: "Broker", **config: Any):
+        if not self.name:
+            raise ValueError(f"{type(self).__name__} must define a name")
+        self.broker = broker
+        self.config = config
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        """Called once after the whole session is wired up."""
+
+    def shutdown(self) -> None:
+        """Called when the session is being torn down."""
+
+    # -- dispatch --------------------------------------------------------
+    def dispatch_request(self, msg: Message) -> None:
+        """Route ``msg`` to ``req_<method>``; raise if unimplemented."""
+        method = msg.method_name() or "default"
+        handler: Optional[Callable[[Message], None]] = getattr(
+            self, f"req_{method}", None)
+        if handler is None:
+            raise NoHandlerError(
+                f"module {self.name!r} has no handler for "
+                f"{msg.topic!r} at rank {self.broker.rank}")
+        handler(msg)
+
+    # -- convenience ---------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """Rank of the hosting broker."""
+        return self.broker.rank
+
+    @property
+    def is_root(self) -> bool:
+        """True on the session root (rank 0)."""
+        return self.broker.rank == 0
+
+    def respond(self, msg: Message, payload: Optional[dict] = None,
+                error: Optional[str] = None) -> None:
+        """Answer a request this module received (possibly much later)."""
+        self.broker.respond(msg, payload, error=error)
+
+    def log(self, level: str, text: str) -> None:
+        """Emit a log record through the session ``log`` module if
+        loaded, else silently drop (mirrors optional module loading).
+        """
+        self.broker.log(level, f"{self.name}: {text}")

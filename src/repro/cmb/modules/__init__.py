@@ -1,0 +1,24 @@
+"""The Table I comms modules.
+
+Every service the paper lists as a prototyped plugin: heartbeat
+(``hb``), liveness (``live``), log reduction (``log``), monitoring
+(``mon``), process groups (``group``), collective barriers
+(``barrier``), bulk execution (``wexec``) and the resource service
+(``resvc``).  The ninth, ``kvs``, lives in :mod:`repro.kvs.module`.
+"""
+
+from .barrier import BarrierModule
+from .group import GroupModule
+from .hb import HeartbeatModule
+from .jobmgr import JobManagerModule
+from .live import LiveModule
+from .log import LogModule
+from .mon import MonModule
+from .resvc import ResvcModule
+from .wexec import TaskContext, WexecModule
+
+__all__ = [
+    "BarrierModule", "GroupModule", "HeartbeatModule",
+    "JobManagerModule", "LiveModule",
+    "LogModule", "MonModule", "ResvcModule", "TaskContext", "WexecModule",
+]

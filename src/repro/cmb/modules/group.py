@@ -1,0 +1,77 @@
+"""``group`` — process-group management (Table I).
+
+"Flux groups define and manage collections of processes that can
+participate in collective operations."
+
+Membership is authoritative at the root instance (requests route
+upstream to it); members are ``(rank, client_id)`` pairs.  Group
+membership changes are announced as ``group.update`` events so any
+broker or tool can track sizes without polling — e.g. a barrier over a
+group uses the announced size as its ``nprocs``.
+"""
+
+from __future__ import annotations
+
+from ..message import Message
+from ..module import CommsModule
+
+__all__ = ["GroupModule"]
+
+
+class GroupModule(CommsModule):
+    """Named process groups, mastered at the session root.
+
+    Load this module at the root only (``ModuleSpec(GroupModule,
+    max_depth=0)``) so requests route up to one authoritative copy, or
+    everywhere if each level should answer reads locally from the
+    update events it has seen.
+    """
+
+    name = "group"
+
+    def __init__(self, broker):
+        super().__init__(broker)
+        self.groups: dict[str, list[list]] = {}
+
+    def start(self) -> None:
+        self.broker.subscribe("group.update", self._on_update)
+
+    # ------------------------------------------------------------------
+    def req_join(self, msg: Message) -> None:
+        name = msg.payload["name"]
+        member = [msg.payload["rank"], msg.payload["client"]]
+        members = self.groups.setdefault(name, [])
+        if member not in members:
+            members.append(member)
+        self.broker.publish("group.update",
+                            {"name": name, "size": len(members)})
+        self.respond(msg, {"name": name, "size": len(members)})
+
+    def req_leave(self, msg: Message) -> None:
+        name = msg.payload["name"]
+        member = [msg.payload["rank"], msg.payload["client"]]
+        members = self.groups.get(name, [])
+        if member in members:
+            members.remove(member)
+        self.broker.publish("group.update",
+                            {"name": name, "size": len(members)})
+        self.respond(msg, {"name": name, "size": len(members)})
+
+    def req_list(self, msg: Message) -> None:
+        name = msg.payload["name"]
+        members = self.groups.get(name, [])
+        self.respond(msg, {"name": name,
+                           "members": [list(m) for m in members],
+                           "size": len(members)})
+
+    def req_size(self, msg: Message) -> None:
+        name = msg.payload["name"]
+        self.respond(msg, {"name": name,
+                           "size": len(self.groups.get(name, []))})
+
+    # ------------------------------------------------------------------
+    def _on_update(self, msg: Message) -> None:
+        # Non-authoritative instances remember announced sizes so local
+        # reads stay cheap.
+        if not self.is_root:
+            self.groups.setdefault(msg.payload["name"], [])

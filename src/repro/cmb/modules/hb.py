@@ -1,0 +1,61 @@
+"""``hb`` — session heartbeat (Table I).
+
+"A periodic heartbeat event multicast across the comms session
+synchronizes background activity to reduce scheduling jitter."
+
+The root broker's instance publishes ``hb.pulse {epoch}`` events at a
+configurable period; every other module that wants synchronized
+background work (``live`` hellos, ``mon`` sampling, KVS cache expiry)
+subscribes to the pulse instead of running free timers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..message import Message
+from ..module import CommsModule
+
+__all__ = ["HeartbeatModule"]
+
+
+class HeartbeatModule(CommsModule):
+    """Heartbeat generator (root) / observer (everywhere).
+
+    Config
+    ------
+    period:
+        Seconds between pulses (default 0.1 s).
+    max_epochs:
+        Stop after this many pulses (``None`` = run forever); tests and
+        bounded simulations set this so the event heap drains.
+    """
+
+    name = "hb"
+
+    def __init__(self, broker, *, period: float = 0.1,
+                 max_epochs: Optional[int] = None):
+        super().__init__(broker, period=period, max_epochs=max_epochs)
+        self.period = period
+        self.max_epochs = max_epochs
+        self.epoch = 0
+
+    def start(self) -> None:
+        self.broker.subscribe("hb.pulse", self._on_pulse)
+        if self.is_root:
+            self.broker.after(self.period, self._beat)
+
+    def _beat(self) -> None:
+        if not self.broker.alive:
+            return
+        next_epoch = self.epoch + 1
+        self.broker.publish("hb.pulse", {"epoch": next_epoch})
+        if self.max_epochs is None or next_epoch < self.max_epochs:
+            self.broker.after(self.period, self._beat)
+
+    def _on_pulse(self, msg: Message) -> None:
+        self.epoch = max(self.epoch, msg.payload["epoch"])
+
+    def req_get(self, msg: Message) -> None:
+        """Report the last observed epoch (``hb.get`` RPC)."""
+        self.respond(msg, {"epoch": self.epoch, "period": self.period})

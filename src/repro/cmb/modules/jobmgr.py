@@ -1,0 +1,121 @@
+"""``job`` — in-band job submission (the flux-submit path).
+
+The unified job model makes every Flux instance "an independent RJMS
+instance that ... can run its own job management services, which then
+can recursively accept and schedule (sub-)jobs".  This module is that
+acceptance surface: programs running *inside* a session submit work to
+the owning instance over the CMB instead of through out-of-band Python
+calls — which is how real workflows (and nested instances) feed jobs
+into Flux.
+
+Requests route upstream to the root broker, whose instance hook
+enqueues the spec; job state lands in the KVS (``lwj.<id>.state``, via
+the instance's job-record path) and a ``job.state`` event announces
+every transition so submitters can wait without polling.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..message import Message
+from ..module import CommsModule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...core.job import Job
+
+__all__ = ["JobManagerModule"]
+
+
+class JobManagerModule(CommsModule):
+    """CMB front-end for an instance's scheduler.
+
+    The hosting :class:`~repro.core.instance.FluxInstance` attaches
+    itself via :meth:`bind` on the root broker's module; submissions
+    arriving anywhere in the session route upstream to it.
+
+    Accepted spec fields (JSON): ``ncores`` (required), ``duration``,
+    ``walltime``, ``name``, ``task``, ``ntasks``, ``task_args``,
+    ``min_cores``, ``max_cores``, ``malleable``, ``serial_fraction``.
+    """
+
+    name = "job"
+
+    def __init__(self, broker):
+        super().__init__(broker)
+        self._submit_hook: Optional[Callable[[dict], "Job"]] = None
+        self._jobs: dict[int, "Job"] = {}
+
+    def bind(self, submit_hook: Callable[[dict], "Job"]) -> None:
+        """Attach the owning instance's submit function (root only)."""
+        self._submit_hook = submit_hook
+
+    # ------------------------------------------------------------------
+    def req_submit(self, msg: Message) -> None:
+        if self._submit_hook is None:
+            # Not the root (or no instance attached): let the request
+            # keep climbing by re-routing through the parent.
+            if self.broker.parent is not None:
+                self.broker.rpc_parent_cb(
+                    "job.submit", dict(msg.payload),
+                    lambda resp: self.respond(
+                        msg,
+                        dict(resp.payload) if resp.error is None else None,
+                        error=resp.error))
+                return
+            self.respond(msg, error="no job manager bound at the root")
+            return
+        try:
+            job = self._submit_hook(dict(msg.payload))
+        except (ValueError, TypeError, RuntimeError) as exc:
+            self.respond(msg, error=f"rejected: {exc}")
+            return
+        self._jobs[job.jobid] = job
+        self.broker.publish("job.state", {"jobid": job.jobid,
+                                          "state": "pending",
+                                          "name": job.spec.name})
+        self.respond(msg, {"jobid": job.jobid})
+
+    def announce(self, job: "Job") -> None:
+        """Publish a state transition (called by the instance hook)."""
+        self.broker.publish("job.state", {"jobid": job.jobid,
+                                          "state": job.state.value,
+                                          "name": job.spec.name})
+
+    def req_info(self, msg: Message) -> None:
+        """Query one submitted job's current state (root)."""
+        if self._submit_hook is None and self.broker.parent is not None:
+            self.broker.rpc_parent_cb(
+                "job.info", dict(msg.payload),
+                lambda resp: self.respond(
+                    msg, dict(resp.payload) if resp.error is None else None,
+                    error=resp.error))
+            return
+        job = self._jobs.get(msg.payload.get("jobid"))
+        if job is None:
+            self.respond(msg, error=f"unknown job {msg.payload.get('jobid')}")
+            return
+        self.respond(msg, {
+            "jobid": job.jobid,
+            "state": job.state.value,
+            "name": job.spec.name,
+            "ncores": job.spec.ncores,
+            "submit_time": job.submit_time,
+            "start_time": job.start_time,
+            "end_time": job.end_time,
+            "error": job.error,
+        })
+
+    def req_list(self, msg: Message) -> None:
+        """List jobs submitted through this module (root)."""
+        if self._submit_hook is None and self.broker.parent is not None:
+            self.broker.rpc_parent_cb(
+                "job.list", dict(msg.payload),
+                lambda resp: self.respond(
+                    msg, dict(resp.payload) if resp.error is None else None,
+                    error=resp.error))
+            return
+        self.respond(msg, {"jobs": [
+            {"jobid": j.jobid, "state": j.state.value,
+             "name": j.spec.name}
+            for j in self._jobs.values()]})

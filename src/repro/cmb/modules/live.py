@@ -1,0 +1,107 @@
+"""``live`` — liveness detection and overlay self-healing (Table I).
+
+"Each tree node receives heartbeat-synchronized hello messages from
+its children.  After a configurable number of missed messages, a
+liveliness event is issued for a dead child."
+
+On every ``hb.pulse`` each non-root broker sends ``live.hello`` to its
+current tree parent; parents track the last epoch heard from each
+child.  A child silent for ``missed_max`` consecutive epochs is
+declared dead via a session-wide ``live.down`` event, upon which every
+broker rewires around the corpse (orphans re-attach to their
+grandparent — the paper's "self-heal when interior nodes fail").
+"""
+
+from __future__ import annotations
+
+from ..message import Message
+from ..module import CommsModule
+
+__all__ = ["LiveModule"]
+
+
+class LiveModule(CommsModule):
+    """Liveness tracking driven by the heartbeat.
+
+    Config
+    ------
+    missed_max:
+        Consecutive missed hellos before a child is declared dead
+        (default 3).
+    """
+
+    name = "live"
+
+    def __init__(self, broker, *, missed_max: int = 3):
+        super().__init__(broker, missed_max=missed_max)
+        self.missed_max = missed_max
+        self.last_heard: dict[int, int] = {}
+        self.epoch = 0
+        self.announced: set[int] = set()
+
+    def start(self) -> None:
+        self.broker.subscribe("hb.pulse", self._on_pulse)
+        self.broker.subscribe("live.down", self._on_down)
+        for child in self.broker.children:
+            self.last_heard[child] = 0
+
+    # ------------------------------------------------------------------
+    def _on_pulse(self, msg: Message) -> None:
+        epoch = msg.payload["epoch"]
+        if epoch > self.epoch + 1:
+            # We were partitioned from the root (e.g. our parent died and
+            # the overlay just healed): our children were equally cut off,
+            # so restart their clocks rather than declaring them dead.
+            for child in self.last_heard:
+                self.last_heard[child] = epoch
+        self.epoch = epoch
+        if self.broker.parent is not None:
+            self.broker.send_parent("live.hello",
+                                    {"rank": self.rank,
+                                     "epoch": self.epoch})
+        self._check_children()
+
+    def req_hello(self, msg: Message) -> None:
+        child = msg.payload["rank"]
+        epoch = msg.payload["epoch"]
+        prev = self.last_heard.get(child, 0)
+        self.last_heard[child] = max(prev, epoch)
+
+    def _check_children(self) -> None:
+        for child in list(self.broker.children):
+            if child in self.announced:
+                continue
+            heard = self.last_heard.get(child)
+            if heard is None:
+                # Newly adopted orphan: start the clock now.
+                self.last_heard[child] = self.epoch
+                continue
+            if self.epoch - heard >= self.missed_max:
+                self.announced.add(child)
+                self.log("err", f"child {child} missed "
+                                f"{self.epoch - heard} hellos; declaring down")
+                self.broker.publish("live.down", {"rank": child,
+                                                  "epoch": self.epoch})
+
+    def _on_down(self, msg: Message) -> None:
+        dead = msg.payload["rank"]
+        self.announced.add(dead)
+        self.last_heard.pop(dead, None)
+        self.broker.handle_peer_down(dead)
+        self.broker.session._subtree_procs_cache = None
+        # Children may have been unreachable while the overlay was broken;
+        # give every surviving child a fresh grace period.
+        for child in self.broker.children:
+            self.last_heard[child] = max(self.last_heard.get(child, 0),
+                                         self.epoch)
+
+    # ------------------------------------------------------------------
+    def req_status(self, msg: Message) -> None:
+        """Report this broker's liveness view (``live.status`` RPC)."""
+        self.respond(msg, {
+            "rank": self.rank,
+            "parent": self.broker.parent,
+            "children": list(self.broker.children),
+            "last_heard": {str(k): v for k, v in self.last_heard.items()},
+            "down": sorted(self.announced),
+        })

@@ -1,0 +1,111 @@
+"""``log`` — reduced, filtered session logging (Table I).
+
+"Log messages are reduced and filtered before being placed in a log
+file at the session root.  A circular debug buffer provides log
+context in response to a fault event."
+
+Every broker's instance keeps a circular buffer of *all* local records;
+records at or above ``forward_level`` are batched and forwarded
+upstream (the reduction: one message per batch rather than per record),
+landing in the root instance's ``sink`` list — the session "log file".
+A ``fault`` event makes every instance dump its circular buffer
+upstream so the root log gains full context around the failure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..message import Message
+from ..module import CommsModule
+
+__all__ = ["LogModule", "LEVELS"]
+
+#: Severity order (syslog-flavoured subset).
+LEVELS = {"debug": 0, "info": 1, "warn": 2, "err": 3, "crit": 4}
+
+
+class LogModule(CommsModule):
+    """Hierarchical log reduction.
+
+    Config
+    ------
+    forward_level:
+        Minimum severity forwarded toward the root (default ``"info"``;
+        lower records stay in the local circular buffer only).
+    buffer_size:
+        Circular debug-buffer capacity per broker (default 128).
+    batch_window:
+        Seconds to accumulate records before forwarding one combined
+        message upstream (default 1 ms) — the "reduce" in Table I.
+    """
+
+    name = "log"
+
+    def __init__(self, broker, *, forward_level: str = "info",
+                 buffer_size: int = 128, batch_window: float = 1e-3):
+        super().__init__(broker, forward_level=forward_level,
+                         buffer_size=buffer_size, batch_window=batch_window)
+        if forward_level not in LEVELS:
+            raise ValueError(f"unknown log level {forward_level!r}")
+        self.forward_level = LEVELS[forward_level]
+        self.circular: deque = deque(maxlen=buffer_size)
+        self.batch_window = batch_window
+        self._batch: list[dict] = []
+        self._flush_scheduled = False
+        # Root only: the session log "file".
+        self.sink: list[dict] = []
+
+    def start(self) -> None:
+        self.broker.subscribe("fault", self._on_fault)
+
+    # ------------------------------------------------------------------
+    # local producer API (used via broker.log / module.log)
+    # ------------------------------------------------------------------
+    def append(self, level: str, text: str) -> None:
+        """Record a log message originating on this broker."""
+        rec = {"t": self.broker.sim.now, "rank": self.rank,
+               "level": level, "text": text}
+        self.circular.append(rec)
+        if LEVELS.get(level, 0) >= self.forward_level:
+            self._enqueue([rec])
+
+    # ------------------------------------------------------------------
+    # reduction path
+    # ------------------------------------------------------------------
+    def _enqueue(self, records: list[dict]) -> None:
+        if self.is_root:
+            self.sink.extend(records)
+            return
+        self._batch.extend(records)
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.broker.after(self.batch_window, self._flush)
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        if not self._batch:
+            return
+        batch, self._batch = self._batch, []
+        self.broker.rpc_parent_cb("log.append", {"records": batch},
+                                  lambda resp: None)
+
+    def req_append(self, msg: Message) -> None:
+        """Records forwarded from a downstream instance."""
+        self._enqueue(msg.payload["records"])
+        self.respond(msg, {})
+
+    # ------------------------------------------------------------------
+    # fault-triggered context dump
+    # ------------------------------------------------------------------
+    def _on_fault(self, _msg: Message) -> None:
+        if self.circular:
+            self._enqueue([dict(r, dumped=True) for r in self.circular])
+
+    def req_dump(self, msg: Message) -> None:
+        """Return this broker's circular buffer (``log.dump`` RPC)."""
+        self.respond(msg, {"records": list(self.circular)})
+
+    def req_sink(self, msg: Message) -> None:
+        """Return the root log sink (only meaningful at the root)."""
+        self.respond(msg, {"records": list(self.sink)})

@@ -1,0 +1,175 @@
+"""``mon`` — heartbeat-synchronized monitoring (Table I).
+
+"Linux scripts stored in the KVS activate heartbeat-synchronized
+sampling.  Samples are reduced and stored in the KVS."
+
+Our simulated stand-in for "Linux scripts" is a registry of named
+Python sampler callables (e.g. per-node power draw, core utilization).
+``mon.activate {name, op}`` at the root announces the metric; from then
+on every broker samples locally at each ``hb.pulse`` and the values are
+reduced up the tree (sum/min/max/avg) — each broker combines its own
+sample with one aggregate per child before forwarding a single message.
+Completed per-epoch results are stored at the root: into the KVS under
+``mon.<name>.<epoch>`` when the ``kvs`` module is loaded, and always in
+the in-memory ``results`` table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..message import Message
+from ..module import CommsModule
+
+__all__ = ["MonModule", "REDUCE_OPS"]
+
+
+def _avg_merge(a: dict, b: dict) -> dict:
+    return {"sum": a["sum"] + b["sum"], "n": a["n"] + b["n"]}
+
+
+#: Supported reduction operators: (merge(acc, x), finalize(acc)).
+REDUCE_OPS: dict[str, tuple] = {
+    "sum": (lambda a, b: {"sum": a["sum"] + b["sum"], "n": a["n"] + b["n"]},
+            lambda a: a["sum"]),
+    "max": (lambda a, b: {"sum": max(a["sum"], b["sum"]), "n": a["n"] + b["n"]},
+            lambda a: a["sum"]),
+    "min": (lambda a, b: {"sum": min(a["sum"], b["sum"]), "n": a["n"] + b["n"]},
+            lambda a: a["sum"]),
+    "avg": (_avg_merge, lambda a: a["sum"] / max(a["n"], 1)),
+}
+
+
+class _Metric:
+    __slots__ = ("name", "op", "pending")
+
+    def __init__(self, name: str, op: str):
+        self.name = name
+        self.op = op
+        # epoch -> {"acc": acc-dict, "contrib": count}
+        self.pending: dict[int, dict] = {}
+
+
+class MonModule(CommsModule):
+    """Distributed metric sampling with tree reduction.
+
+    Config
+    ------
+    samplers:
+        ``{name: fn(broker) -> float}`` — the local sampling functions
+        (the simulated equivalent of the paper's KVS-stored scripts).
+    """
+
+    name = "mon"
+
+    def __init__(self, broker, *,
+                 samplers: Optional[dict[str, Callable]] = None):
+        super().__init__(broker, samplers=samplers)
+        self.samplers = samplers or {}
+        self.active: dict[str, _Metric] = {}
+        # Root only: completed reductions {(name, epoch): value}.
+        self.results: dict[tuple[str, int], float] = {}
+
+    def start(self) -> None:
+        self.broker.subscribe("hb.pulse", self._on_pulse)
+        self.broker.subscribe("mon.activate", self._on_activate)
+        self.broker.subscribe("mon.deactivate", self._on_deactivate)
+
+    # ------------------------------------------------------------------
+    # activation
+    # ------------------------------------------------------------------
+    def req_activate(self, msg: Message) -> None:
+        """Root RPC: start sampling ``{name, op}`` session-wide."""
+        name = msg.payload["name"]
+        op = msg.payload.get("op", "sum")
+        if op not in REDUCE_OPS:
+            self.respond(msg, error=f"unknown reduce op {op!r}")
+            return
+        if name not in self.samplers:
+            self.respond(msg, error=f"unknown sampler {name!r}")
+            return
+        self.broker.publish("mon.activate", {"name": name, "op": op})
+        self.respond(msg, {"name": name, "op": op})
+
+    def req_deactivate(self, msg: Message) -> None:
+        """Stop sampling a metric."""
+        self.broker.publish("mon.deactivate", {"name": msg.payload["name"]})
+        self.respond(msg, {})
+
+    def _on_activate(self, msg: Message) -> None:
+        name = msg.payload["name"]
+        if name not in self.active:
+            self.active[name] = _Metric(name, msg.payload["op"])
+
+    def _on_deactivate(self, msg: Message) -> None:
+        self.active.pop(msg.payload["name"], None)
+
+    # ------------------------------------------------------------------
+    # sampling + reduction
+    # ------------------------------------------------------------------
+    def _expected(self) -> int:
+        """Contributions to wait for: our sample + one per live child."""
+        return 1 + sum(1 for c in self.broker.children
+                       if self.broker.session.brokers[c].alive)
+
+    def _on_pulse(self, msg: Message) -> None:
+        epoch = msg.payload["epoch"]
+        for metric in self.active.values():
+            fn = self.samplers.get(metric.name)
+            if fn is None:
+                continue
+            value = float(fn(self.broker))
+            self._contribute(metric, epoch, {"sum": value, "n": 1})
+
+    def req_sample(self, msg: Message) -> None:
+        """A child's partial aggregate for (name, epoch)."""
+        p = msg.payload
+        metric = self.active.get(p["name"])
+        self.respond(msg, {})
+        if metric is None:
+            return
+        self._contribute(metric, p["epoch"], p["acc"], count=p["contrib"])
+
+    def _contribute(self, metric: _Metric, epoch: int, acc: dict,
+                    count: int = 1) -> None:
+        merge, finalize = REDUCE_OPS[metric.op]
+        slot = metric.pending.get(epoch)
+        if slot is None:
+            slot = metric.pending[epoch] = {"acc": acc, "contrib": count}
+        else:
+            slot["acc"] = merge(slot["acc"], acc)
+            slot["contrib"] += count
+        if slot["contrib"] < self._expected():
+            return
+        del metric.pending[epoch]
+        if self.is_root:
+            value = finalize(slot["acc"])
+            self.results[(metric.name, epoch)] = value
+            self._store_kvs(metric.name, epoch, value)
+        else:
+            self.broker.rpc_parent_cb(
+                "mon.sample",
+                {"name": metric.name, "epoch": epoch,
+                 "acc": slot["acc"], "contrib": 1},
+                lambda resp: None)
+
+    def _store_kvs(self, name: str, epoch: int, value: float) -> None:
+        kvs = self.broker.modules.get("kvs")
+        if kvs is None or kvs.master is None:
+            return
+        from ...jsonutil import sha1_of
+        from ...kvs.store import make_val_obj
+        obj = make_val_obj(value)
+        sha = sha1_of(obj)
+        kvs.master.ingest_objects({sha: obj})
+        res = kvs.master.commit([(f"mon.{name}.{epoch}", sha)])
+        kvs._apply_root(res.version, res.root_sha)
+        kvs._publish_setroot(res.version, res.root_sha)
+
+    # ------------------------------------------------------------------
+    def req_results(self, msg: Message) -> None:
+        """Root RPC: completed reductions for a metric."""
+        name = msg.payload["name"]
+        vals = {str(epoch): v for (n, epoch), v in self.results.items()
+                if n == name}
+        self.respond(msg, {"name": name, "results": vals})

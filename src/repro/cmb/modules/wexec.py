@@ -1,0 +1,305 @@
+"""``wexec`` — bulk remote execution (Table I).
+
+"Remote processes can be launched in bulk, monitored, receive signals,
+and have standard I/O captured in the KVS."
+
+Launch: a ``wexec.run`` RPC reaches the root, which validates the job
+spec and publishes a ``wexec.start`` event.  Every broker computes its
+own task set from the spec — task rank *r* runs on session rank
+``ranks[r % len(ranks)]``, the cyclic distribution KAP describes
+("consecutive rank processes are distributed to consecutive nodes") —
+and spawns the tasks as simulated processes.
+
+Monitoring: when all of a broker's local tasks finish, a completion
+tally is reduced up the tree (each broker waits for its whole subtree
+before forwarding one message); the root publishes ``wexec.done`` when
+the job's full ``nprocs`` have completed.
+
+I/O: each task's stdout lines are committed to the KVS under
+``lwj.<jobid>.<taskrank>.stdout`` when the ``kvs`` module is loaded.
+
+Signals: ``wexec.signal`` broadcasts an event; brokers interrupt the
+targeted local tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ...sim.kernel import Interrupt, Process
+from ..message import Message
+from ..module import CommsModule
+
+__all__ = ["WexecModule", "TaskContext"]
+
+
+class TaskContext:
+    """Execution context handed to each launched task.
+
+    A task factory has signature ``factory(ctx) -> generator``; the
+    generator may yield simulation events (e.g. ``ctx.sim.timeout``)
+    to model work, and use :meth:`print` for captured stdout or
+    :meth:`connect` for a CMB handle (PMI, KVS, barriers).
+    """
+
+    def __init__(self, module: "WexecModule", jobid: Any, taskrank: int,
+                 nprocs: int, args: dict):
+        self.module = module
+        self.jobid = jobid
+        self.taskrank = taskrank
+        self.nprocs = nprocs
+        self.args = args
+        self.stdout: list[str] = []
+        self.signal: Optional[int] = None
+        #: Free-form task status, visible to attached tools via the
+        #: ``wexec.query`` RPC (the paper's "secure third-party access
+        #: to running jobs" for debuggers/profilers).
+        self.status: str = "starting"
+
+    @property
+    def sim(self):
+        """The simulation clock/event factory."""
+        return self.module.broker.sim
+
+    @property
+    def broker_rank(self) -> int:
+        """Session rank of the hosting broker."""
+        return self.module.rank
+
+    def print(self, text: str) -> None:
+        """Capture one line of standard output."""
+        self.stdout.append(text)
+
+    def connect(self):
+        """Open a CMB handle on the local broker (closed automatically
+        when the task ends)."""
+        handle = self.module.broker.session.connect(self.module.rank)
+        self.module._task_handles.setdefault(
+            (self.jobid, self.taskrank), []).append(handle)
+        return handle
+
+
+class _JobState:
+    __slots__ = ("spec", "local_left", "subtree_expected", "subtree_done",
+                 "rcs", "forwarded", "procs", "ctxs")
+
+    def __init__(self, spec: dict):
+        self.spec = spec
+        self.local_left = 0
+        self.subtree_expected = 0
+        self.subtree_done = 0
+        self.rcs: dict[int, int] = {}
+        self.forwarded = False
+        self.procs: dict[int, Process] = {}
+        self.ctxs: dict[int, "TaskContext"] = {}
+
+
+class WexecModule(CommsModule):
+    """Bulk launcher / monitor for simulated remote processes.
+
+    Config
+    ------
+    registry:
+        ``{task_name: factory(ctx) -> generator}`` — the launchable
+        programs (the simulated equivalent of executables on disk).
+    """
+
+    name = "wexec"
+
+    def __init__(self, broker, *,
+                 registry: Optional[dict[str, Callable]] = None):
+        super().__init__(broker, registry=registry)
+        self.registry = registry or {}
+        self.jobs: dict[Any, _JobState] = {}
+        self.output: dict[tuple, list[str]] = {}
+        self._task_handles: dict[tuple, list] = {}
+        self.done_jobs: list[Any] = []
+
+    def start(self) -> None:
+        self.broker.subscribe("wexec.start", self._on_start)
+        self.broker.subscribe("wexec.signal", self._on_signal)
+        self.broker.subscribe("wexec.done", self._on_done)
+
+    # ------------------------------------------------------------------
+    # launch path
+    # ------------------------------------------------------------------
+    def req_run(self, msg: Message) -> None:
+        """Client RPC: run {jobid, task, nprocs, ranks?, args?}."""
+        if not self.is_root:
+            self.broker.rpc_parent_cb(
+                "wexec.run", dict(msg.payload),
+                lambda resp: self.respond(
+                    msg, dict(resp.payload) if resp.error is None else None,
+                    error=resp.error))
+            return
+        p = msg.payload
+        task = p.get("task")
+        nprocs = p.get("nprocs", 1)
+        ranks = p.get("ranks") or list(range(self.broker.session.size))
+        if task not in self.registry:
+            self.respond(msg, error=f"unknown task {task!r}")
+            return
+        if nprocs < 1 or not ranks:
+            self.respond(msg, error="bad job shape")
+            return
+        spec = {"jobid": p["jobid"], "task": task, "nprocs": nprocs,
+                "ranks": list(ranks), "args": p.get("args", {})}
+        self.broker.publish("wexec.start", spec)
+        self.respond(msg, {"jobid": p["jobid"], "nprocs": nprocs})
+
+    def _taskranks_for(self, spec: dict, rank: int) -> list[int]:
+        ranks = spec["ranks"]
+        return [r for r in range(spec["nprocs"])
+                if ranks[r % len(ranks)] == rank]
+
+    def _subtree_taskcount(self, spec: dict) -> int:
+        topo = self.broker.session.topology
+        return sum(len(self._taskranks_for(spec, r))
+                   for r in topo.subtree(self.rank))
+
+    def _on_start(self, msg: Message) -> None:
+        spec = msg.payload
+        jobid = spec["jobid"]
+        state = _JobState(spec)
+        self.jobs[jobid] = state
+        mine = self._taskranks_for(spec, self.rank)
+        state.local_left = len(mine)
+        state.subtree_expected = self._subtree_taskcount(spec)
+        if state.subtree_expected == 0:
+            return
+        factory = self.registry.get(spec["task"])
+        for taskrank in mine:
+            ctx = TaskContext(self, jobid, taskrank, spec["nprocs"],
+                              spec["args"])
+            state.ctxs[taskrank] = ctx
+            proc = self.broker.sim.spawn(
+                self._run_task(ctx, factory),
+                name=f"task[{jobid}:{taskrank}]")
+            state.procs[taskrank] = proc
+        if state.local_left == 0:
+            self._maybe_forward(state)
+
+    def _run_task(self, ctx: TaskContext, factory: Callable):
+        rc = 0
+        body = self.broker.sim.spawn(
+            factory(ctx), name=f"body[{ctx.jobid}:{ctx.taskrank}]",
+            contain=True)
+        try:
+            yield body
+        except Interrupt as it:
+            ctx.signal = it.cause if isinstance(it.cause, int) else 15
+            if body.is_alive:
+                body.interrupt(it.cause)
+            rc = 128 + ctx.signal
+        except Exception:
+            rc = 1
+        self._task_finished(ctx, rc)
+
+    def _task_finished(self, ctx: TaskContext, rc: int) -> None:
+        key = (ctx.jobid, ctx.taskrank)
+        self.output[key] = list(ctx.stdout)
+        for handle in self._task_handles.pop(key, []):
+            handle.close()
+        self._store_stdout(ctx)
+        state = self.jobs.get(ctx.jobid)
+        if state is None:
+            return
+        state.rcs[ctx.taskrank] = rc
+        state.local_left -= 1
+        state.subtree_done += 1
+        state.procs.pop(ctx.taskrank, None)
+        self._maybe_forward(state)
+
+    def _store_stdout(self, ctx: TaskContext) -> None:
+        kvs = self.broker.modules.get("kvs")
+        if kvs is None or not ctx.stdout:
+            return
+        key = f"lwj.{ctx.jobid}.{ctx.taskrank}.stdout"
+        kvs.local_put(("wexec", ctx.jobid, ctx.taskrank), key, ctx.stdout)
+        kvs.local_commit(("wexec", ctx.jobid, ctx.taskrank))
+
+    # ------------------------------------------------------------------
+    # completion reduction
+    # ------------------------------------------------------------------
+    def req_complete(self, msg: Message) -> None:
+        """A child subtree's completion tally."""
+        p = msg.payload
+        self.respond(msg, {})
+        state = self.jobs.get(p["jobid"])
+        if state is None:
+            return
+        state.subtree_done += p["count"]
+        for taskrank, rc in p["rcs"].items():
+            state.rcs[int(taskrank)] = rc
+        self._maybe_forward(state)
+
+    def _maybe_forward(self, state: _JobState) -> None:
+        if (state.forwarded or state.local_left > 0
+                or state.subtree_done < state.subtree_expected):
+            return
+        state.forwarded = True
+        jobid = state.spec["jobid"]
+        if self.is_root:
+            status = max(state.rcs.values(), default=0)
+            self.broker.publish("wexec.done",
+                                {"jobid": jobid, "status": status,
+                                 "rcs": {str(k): v
+                                         for k, v in state.rcs.items()}})
+            return
+        self.broker.rpc_parent_cb(
+            "wexec.complete",
+            {"jobid": jobid, "count": state.subtree_done,
+             "rcs": {str(k): v for k, v in state.rcs.items()}},
+            lambda resp: None)
+
+    def _on_done(self, msg: Message) -> None:
+        jobid = msg.payload["jobid"]
+        self.jobs.pop(jobid, None)
+        self.done_jobs.append(jobid)
+
+    # ------------------------------------------------------------------
+    # tool access (Challenge 4: debugger/profiler attachment)
+    # ------------------------------------------------------------------
+    def req_query(self, msg: Message) -> None:
+        """Report this broker's live tasks for a job: rank-addressed
+        tools (ring/tree overlays) call this on every broker to build a
+        job-wide snapshot without touching the application."""
+        jobid = msg.payload["jobid"]
+        state = self.jobs.get(jobid)
+        tasks = []
+        if state is not None:
+            for taskrank, ctx in state.ctxs.items():
+                proc = state.procs.get(taskrank)
+                tasks.append({
+                    "taskrank": taskrank,
+                    "alive": bool(proc is not None and proc.is_alive),
+                    "status": ctx.status,
+                    "stdout_lines": len(ctx.stdout),
+                })
+        self.respond(msg, {"rank": self.rank, "jobid": jobid,
+                           "tasks": tasks})
+
+    # ------------------------------------------------------------------
+    # signals
+    # ------------------------------------------------------------------
+    def req_signal(self, msg: Message) -> None:
+        """Client RPC: deliver ``signum`` to every task of a job."""
+        if not self.is_root:
+            self.broker.rpc_parent_cb(
+                "wexec.signal", dict(msg.payload),
+                lambda resp: self.respond(
+                    msg, dict(resp.payload) if resp.error is None else None,
+                    error=resp.error))
+            return
+        self.broker.publish("wexec.signal", dict(msg.payload))
+        self.respond(msg, {})
+
+    def _on_signal(self, msg: Message) -> None:
+        jobid = msg.payload["jobid"]
+        signum = msg.payload.get("signum", 15)
+        state = self.jobs.get(jobid)
+        if state is None:
+            return
+        for taskrank, proc in list(state.procs.items()):
+            if proc.is_alive:
+                proc.interrupt(signum)

@@ -1,0 +1,85 @@
+"""PMI over the CMB — the MPI bootstrap interface.
+
+The paper: "a custom PMI library allows MPI run-times to access the
+Flux KVS and collective barrier modules over this transport".  This is
+the classic wire-up pattern: every MPI rank *puts* its connection
+endpoint into the KVS, all ranks *fence*, then each rank *gets* the
+endpoints of its peers — exactly the access pattern KAP generalizes.
+
+:class:`PmiClient` implements the PMI-1 style calls (init, put, get,
+fence/commit, finalize) on top of :class:`~repro.kvs.api.KvsClient`
+and the barrier module.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..kvs.api import KvsClient
+from ..sim.kernel import Event
+from .api import Handle
+
+__all__ = ["PmiClient"]
+
+
+class PmiClient:
+    """PMI bindings for one simulated MPI process.
+
+    Parameters
+    ----------
+    handle:
+        CMB handle of the process.
+    jobid:
+        Namespace for this job's KVS keys (``pmi.<jobid>.…``).
+    rank / size:
+        The process's PMI rank and the job size.
+    """
+
+    def __init__(self, handle: Handle, jobid: Any, rank: int, size: int):
+        self.handle = handle
+        self.kvs = KvsClient(handle)
+        self.jobid = jobid
+        self.rank = rank
+        self.size = size
+        self._fence_seq = 0
+
+    @property
+    def kvsname(self) -> str:
+        """The PMI KVS namespace for this job."""
+        return f"pmi.{self.jobid}"
+
+    def put(self, key: str, value: Any) -> Event:
+        """``PMI_KVS_Put``: stage ``key=value`` (visible after fence)."""
+        return self.kvs.put(f"{self.kvsname}.{key}", value)
+
+    def fence(self) -> Event:
+        """``PMI_KVS_Commit`` + ``PMI_Barrier`` fused, as Flux does it:
+        a collective ``kvs_fence`` across all ``size`` ranks."""
+        self._fence_seq += 1
+        return self.kvs.fence(f"{self.kvsname}.fence.{self._fence_seq}",
+                              self.size)
+
+    def get(self, key: str) -> Event:
+        """``PMI_KVS_Get``: read a peer's staged value."""
+        return self.kvs.get(f"{self.kvsname}.{key}")
+
+    def barrier(self) -> Event:
+        """``PMI_Barrier`` without a KVS flush (pure synchronization)."""
+        self._fence_seq += 1
+        return self.handle.barrier(
+            f"{self.kvsname}.barrier.{self._fence_seq}", self.size)
+
+    def exchange_business_cards(self, card: Any):
+        """The canonical MPI wire-up: publish this rank's ``card``,
+        fence, and return all peers' cards in rank order.
+
+        A generator — run it inside a simulated process:
+        ``cards = yield from pmi.exchange_business_cards(my_card)``.
+        """
+        yield self.put(f"card.{self.rank}", card)
+        yield self.fence()
+        cards = []
+        for peer in range(self.size):
+            value = yield self.get(f"card.{peer}")
+            cards.append(value)
+        return cards

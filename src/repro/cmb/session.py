@@ -1,0 +1,203 @@
+"""Comms sessions: the per-job overlay network.
+
+A :class:`CommsSession` corresponds to the paper's *comms session*: the
+set of CMB daemons (one per node of a Flux job's allocation) wired into
+the tree/event/ring planes, loaded with comms modules, and serving
+local clients.  Sessions are created per Flux instance; a child job's
+session is bootstrapped over a subset of its parent's nodes (see
+:mod:`repro.core.instance`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Type
+
+from ..sim.cluster import Cluster
+from .api import Handle
+from .broker import Broker
+from .module import CommsModule
+from .topology import RingTopology, TreeTopology
+
+__all__ = ["CommsSession", "ModuleSpec"]
+
+_session_counter = iter(range(1, 1 << 31))
+
+
+class ModuleSpec:
+    """How to instantiate one comms module across the session.
+
+    Parameters
+    ----------
+    factory:
+        The :class:`CommsModule` subclass (or factory callable).
+    max_depth:
+        Load the module only at tree depth <= ``max_depth``.  The paper:
+        "a comms module may be loaded at a configurable tree depth to
+        tune its level of distribution or to conserve node resources".
+        ``None`` loads everywhere.
+    config:
+        Keyword configuration forwarded to the module constructor.
+    """
+
+    def __init__(self, factory: Type[CommsModule] | Callable[..., CommsModule],
+                 *, max_depth: Optional[int] = None, **config):
+        self.factory = factory
+        self.max_depth = max_depth
+        self.config = config
+
+
+class CommsSession:
+    """The overlay network and daemons for one Flux instance.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated cluster supplying nodes/network/clock.
+    node_ids:
+        Which cluster nodes participate; session rank ``i`` runs on
+        ``node_ids[i]`` and rank 0 is the session root.
+    topology:
+        Shape of the tree plane (default: binary, as in the paper's
+        experiments).
+    modules:
+        Comms modules to load at wire-up.
+    """
+
+    def __init__(self, cluster: Cluster,
+                 node_ids: Optional[Sequence[int]] = None,
+                 topology: Optional[TreeTopology] = None,
+                 modules: Iterable[ModuleSpec] = ()):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.network = cluster.network
+        self.node_ids = list(node_ids if node_ids is not None
+                             else range(len(cluster)))
+        if not self.node_ids:
+            raise ValueError("session needs at least one node")
+        self.size = len(self.node_ids)
+        self.topology = topology or TreeTopology(self.size, arity=2)
+        if self.topology.size != self.size:
+            raise ValueError(
+                f"topology size {self.topology.size} != session size "
+                f"{self.size}")
+        self.ring = RingTopology(self.size)
+        #: Fabric port for this session's brokers: every Flux job's
+        #: overlay network gets its own endpoints on the shared NICs.
+        self.port_key = f"cmb{next(_session_counter)}"
+        self.parent_map = self.topology.parent_map()
+        self.local_procs: dict[int, int] = {r: 0 for r in range(self.size)}
+        self._next_client_id = 1
+        self._subtree_procs_cache: Optional[list[int]] = None
+        self.brokers: list[Broker] = [Broker(self, r)
+                                      for r in range(self.size)]
+        self._started = False
+        for spec in modules:
+            self.load_module(spec)
+
+    # ------------------------------------------------------------------
+    # wiring helpers used by brokers
+    # ------------------------------------------------------------------
+    def node_of_rank(self, rank: int) -> int:
+        """Cluster node hosting session rank ``rank``."""
+        return self.node_ids[rank]
+
+    def parent_of(self, rank: int) -> Optional[int]:
+        """Original-topology parent (used to compute heal targets)."""
+        return self.topology.parent(rank)
+
+    def children_of(self, rank: int) -> list[int]:
+        """Original-topology children of ``rank``."""
+        return self.topology.children(rank)
+
+    # ------------------------------------------------------------------
+    # module management
+    # ------------------------------------------------------------------
+    def load_module(self, spec: ModuleSpec) -> None:
+        """Instantiate ``spec`` on every eligible broker."""
+        for broker in self.brokers:
+            depth = self.topology.depth(broker.rank)
+            if spec.max_depth is not None and depth > spec.max_depth:
+                continue
+            mod = spec.factory(broker, **spec.config)
+            broker.load_module(mod)
+            if self._started:
+                mod.start()
+
+    def module_at(self, rank: int, name: str) -> CommsModule:
+        """The instance of module ``name`` loaded at ``rank``."""
+        return self.brokers[rank].modules[name]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "CommsSession":
+        """Start every broker's inbox loop and module set."""
+        if self._started:
+            raise RuntimeError("session already started")
+        self._started = True
+        for broker in self.brokers:
+            broker.start()
+        return self
+
+    def stop(self) -> None:
+        """Tear the session down."""
+        for broker in self.brokers:
+            if broker.alive:
+                broker.stop()
+        self._started = False
+
+    def fail_rank(self, rank: int) -> None:
+        """Kill the broker at ``rank`` along with its node (fault
+        injection for the self-healing / liveness tests)."""
+        self.brokers[rank].alive = False
+        self.cluster.fail_node(self.node_of_rank(rank))
+        self._subtree_procs_cache = None
+
+    def heal_around(self, dead_rank: int) -> None:
+        """Rewire all live brokers around ``dead_rank`` (invoked by the
+        ``live`` module after it detects the failure)."""
+        for broker in self.brokers:
+            if broker.alive and broker.rank != dead_rank:
+                broker.handle_peer_down(dead_rank)
+        self._subtree_procs_cache = None
+
+    # ------------------------------------------------------------------
+    # client service
+    # ------------------------------------------------------------------
+    def connect(self, rank: int, *, collective: bool = True) -> Handle:
+        """Create a client :class:`Handle` bound to the broker at
+        ``rank`` (the paper's UNIX-domain-socket client transport).
+
+        ``collective=True`` registers the client as a participant in
+        collective operations (fence), updating the per-subtree
+        process counts the KVS reduction logic relies on.
+        """
+        handle = Handle(self, rank)
+        if collective:
+            self.local_procs[rank] += 1
+            self._subtree_procs_cache = None
+        return handle
+
+    def disconnect(self, handle: Handle) -> None:
+        """Release a handle created with ``collective=True``."""
+        if self.local_procs[handle.rank] > 0:
+            self.local_procs[handle.rank] -= 1
+            self._subtree_procs_cache = None
+
+    def subtree_procs(self, rank: int) -> int:
+        """Number of collective participants in the subtree at ``rank``."""
+        if self._subtree_procs_cache is None:
+            counts = [0] * self.size
+            # Ranks in reverse order: children have higher indices in a
+            # heap-layout tree, so one backward pass accumulates bottom-up.
+            for r in range(self.size - 1, -1, -1):
+                counts[r] = self.local_procs[r] + sum(
+                    counts[c] for c in self.brokers[r].children
+                    if self.brokers[c].alive)
+            self._subtree_procs_cache = counts
+        return self._subtree_procs_cache[rank]
+
+    @property
+    def total_procs(self) -> int:
+        """Total registered collective participants."""
+        return sum(self.local_procs.values())

@@ -1,0 +1,22 @@
+"""The Flux conceptual design (paper Section III): unified job model,
+job hierarchy, and multilevel elasticity.
+
+:mod:`.job` defines the unified job model (a job is a program *or* a
+nested RJMS instance); :mod:`.instance` is the execution engine with
+hierarchical scheduling and the grow/shrink consent chain;
+:mod:`.hierarchy` has tree helpers and invariant checks.
+"""
+
+from .hierarchy import (check_parent_bounding, instance_tree_depth,
+                        make_ensemble_spec, partitioned_specs,
+                        walk_instances)
+from .comms import CommsConfig
+from .instance import FluxInstance
+from .jobclient import JobClient
+from .job import Job, JobKind, JobSpec, JobState
+
+__all__ = [
+    "check_parent_bounding", "instance_tree_depth", "make_ensemble_spec",
+    "partitioned_specs", "walk_instances", "CommsConfig",
+    "FluxInstance", "Job", "JobClient", "JobKind", "JobSpec", "JobState",
+]

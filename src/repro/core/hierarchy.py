@@ -1,0 +1,74 @@
+"""Job-hierarchy helpers and invariant checks.
+
+Utilities for building and inspecting trees of Flux instances, plus
+validators asserting the Section III rules hold at run time — used by
+tests and available to applications that want belt-and-braces checks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from ..resource import types as rt
+from .instance import FluxInstance
+from .job import Job, JobKind, JobSpec
+
+__all__ = ["walk_instances", "instance_tree_depth", "check_parent_bounding",
+           "make_ensemble_spec", "partitioned_specs"]
+
+
+def walk_instances(root: FluxInstance) -> Iterator[FluxInstance]:
+    """Preorder walk of the live instance tree under ``root``."""
+    yield root
+    for job in root.jobs.values():
+        if job.child is not None and job.child.active:
+            yield from walk_instances(job.child)
+
+
+def instance_tree_depth(root: FluxInstance) -> int:
+    """Deepest live instance level under ``root`` (root = 0)."""
+    return max((inst.depth for inst in walk_instances(root)),
+               default=root.depth) - root.depth
+
+
+def check_parent_bounding(parent: FluxInstance, job: Job) -> None:
+    """Assert the parent bounding rule for one instance job: the
+    child's total capacity never exceeds the parent's grant."""
+    if job.child is None or job.allocation is None:
+        return
+    granted = job.allocation.ncores
+    child_total = job.child.pool.total_cores()
+    if child_total > granted:
+        raise AssertionError(
+            f"parent bounding violated: child {job.child.name!r} sees "
+            f"{child_total} cores but was granted {granted}")
+
+
+def make_ensemble_spec(name: str, ncores: int, member_specs: list[JobSpec],
+                       child_policy: Optional[Callable] = None) -> JobSpec:
+    """A nested-instance job spec for an ensemble (the paper's UQ /
+    scale-bridging workloads): the parent schedules one INSTANCE job of
+    ``ncores``; the child instance schedules the members within it."""
+    return JobSpec(ncores=ncores, kind=JobKind.INSTANCE, name=name,
+                   subjobs=list(member_specs), child_policy=child_policy,
+                   walltime=sum(s.walltime or 0.0 for s in member_specs))
+
+
+def partitioned_specs(total_cores: int, nchildren: int,
+                      member_specs: list[JobSpec],
+                      child_policy: Optional[Callable] = None
+                      ) -> list[JobSpec]:
+    """Split a workload into ``nchildren`` equal INSTANCE jobs — the
+    two-level scheduling shape the ablation benches compare against a
+    single monolithic queue."""
+    if total_cores % nchildren:
+        raise ValueError("total_cores must divide evenly among children")
+    share = total_cores // nchildren
+    buckets: list[list[JobSpec]] = [[] for _ in range(nchildren)]
+    for i, spec in enumerate(member_specs):
+        buckets[i % nchildren].append(spec)
+    return [
+        make_ensemble_spec(f"partition{i}", share, bucket,
+                           child_policy=child_policy)
+        for i, bucket in enumerate(buckets)
+    ]

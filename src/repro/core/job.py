@@ -1,0 +1,205 @@
+"""The unified job model (paper Section III).
+
+"In the traditional paradigm, a job is simply defined to be a resource
+allocation.  Flux, however, abstracts this notion to an independent
+RJMS instance that can either be used to run a single application or
+that can run its own job management services."
+
+A :class:`JobSpec` therefore describes either a **program** (runs for
+a duration, or executes a user-supplied simulated body) or a nested
+**instance** (a child Flux instance with its own scheduler policy and
+its own sub-jobs).  :class:`Job` tracks the lifecycle and timing of
+one submitted spec.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..resource.pool import Allocation
+    from .instance import FluxInstance
+
+__all__ = ["JobKind", "JobState", "JobSpec", "Job"]
+
+_job_ids = itertools.count(1)
+
+
+class JobKind(Enum):
+    """What a job *is* under the unified model."""
+
+    PROGRAM = "program"    # a single application
+    INSTANCE = "instance"  # a nested Flux instance with its own jobs
+
+
+class JobState(Enum):
+    """Job lifecycle."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETE = "complete"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class JobSpec:
+    """What to run and what it needs.
+
+    Attributes
+    ----------
+    ncores:
+        Cores requested.
+    duration:
+        Actual simulated runtime of a PROGRAM job (ignored when ``body``
+        is given).
+    walltime:
+        The user's runtime *estimate* (backfill reservations use this;
+        defaults to ``duration``).
+    kind:
+        PROGRAM or INSTANCE.
+    body:
+        Optional generator factory ``body(job, instance) -> generator``
+        replacing the fixed-duration run (can yield sim events, use
+        CMB handles, request grows, ...).
+    subjobs:
+        For INSTANCE jobs: specs submitted to the child instance at
+        startup.
+    child_policy:
+        For INSTANCE jobs: scheduler policy factory for the child
+        (defaults to the parent's policy class).
+    name:
+        Label for reports.
+    memory_per_core / watts_per_core / exclusive:
+        Forwarded into the :class:`AllocationRequest`.
+    """
+
+    ncores: int
+    duration: float = 0.0
+    walltime: Optional[float] = None
+    kind: JobKind = JobKind.PROGRAM
+    body: Optional[Callable] = None
+    subjobs: list["JobSpec"] = field(default_factory=list)
+    child_policy: Optional[Callable] = None
+    name: str = ""
+    memory_per_core: float = 0.0
+    watts_per_core: float = 0.0
+    exclusive: bool = False
+    #: Run a registered wexec task instead of a fixed duration/body —
+    #: requires the instance to have a comms session (CommsConfig).
+    task: Optional[str] = None
+    task_args: dict = field(default_factory=dict)
+    #: Processes to launch for a ``task`` job (default: one per core).
+    ntasks: Optional[int] = None
+    #: Moldable jobs (paper Challenge 3): the scheduler may start the
+    #: job anywhere in [min_cores, max_cores], trading runtime for an
+    #: earlier start; ``ncores`` remains the preferred size.  ``None``
+    #: on both means rigid.
+    min_cores: Optional[int] = None
+    max_cores: Optional[int] = None
+    #: Malleable jobs may additionally be resized *while running* —
+    #: the instance grows them into idle cores and reclaims cores
+    #: (down to min_cores) to admit queued work.
+    malleable: bool = False
+    #: Amdahl serial fraction for the runtime model of molded/resized
+    #: duration jobs: T(n) = duration * (s + (1-s) * ncores / n).
+    serial_fraction: float = 0.0
+    #: Extra consumable reservations ``((resource_rid, amount), ...)``
+    #: charged with the allocation — e.g. shared-filesystem bandwidth
+    #: for I/O co-scheduling.
+    extra_charges: tuple = ()
+
+    def __post_init__(self):
+        if self.ncores < 1:
+            raise ValueError("ncores must be positive")
+        if self.duration < 0:
+            raise ValueError("duration must be non-negative")
+        if self.walltime is None:
+            self.walltime = self.duration
+        if self.kind == JobKind.INSTANCE and self.body is not None:
+            raise ValueError("INSTANCE jobs take subjobs, not a body")
+        if self.task is not None and (self.body is not None
+                                      or self.kind == JobKind.INSTANCE):
+            raise ValueError("task jobs cannot also have a body/subjobs")
+        if self.malleable and self.min_cores is None:
+            self.min_cores = self.ncores
+        if self.min_cores is not None or self.max_cores is not None:
+            lo = self.min_cores if self.min_cores is not None else self.ncores
+            hi = self.max_cores if self.max_cores is not None else self.ncores
+            if not (1 <= lo <= self.ncores <= hi):
+                raise ValueError(
+                    f"need 1 <= min_cores <= ncores <= max_cores, got "
+                    f"{lo} <= {self.ncores} <= {hi}")
+            if self.body is not None or self.task is not None \
+                    or self.kind == JobKind.INSTANCE:
+                raise ValueError("moldable/malleable shapes apply to "
+                                 "duration jobs only")
+        if not (0.0 <= self.serial_fraction <= 1.0):
+            raise ValueError("serial_fraction must be in [0, 1]")
+
+    @property
+    def is_moldable(self) -> bool:
+        """True when the scheduler may pick the start size."""
+        return self.min_cores is not None or self.max_cores is not None
+
+    def runtime_at(self, granted: int) -> float:
+        """Modelled runtime when running on ``granted`` cores
+        (Amdahl, normalized so ``runtime_at(ncores) == duration``)."""
+        if granted < 1:
+            raise ValueError("granted cores must be positive")
+        s = self.serial_fraction
+        return self.duration * (s + (1.0 - s) * self.ncores / granted)
+
+
+class Job:
+    """One submitted job: spec + lifecycle + timing + allocation."""
+
+    def __init__(self, spec: JobSpec, instance: "FluxInstance"):
+        self.jobid = next(_job_ids)
+        self.spec = spec
+        self.instance = instance
+        self.state = JobState.PENDING
+        self.submit_time: float = instance.sim.now
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+        self.allocation: Optional["Allocation"] = None
+        self.child: Optional["FluxInstance"] = None
+        self.error: Optional[str] = None
+        #: Signalled by the instance when the allocation is resized
+        #: (malleability); the duration runner recomputes its finish.
+        self._resize_ev = None
+
+    # -- timing ------------------------------------------------------
+    @property
+    def wait_time(self) -> Optional[float]:
+        """Queue wait (None until started)."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @property
+    def run_time(self) -> Optional[float]:
+        """Actual runtime (None until finished)."""
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    @property
+    def estimated_end(self) -> float:
+        """Walltime-estimated completion (backfill shadow computation)."""
+        start = self.start_time if self.start_time is not None \
+            else self.instance.sim.now
+        return start + (self.spec.walltime or 0.0)
+
+    @property
+    def done(self) -> bool:
+        """Terminal-state check."""
+        return self.state in (JobState.COMPLETE, JobState.FAILED,
+                              JobState.CANCELLED)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Job {self.jobid} {self.spec.name or self.spec.kind.value}"
+                f" {self.state.value} ncores={self.spec.ncores}>")

@@ -1,0 +1,95 @@
+"""Client-side job submission over the CMB — the ``flux submit`` path.
+
+A :class:`JobClient` wraps a CMB handle and talks to the session's
+``job`` comms module: submit a JSON job spec from *any* node, watch
+state events, wait for completion.  This is how programs running inside
+a Flux instance (workflow managers, ensemble drivers, nested jobs)
+feed work back into the resource manager — recursion being the heart
+of the unified job model.
+"""
+
+from __future__ import annotations
+
+
+from ..cmb.api import Handle
+from ..cmb.message import Message
+from ..sim.kernel import Event
+
+__all__ = ["JobClient"]
+
+#: Job states that end the lifecycle.
+_TERMINAL = {"complete", "failed", "cancelled"}
+
+
+class JobClient:
+    """Submit and track jobs through the ``job`` comms module."""
+
+    def __init__(self, handle: Handle):
+        self.handle = handle
+        self.sim = handle.sim
+        self._states: dict[int, str] = {}
+        self._waiters: dict[int, list[Event]] = {}
+        handle.subscribe("job.state", self._on_state)
+
+    # ------------------------------------------------------------------
+    def submit(self, spec: dict) -> Event:
+        """Submit a JSON job spec; fires with ``{"jobid": ...}``.
+
+        Accepted fields: ``ncores`` (required), ``duration``,
+        ``walltime``, ``name``, ``task``, ``ntasks``, ``task_args``,
+        ``min_cores``, ``max_cores``, ``malleable``,
+        ``serial_fraction``.
+        """
+        return self.handle.rpc("job.submit", dict(spec))
+
+    def info(self, jobid: int) -> Event:
+        """Current state/timing record of a submitted job."""
+        return self.handle.rpc("job.info", {"jobid": jobid})
+
+    def list(self) -> Event:
+        """All jobs submitted through the session's job manager."""
+        return self.handle.rpc("job.list", {})
+
+    def wait(self, jobid: int) -> Event:
+        """Fires with the terminal state string of ``jobid``.
+
+        Event-driven (no polling): resolves immediately if the job
+        already finished, otherwise on its ``job.state`` event.
+        """
+        ev = self.sim.event(name=f"job-wait:{jobid}")
+        state = self._states.get(jobid)
+        if state in _TERMINAL:
+            ev.succeed(state)
+        else:
+            self._waiters.setdefault(jobid, []).append(ev)
+            # The job may have finished before we subscribed: confirm.
+            self.info(jobid).add_callback(
+                lambda e: self._check_info(jobid, e))
+        return ev
+
+    def submit_and_wait(self, spec: dict):
+        """Generator: submit, then wait — ``state = yield from
+        client.submit_and_wait({...})``."""
+        resp = yield self.submit(spec)
+        state = yield self.wait(resp["jobid"])
+        return state
+
+    # ------------------------------------------------------------------
+    def _on_state(self, msg: Message) -> None:
+        jobid = msg.payload["jobid"]
+        state = msg.payload["state"]
+        self._states[jobid] = state
+        if state in _TERMINAL:
+            for ev in self._waiters.pop(jobid, []):
+                if not ev.triggered:
+                    ev.succeed(state)
+
+    def _check_info(self, jobid: int, resp_ev: Event) -> None:
+        if not resp_ev.ok:
+            return
+        state = resp_ev.value.get("state")
+        if state in _TERMINAL:
+            self._states[jobid] = state
+            for ev in self._waiters.pop(jobid, []):
+                if not ev.triggered:
+                    ev.succeed(state)

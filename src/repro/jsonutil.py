@@ -1,0 +1,39 @@
+"""Canonical JSON encoding shared by the CMB and the KVS.
+
+Every CMB message carries a JSON payload frame and every KVS object is
+a JSON document; both the network cost model (message sizes) and the
+content-addressed store (SHA1 of the encoding) need a *canonical*
+byte encoding: deterministic key order, no whitespace.
+
+This mirrors the paper's design, where messages have "a header frame
+and a JSON frame" and KVS objects are "hashed by their SHA1 digests".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["canonical_dumps", "canonical_size", "sha1_of", "json_loads"]
+
+
+def canonical_dumps(obj: Any) -> bytes:
+    """Encode ``obj`` as canonical JSON bytes (sorted keys, compact)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=False).encode("utf-8")
+
+
+def canonical_size(obj: Any) -> int:
+    """Byte length of the canonical encoding (message cost accounting)."""
+    return len(canonical_dumps(obj))
+
+
+def sha1_of(obj: Any) -> str:
+    """Hex SHA1 digest of the canonical encoding — the KVS object id."""
+    return hashlib.sha1(canonical_dumps(obj)).hexdigest()
+
+
+def json_loads(data: bytes | str) -> Any:
+    """Decode JSON produced by :func:`canonical_dumps`."""
+    return json.loads(data)

@@ -1,0 +1,107 @@
+"""The KAP test driver (paper Section V).
+
+KAP "allows a configurable number of producers to write key-value
+objects into our KVS and a configurable number of consumers to read
+these objects after ensuring the consistent KVS state", in four
+phases: **setup** (launch testers, collective barrier), **producer**
+(``kvs_put`` of unique keys), **synchronization** (``kvs_fence`` or
+commit + ``kvs_wait_version``), and **consumer** (``kvs_get`` under a
+configurable access pattern).
+
+:func:`run_kap` builds the simulated cluster and comms session, runs
+every tester process to completion, and returns per-phase latency
+distributions whose maxima are the quantities plotted in Figures 2-4.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cmb.modules.barrier import BarrierModule
+from ..cmb.session import CommsSession, ModuleSpec
+from ..cmb.topology import TreeTopology
+from ..kvs.api import KvsClient
+from ..kvs.module import KvsModule
+from ..sim.cluster import make_cluster
+from .config import KapConfig
+from .patterns import consumer_targets, make_value, object_key, proc_rank_node
+from .results import KapResult
+
+__all__ = ["run_kap"]
+
+
+def run_kap(config: KapConfig,
+            max_events: Optional[int] = None) -> KapResult:
+    """Execute one KAP run and return its measured latencies.
+
+    ``max_events`` optionally bounds the simulation (guards against
+    accidental huge configurations in tests).
+    """
+    cluster = make_cluster(config.nnodes, seed=config.seed)
+    sim = cluster.sim
+    session = CommsSession(
+        cluster,
+        topology=TreeTopology(config.nnodes, arity=config.tree_arity),
+        modules=[ModuleSpec(KvsModule), ModuleSpec(BarrierModule)],
+    ).start()
+
+    result = KapResult(config)
+    nprocs = config.nprocs
+    setup_done: list[float] = []
+
+    def tester(proc_id: int):
+        rank = proc_rank_node(config, proc_id)
+        handle = session.connect(rank)
+        kvs = KvsClient(handle)
+        is_producer = proc_id < config.producers
+        is_consumer = proc_id < config.consumers
+
+        # -- setup phase: synchronized start ---------------------------
+        yield handle.barrier("kap.setup", nprocs)
+        setup_done.append(sim.now)
+
+        # -- producer phase --------------------------------------------
+        t0 = sim.now
+        if is_producer:
+            for j in range(config.nputs):
+                gid = proc_id * config.nputs + j
+                key = object_key(gid, config.dir_width)
+                value = make_value(gid, config.value_size,
+                                   config.redundant_values)
+                yield kvs.put(key, value)
+            result.producer.add(sim.now - t0)
+
+        # -- synchronization phase --------------------------------------
+        t1 = sim.now
+        if config.sync == "fence":
+            yield kvs.fence("kap.sync", nprocs)
+        else:
+            if is_producer:
+                yield kvs.commit()
+            # Every producer commits exactly once, so the state is
+            # complete at root version >= nproducers.
+            yield kvs.wait_version(config.producers)
+        result.sync.add(sim.now - t1)
+
+        # -- consumer phase ----------------------------------------------
+        if is_consumer:
+            t2 = sim.now
+            for gid in consumer_targets(config, proc_id):
+                key = object_key(gid, config.dir_width)
+                value = yield kvs.get(key)
+                assert len(value) == config.value_size
+            result.consumer.add(sim.now - t2)
+
+    procs = [sim.spawn(tester(i), name=f"kap[{i}]")
+             for i in range(nprocs)]
+    all_done = sim.all_of(procs)
+    sim.run(max_events=max_events)
+    if not all_done.triggered:
+        raise RuntimeError("KAP deadlocked: not all testers finished")
+
+    result.setup_time = max(setup_done) if setup_done else 0.0
+    result.total_time = sim.now
+    result.events = sim.event_count
+    result.bytes_sent = cluster.network.total_bytes_sent()
+    session.stop()
+    return result

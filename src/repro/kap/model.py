@@ -1,0 +1,126 @@
+"""Analytic performance models from Section V-B.
+
+The paper derives the consumer-phase model
+
+    ``max latency = log2(C) x T(G)``
+
+where ``C`` is the consumer count and ``T(G)`` the time to replicate
+the ``G``-object working set into one slave cache from its CMB-tree
+parent: with a binary tree of depth ``log2`` of the node count, the
+deepest cache can only fill after every ancestor has, so replication
+times chain down the tree.  The companion geometric-series argument
+shows that if ``G`` doubles whenever ``C`` doubles, latency doubles —
+only a scale-invariant ``G`` yields true logarithmic scaling.
+
+These functions compute the same predictions from our simulator's
+fabric parameters, so benchmarks can print model-vs-measured columns
+(EXPERIMENTS.md records the agreement).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..cmb.message import HEADER_BYTES
+from ..jsonutil import canonical_size
+from ..sim.network import NetworkParams
+from .config import KapConfig
+from .patterns import make_value
+
+__all__ = [
+    "dir_object_bytes", "replication_time", "predict_consumer_latency",
+    "predict_fence_latency", "predict_producer_latency",
+]
+
+#: Approximate canonical-JSON bytes per directory entry: a name like
+#: ``"o12345"`` plus a 40-hex SHA1 reference plus JSON punctuation.
+_DIR_ENTRY_BYTES = 52
+
+
+def dir_object_bytes(nentries: int) -> int:
+    """Approximate wire size of a directory object with ``nentries``."""
+    return 16 + nentries * _DIR_ENTRY_BYTES
+
+
+def replication_time(nbytes: int, params: NetworkParams) -> float:
+    """``T``: one parent-to-child transfer of ``nbytes`` (request +
+    response hops of the fault-in RPC)."""
+    request = (params.per_message_overhead + HEADER_BYTES / params.bandwidth
+               + params.latency)
+    response = (params.per_message_overhead
+                + (HEADER_BYTES + nbytes) / params.bandwidth
+                + params.latency)
+    return request + response
+
+
+def predict_consumer_latency(config: KapConfig,
+                             params: NetworkParams) -> float:
+    """The paper's ``log2(C) x T(G)`` consumer-phase model.
+
+    ``G`` is the number of objects a consumer's directory working set
+    drags through the caches: the whole key set for the single-
+    directory layout, or only the directories its accesses touch for
+    the ``dir_width`` layout.  Per-access local costs (IPC hops and the
+    value objects themselves) are added once the directories are
+    resident.
+    """
+    depth = max(1.0, math.log2(config.nnodes))
+    total = config.total_objects
+    value_bytes = canonical_size(
+        make_value(0, config.value_size, config.redundant_values))
+
+    if config.dir_width is None:
+        dir_bytes = dir_object_bytes(total)
+        ndirs = 1
+    else:
+        dir_bytes = dir_object_bytes(min(config.dir_width, total))
+        ndirs = min(config.naccess,
+                    max(1, math.ceil(total / config.dir_width)))
+
+    t_dirs = replication_time(ndirs * dir_bytes, params)
+    # Unique value objects also fault through the chain once each.
+    t_vals = replication_time(config.naccess * (value_bytes + 16), params)
+    ipc = config.naccess * 2 * (
+        params.ipc_latency + params.per_message_overhead)
+    return depth * (t_dirs + t_vals) + ipc
+
+
+def predict_producer_latency(config: KapConfig,
+                             params: NetworkParams) -> float:
+    """Producer phase: pure write-back, so latency is ``nputs`` local
+    IPC round-trips — independent of the producer count (Figure 2's
+    flat profile)."""
+    value_bytes = canonical_size(
+        make_value(0, config.value_size, config.redundant_values))
+    per_put = (2 * (params.ipc_latency + params.per_message_overhead)
+               + (value_bytes + HEADER_BYTES) / params.ipc_bandwidth)
+    return config.nputs * per_put
+
+
+def predict_fence_latency(config: KapConfig,
+                          params: NetworkParams) -> float:
+    """Fence phase under the tree reduction.
+
+    Unique values: each level of the tree forwards roughly the whole
+    accumulated payload, so the dominant cost is the serialization of
+    ~P x (value + tuple) bytes through the root's children — linear in
+    the producer count.  Redundant values: content objects reduce to
+    one, but the (key, SHA1) tuples still concatenate, leaving a
+    linear term with a much smaller constant — "short of logarithmic",
+    exactly as the paper observes.
+    """
+    p = config.producers * config.nputs
+    value_bytes = canonical_size(
+        make_value(0, config.value_size, config.redundant_values))
+    tuple_bytes = 60  # ["kap.oNNN", "<40-hex sha>"] in canonical JSON
+    if config.redundant_values:
+        payload = value_bytes + p * tuple_bytes
+    else:
+        payload = p * (value_bytes + 50 + tuple_bytes)
+    depth = max(1.0, math.log2(config.nnodes))
+    # Each level re-serializes ~ its subtree's share; summed over the
+    # root's child link this approaches 2x the root payload.
+    wire = 2.0 * payload / params.bandwidth
+    per_level = (params.per_message_overhead + params.latency)
+    # Completion: setroot event floods back down (depth hops).
+    return wire + 2 * depth * per_level

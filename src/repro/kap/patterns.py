@@ -1,0 +1,54 @@
+"""Key naming, value generation and access patterns for KAP."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .config import KapConfig
+
+__all__ = ["object_key", "make_value", "consumer_targets", "proc_rank_node"]
+
+
+def object_key(gid: int, dir_width: Optional[int]) -> str:
+    """KVS key for global object id ``gid``.
+
+    Single-directory layout puts every object directly under ``kap``;
+    the multi-directory layout groups ``dir_width`` objects per
+    subdirectory (the paper's "multiple directories of at most 128
+    objects each").
+    """
+    if dir_width is None:
+        return f"kap.o{gid}"
+    return f"kap.d{gid // dir_width}.o{gid}"
+
+
+def make_value(gid: int, value_size: int, redundant: bool) -> str:
+    """A JSON-string value of exactly ``value_size`` encoded bytes.
+
+    Unique values embed the object id (so no two producers' values
+    collide in the content-addressed store); redundant values are
+    identical across producers and reduce to a single object.
+    """
+    prefix = "R" if redundant else f"u{gid}-"
+    if len(prefix) > value_size:
+        prefix = prefix[:value_size]
+    return prefix + "x" * (value_size - len(prefix))
+
+
+def consumer_targets(config: KapConfig, consumer_id: int) -> list[int]:
+    """Global object ids consumer ``consumer_id`` reads, under the
+    configured stride pattern."""
+    total = config.total_objects
+    if total == 0:
+        return []
+    base = consumer_id * config.stride
+    return [(base + k) % total for k in range(config.naccess)]
+
+
+def proc_rank_node(config: KapConfig, proc: int) -> int:
+    """Session rank hosting tester process ``proc``.
+
+    The paper: "consecutive rank processes are distributed to
+    consecutive nodes" — cyclic placement.
+    """
+    return proc % config.nnodes

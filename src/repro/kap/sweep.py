@@ -1,0 +1,193 @@
+"""Batch parameter sweeps over the KAP space.
+
+The paper: "We ran KAP with varying arguments to its parameters in
+batch mode and collected performance metrics.  Due to the huge
+parameter space, however, we limited our experiments to only a subset
+of the parameter set."  This module is that batch driver: a cartesian
+sweep specification, a runner collecting one metrics row per
+configuration, and CSV output for offline analysis.
+
+Also runnable from the command line::
+
+    python -m repro.kap.sweep --nodes 8,16,32 --value-size 8,512 \\
+        --redundant both -o sweep.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import itertools
+import sys
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, TextIO
+
+from .config import KapConfig
+from .driver import run_kap
+
+__all__ = ["SweepSpec", "run_sweep", "write_csv", "CSV_FIELDS", "main"]
+
+#: Columns of a sweep row, in output order.
+CSV_FIELDS = [
+    "nnodes", "procs_per_node", "nprocs", "value_size", "nputs",
+    "naccess", "stride", "redundant", "dir_width", "sync", "tree_arity",
+    "seed", "max_put_s", "max_fence_s", "max_get_s", "mean_get_s",
+    "total_s", "events", "bytes",
+]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A cartesian product over KAP parameters.
+
+    Every attribute is a tuple of values to sweep; the run set is the
+    full cross product (so keep the lists short, as the paper did).
+    """
+
+    nodes: Sequence[int] = (8, 16, 32)
+    procs_per_node: Sequence[int] = (4,)
+    value_sizes: Sequence[int] = (8, 512)
+    nputs: Sequence[int] = (1,)
+    naccess: Sequence[int] = (1,)
+    strides: Sequence[int] = (1,)
+    redundant: Sequence[bool] = (False,)
+    dir_widths: Sequence[Optional[int]] = (None,)
+    syncs: Sequence[str] = ("fence",)
+    tree_arities: Sequence[int] = (2,)
+    seeds: Sequence[int] = (0,)
+
+    def configs(self) -> Iterable[KapConfig]:
+        """Yield every configuration in the product."""
+        for (nn, ppn, vs, np_, na, st, red, dw, sy, ar, seed) in \
+                itertools.product(self.nodes, self.procs_per_node,
+                                  self.value_sizes, self.nputs,
+                                  self.naccess, self.strides,
+                                  self.redundant, self.dir_widths,
+                                  self.syncs, self.tree_arities,
+                                  self.seeds):
+            yield KapConfig(nnodes=nn, procs_per_node=ppn, value_size=vs,
+                            nputs=np_, naccess=na, stride=st,
+                            redundant_values=red, dir_width=dw, sync=sy,
+                            tree_arity=ar, seed=seed)
+
+    def __len__(self) -> int:
+        return (len(self.nodes) * len(self.procs_per_node)
+                * len(self.value_sizes) * len(self.nputs)
+                * len(self.naccess) * len(self.strides)
+                * len(self.redundant) * len(self.dir_widths)
+                * len(self.syncs) * len(self.tree_arities)
+                * len(self.seeds))
+
+
+def _row(config: KapConfig, result) -> dict:
+    summaries = result.summaries()
+    get = summaries["consumer"]
+    return {
+        "nnodes": config.nnodes,
+        "procs_per_node": config.procs_per_node,
+        "nprocs": config.nprocs,
+        "value_size": config.value_size,
+        "nputs": config.nputs,
+        "naccess": config.naccess,
+        "stride": config.stride,
+        "redundant": int(config.redundant_values),
+        "dir_width": "" if config.dir_width is None else config.dir_width,
+        "sync": config.sync,
+        "tree_arity": config.tree_arity,
+        "seed": config.seed,
+        "max_put_s": result.max_producer_latency,
+        "max_fence_s": result.max_sync_latency,
+        "max_get_s": result.max_consumer_latency,
+        "mean_get_s": get.mean if get is not None else 0.0,
+        "total_s": result.total_time,
+        "events": result.events,
+        "bytes": result.bytes_sent,
+    }
+
+
+def run_sweep(spec: SweepSpec, *, progress: Optional[TextIO] = None
+              ) -> list[dict]:
+    """Run every configuration; returns one metrics row per config."""
+    rows = []
+    total = len(spec)
+    for i, config in enumerate(spec.configs(), 1):
+        result = run_kap(config)
+        rows.append(_row(config, result))
+        if progress is not None:
+            print(f"[{i}/{total}] nodes={config.nnodes} "
+                  f"vsize={config.value_size} "
+                  f"red={int(config.redundant_values)} "
+                  f"fence={result.max_sync_latency * 1e3:.3f}ms",
+                  file=progress)
+    return rows
+
+
+def write_csv(rows: list[dict], out: TextIO) -> None:
+    """Write sweep rows as CSV with the :data:`CSV_FIELDS` columns."""
+    writer = csv.DictWriter(out, fieldnames=CSV_FIELDS)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+
+
+def _parse_list(text: str, cast) -> tuple:
+    return tuple(cast(x) for x in text.split(",") if x != "")
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point: build a SweepSpec from flags, run, emit CSV."""
+    p = argparse.ArgumentParser(
+        prog="python -m repro.kap.sweep",
+        description="Batch-sweep KAP configurations; emit CSV metrics.")
+    p.add_argument("--nodes", default="8,16,32")
+    p.add_argument("--procs-per-node", default="4")
+    p.add_argument("--value-size", default="8,512")
+    p.add_argument("--nputs", default="1")
+    p.add_argument("--naccess", default="1")
+    p.add_argument("--stride", default="1")
+    p.add_argument("--redundant", choices=("no", "yes", "both"),
+                   default="no")
+    p.add_argument("--dir-width", default="",
+                   help="comma list; empty entry = single directory")
+    p.add_argument("--sync", default="fence")
+    p.add_argument("--tree-arity", default="2")
+    p.add_argument("--seeds", default="0")
+    p.add_argument("-o", "--output", default="-",
+                   help="CSV path ('-' = stdout)")
+    p.add_argument("--quiet", action="store_true")
+    args = p.parse_args(argv)
+
+    redundant = {"no": (False,), "yes": (True,),
+                 "both": (False, True)}[args.redundant]
+    dir_widths: tuple = ((None,) if args.dir_width == "" else tuple(
+        None if x == "none" else int(x)
+        for x in args.dir_width.split(",")))
+    spec = SweepSpec(
+        nodes=_parse_list(args.nodes, int),
+        procs_per_node=_parse_list(args.procs_per_node, int),
+        value_sizes=_parse_list(args.value_size, int),
+        nputs=_parse_list(args.nputs, int),
+        naccess=_parse_list(args.naccess, int),
+        strides=_parse_list(args.stride, int),
+        redundant=redundant,
+        dir_widths=dir_widths,
+        syncs=_parse_list(args.sync, str),
+        tree_arities=_parse_list(args.tree_arity, int),
+        seeds=_parse_list(args.seeds, int),
+    )
+    progress = None if args.quiet else sys.stderr
+    rows = run_sweep(spec, progress=progress)
+    if args.output == "-":
+        write_csv(rows, sys.stdout)
+    else:
+        with open(args.output, "w", newline="") as fh:
+            write_csv(rows, fh)
+        if not args.quiet:
+            print(f"wrote {len(rows)} rows to {args.output}",
+                  file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

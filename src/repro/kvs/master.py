@@ -1,0 +1,107 @@
+"""The KVS master: authoritative store and commit engine.
+
+One master lives at the root of the CMB tree ("all updates are applied
+first on the master node at the root").  It owns the authoritative
+object store, the current root SHA1 reference, and the monotonically
+increasing root *version* that the consistency protocol hangs off.
+
+Fence bookkeeping also lives here: a named fence of ``nprocs``
+participants accumulates (key, SHA1) tuples and content objects until
+all contributions arrive, then applies them as a single commit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .hashtree import apply_updates
+from .store import EMPTY_DIR_SHA, ObjectStore
+
+__all__ = ["CommitResult", "FenceState", "KvsMaster"]
+
+
+@dataclass(frozen=True)
+class CommitResult:
+    """Outcome of one master commit: the new root reference/version."""
+
+    root_sha: str
+    version: int
+
+
+@dataclass
+class FenceState:
+    """Accumulator for one named fence at the master."""
+
+    name: str
+    nprocs: int
+    count: int = 0
+    ops: list = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True once every participant's contribution has arrived."""
+        return self.count >= self.nprocs
+
+
+class KvsMaster:
+    """Authoritative KVS state at the session root."""
+
+    def __init__(self):
+        self.store = ObjectStore()
+        self.root_sha: str = EMPTY_DIR_SHA
+        self.version: int = 0
+        self._fences: dict[str, FenceState] = {}
+        self.commits: int = 0
+
+    # ------------------------------------------------------------------
+    def ingest_objects(self, objs: dict[str, dict]) -> None:
+        """Accept content objects flushed from below."""
+        for sha, obj in objs.items():
+            self.store.put_with_sha(sha, obj)
+
+    def commit(self, ops: list[tuple[str, Optional[str]]]) -> CommitResult:
+        """Apply ``(key, val_sha)`` bindings; returns new root + version.
+
+        Every commit produces a fresh root SHA1 and bumps the version
+        even when the resulting tree is unchanged, keeping version
+        numbers a reliable happens-before token.
+        """
+        for _key, sha in ops:
+            if sha is not None and sha not in self.store:
+                raise KeyError(f"commit references unknown object {sha}")
+        self.root_sha = apply_updates(self.store,
+                                      self.root_sha,
+                                      [(k, s) for k, s in ops])
+        self.version += 1
+        self.commits += 1
+        return CommitResult(self.root_sha, self.version)
+
+    # ------------------------------------------------------------------
+    def fence_add(self, name: str, nprocs: int, count: int,
+                  ops: list[tuple[str, Optional[str]]],
+                  objs: dict[str, dict]) -> Optional[CommitResult]:
+        """Fold one (possibly pre-aggregated) fence contribution in.
+
+        Returns the commit result once the fence completes, else None.
+        A completed fence name can be reused afterwards (KAP re-fences
+        every iteration).
+        """
+        st = self._fences.get(name)
+        if st is None:
+            st = self._fences[name] = FenceState(name, nprocs)
+        elif st.nprocs != nprocs:
+            raise ValueError(
+                f"fence {name!r}: inconsistent nprocs "
+                f"({st.nprocs} vs {nprocs})")
+        self.ingest_objects(objs)
+        st.ops.extend(ops)
+        st.count += count
+        if not st.complete:
+            return None
+        del self._fences[name]
+        return self.commit(st.ops)
+
+    def pending_fences(self) -> list[str]:
+        """Names of fences still waiting for contributions."""
+        return list(self._fences)

@@ -1,0 +1,585 @@
+"""The ``kvs`` comms module: master at the root, caching slaves below.
+
+Implements the full Section IV-B protocol:
+
+- **put** — write-back: the value object is hashed and cached locally;
+  the (key, SHA1) tuple is parked per client pending commit.
+- **commit** — flushes a client's dirty tuples/objects upstream hop by
+  hop (each slave on the path caches what passes through) to the
+  master, which applies them and answers with the new root reference;
+  each hop — and finally the client's slave — applies that root before
+  responding, giving read-your-writes consistency.
+- **fence** — the collective commit.  Each slave waits for the fence
+  contributions of its *entire subtree* (local clients plus one
+  aggregate per child), merges them — content objects union by SHA1,
+  so redundant values reduce; (key, SHA1) tuples concatenate, which is
+  why Figure 3's redundant case still falls short of logarithmic —
+  and forwards a single combined contribution to its parent.  The
+  master applies the completed fence and multicasts the new root.
+  When only a subset of a subtree's clients joins a fence, a short
+  aggregation window flushes partial aggregates upstream so the root
+  still reaches the ``nprocs`` total.
+- **get** — resolves hash-tree paths against the currently applied
+  root; objects missing from the slave cache are faulted in from the
+  tree parent, recursively up to the master.  Whole objects transfer,
+  so a small value inside a huge directory drags the whole directory
+  through every cache on the path (the Figure 4a effect).
+- **setroot events** — the master publishes each new root reference on
+  the event plane; slaves apply versions monotonically, release
+  ``wait_version`` waiters, and complete held fences.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..cmb.message import Message
+from ..cmb.module import CommsModule
+from ..jsonutil import sha1_of
+from .cache import SlaveCache
+from .master import KvsMaster
+from .store import (EMPTY_DIR_SHA, dir_entries, is_dir_obj, make_val_obj,
+                    val_of)
+from .hashtree import KvsPathError, split_key
+
+__all__ = ["KvsModule"]
+
+
+class _Dirty:
+    """Per-client uncommitted state (write-back buffer)."""
+
+    __slots__ = ("ops", "objs")
+
+    def __init__(self):
+        self.ops: list[list] = []           # [key, sha|None] pairs
+        self.objs: dict[str, dict] = {}     # sha -> object
+
+
+class _FenceAgg:
+    """Per-name fence aggregation at one slave.
+
+    ``count``/``ops``/``objs`` hold contributions not yet flushed
+    upstream; ``total_seen`` counts everything that ever arrived (the
+    fast-path trigger: flush as soon as the whole subtree has
+    contributed).  When only a subset of the subtree participates in a
+    fence (e.g. two jobs sharing a session), a window timer flushes
+    partial aggregates so the root can still complete the fence.
+    """
+
+    __slots__ = ("name", "nprocs", "count", "ops", "objs", "held",
+                 "total_seen", "timer_armed")
+
+    def __init__(self, name: str, nprocs: int):
+        self.name = name
+        self.nprocs = nprocs
+        self.count = 0
+        self.ops: list[list] = []
+        self.objs: dict[str, dict] = {}
+        self.held: list[Message] = []       # local client fence requests
+        self.total_seen = 0
+        self.timer_armed = False
+
+
+class KvsModule(CommsModule):
+    """Distributed KVS service (see module docstring).
+
+    Config
+    ------
+    expiry:
+        Cache-disuse expiry in simulated seconds, applied on each
+        ``hb.pulse`` event when the heartbeat module is loaded
+        (``None`` disables expiry — the default).
+    """
+
+    name = "kvs"
+
+    def __init__(self, broker, *, expiry: Optional[float] = None,
+                 fence_window: float = 1e-4, name: str = "kvs",
+                 master_rank: int = 0, master_commit_cost: float = 0.0,
+                 master_op_cost: float = 0.0):
+        self.name = name  # instance override: sharded namespaces load
+        # several KvsModule instances under distinct topic heads.
+        super().__init__(broker, expiry=expiry, fence_window=fence_window,
+                         name=name, master_rank=master_rank,
+                         master_commit_cost=master_commit_cost,
+                         master_op_cost=master_op_cost)
+        self.expiry = expiry
+        #: Aggregation window for partial fence flushes (seconds): how
+        #: long a slave waits for more subtree contributions before
+        #: forwarding an incomplete aggregate upstream.
+        self.fence_window = fence_window
+        #: Which session rank hosts this namespace's master.  The paper
+        #: places it at the tree root; the distributed-master extension
+        #: (its stated future work) spreads shard masters across ranks.
+        self.master_rank = master_rank
+        #: Master service-time model: a commit occupies the master for
+        #: ``master_commit_cost + master_op_cost * len(ops)`` simulated
+        #: seconds, serialized FIFO.  Defaults to zero (the paper's
+        #: evaluation is communication-bound); the distributed-master
+        #: ablation sets realistic costs to expose the serialization.
+        self.master_commit_cost = master_commit_cost
+        self.master_op_cost = master_op_cost
+        self._master_queue: list = []
+        self._master_busy = False
+        self.cache = SlaveCache(lambda: broker.sim.now)
+        self.master: Optional[KvsMaster] = (
+            KvsMaster() if broker.rank == master_rank else None)
+        self.root_sha: str = EMPTY_DIR_SHA
+        self.version: int = 0
+        self._dirty: dict[Any, _Dirty] = {}
+        self._fences: dict[str, _FenceAgg] = {}
+        self._loads: dict[str, list[Callable[[Optional[dict]], None]]] = {}
+        self._version_waiters: list[tuple[int, Message]] = []
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.broker.subscribe(f"{self.name}.setroot", self._on_setroot_event)
+        if self.expiry is not None:
+            self.broker.subscribe("hb.pulse", self._on_pulse)
+
+    def _toward_master_cb(self, topic: str, payload: dict, callback) -> None:
+        """Forward a module-chain request one hop toward the master.
+
+        With the master at the root (the paper's layout) this follows
+        the *live* parent pointer, so it keeps working after the
+        overlay self-heals around a dead interior node.  Relocated
+        shard masters (the distributed-master extension) route on the
+        static topology; healing around failures on those paths is out
+        of scope, as root-path fault tolerance was in the paper.
+        """
+        if self.master_rank == 0:
+            self.broker.rpc_parent_cb(topic, payload, callback)
+            return
+        hop = self.broker.session.topology.next_hop_toward(
+            self.rank, self.master_rank)
+        self.broker.rpc_hop_cb(hop, topic, payload, callback)
+
+    def _on_pulse(self, _msg: Message) -> None:
+        self.cache.expire(self.expiry)
+
+    # ------------------------------------------------------------------
+    # master service-time queue
+    # ------------------------------------------------------------------
+    def _master_run(self, nops: int, apply_fn) -> None:
+        """Run ``apply_fn`` on the master after its FIFO service time.
+
+        With zero costs the function runs synchronously, preserving the
+        communication-bound behaviour of the paper's evaluation.
+        """
+        cost = self.master_commit_cost + self.master_op_cost * nops
+        if cost <= 0 and not self._master_busy:
+            apply_fn()
+            return
+        self._master_queue.append((cost, apply_fn))
+        if not self._master_busy:
+            self._master_busy = True
+            self.broker.sim.spawn(self._master_worker(),
+                                  name=f"{self.name}-master[{self.rank}]")
+
+    def _master_worker(self):
+        while self._master_queue:
+            cost, apply_fn = self._master_queue.pop(0)
+            if cost > 0:
+                yield self.broker.sim.timeout(cost)
+            apply_fn()
+        self._master_busy = False
+
+    # ------------------------------------------------------------------
+    # local object plumbing
+    # ------------------------------------------------------------------
+    def _obj_get(self, sha: str) -> Optional[dict]:
+        if self.master is not None:
+            return self.master.store.get(sha)
+        return self.cache.get(sha)
+
+    def _obj_put(self, sha: str, obj: dict, *, pin: bool = False) -> None:
+        if self.master is not None:
+            self.master.store.put_with_sha(sha, obj)
+        else:
+            self.cache.insert(sha, obj, pin=pin)
+
+    def _dirty_for(self, sender: Any) -> _Dirty:
+        d = self._dirty.get(sender)
+        if d is None:
+            d = self._dirty[sender] = _Dirty()
+        return d
+
+    # ------------------------------------------------------------------
+    # put / unlink (write-back)
+    # ------------------------------------------------------------------
+    def req_put(self, msg: Message) -> None:
+        key = msg.payload["key"]
+        value = msg.payload["value"]
+        sender = msg.payload.get("sender", 0)
+        try:
+            split_key(key)
+        except KvsPathError as exc:
+            self.respond(msg, error=str(exc))
+            return
+        obj = make_val_obj(value)
+        sha = sha1_of(obj)
+        self._obj_put(sha, obj, pin=True)
+        d = self._dirty_for(sender)
+        d.ops.append([key, sha])
+        d.objs[sha] = obj
+        self.respond(msg, {"sha": sha})
+
+    def req_unlink(self, msg: Message) -> None:
+        key = msg.payload["key"]
+        sender = msg.payload.get("sender", 0)
+        self._dirty_for(sender).ops.append([key, None])
+        self.respond(msg, {})
+
+    # ------------------------------------------------------------------
+    # in-broker API (other comms modules writing through the KVS,
+    # e.g. wexec stdout capture and resvc resource enumeration)
+    # ------------------------------------------------------------------
+    def local_put(self, sender: Any, key: str, value: Any) -> str:
+        """Write-back a value on behalf of an in-broker service; returns
+        the value object's SHA1."""
+        obj = make_val_obj(value)
+        sha = sha1_of(obj)
+        self._obj_put(sha, obj, pin=True)
+        d = self._dirty_for(sender)
+        d.ops.append([key, sha])
+        d.objs[sha] = obj
+        return sha
+
+    def local_commit(self, sender: Any,
+                     callback: Optional[Callable[[int, str], None]] = None
+                     ) -> None:
+        """Commit an in-broker service's dirty data; ``callback(version,
+        rootref)`` fires after the new root is applied locally."""
+        d = self._dirty.pop(sender, None)
+        ops = d.ops if d else []
+        objs = d.objs if d else {}
+        if self.master is not None:
+            def apply():
+                self.master.ingest_objects(objs)
+                res = self.master.commit([(k, s) for k, s in ops])
+                self._apply_root(res.version, res.root_sha)
+                self._publish_setroot(res.version, res.root_sha)
+                if callback is not None:
+                    callback(res.version, res.root_sha)
+            self._master_run(len(ops), apply)
+            return
+
+        def done(resp: Message) -> None:
+            if resp.error is None:
+                self._apply_root(resp.payload["version"],
+                                 resp.payload["rootref"])
+                if callback is not None:
+                    callback(resp.payload["version"],
+                             resp.payload["rootref"])
+
+        self._forward_flush(ops, objs, done)
+
+    # ------------------------------------------------------------------
+    # commit (single-client flush)
+    # ------------------------------------------------------------------
+    def req_commit(self, msg: Message) -> None:
+        sender = msg.payload.get("sender", 0)
+        d = self._dirty.pop(sender, None)
+        ops = d.ops if d else []
+        objs = d.objs if d else {}
+        if self.master is not None:
+            def apply():
+                self.master.ingest_objects(objs)
+                res = self.master.commit([(k, s) for k, s in ops])
+                self._apply_root(res.version, res.root_sha)
+                self._publish_setroot(res.version, res.root_sha)
+                self.respond(msg, {"version": res.version,
+                                   "rootref": res.root_sha})
+            self._master_run(len(ops), apply)
+            return
+        self._forward_flush(ops, objs,
+                            lambda resp: self._finish_commit(msg, resp))
+
+    def _finish_commit(self, msg: Message, resp: Message) -> None:
+        if resp.error is not None:
+            self.respond(msg, error=resp.error)
+            return
+        # Read-your-writes: apply the commit's root before answering.
+        self._apply_root(resp.payload["version"], resp.payload["rootref"])
+        self.respond(msg, dict(resp.payload))
+
+    def _forward_flush(self, ops: list, objs: dict,
+                       callback: Callable[[Message], None]) -> None:
+        self._toward_master_cb(
+            f"{self.name}.flush", {"ops": ops, "objs": objs}, callback)
+
+    def req_flush(self, msg: Message) -> None:
+        """A commit passing through from a downstream slave."""
+        ops = msg.payload["ops"]
+        objs = msg.payload["objs"]
+        for sha, obj in objs.items():
+            self._obj_put(sha, obj)
+        if self.master is not None:
+            def apply():
+                res = self.master.commit([(k, s) for k, s in ops])
+                self._apply_root(res.version, res.root_sha)
+                self._publish_setroot(res.version, res.root_sha)
+                self.respond(msg, {"version": res.version,
+                                   "rootref": res.root_sha})
+            self._master_run(len(ops), apply)
+            return
+        self._forward_flush(ops, objs,
+                            lambda resp: self._relay_flush(msg, resp))
+
+    def _relay_flush(self, msg: Message, resp: Message) -> None:
+        if resp.error is not None:
+            self.respond(msg, error=resp.error)
+            return
+        self._apply_root(resp.payload["version"], resp.payload["rootref"])
+        self.respond(msg, dict(resp.payload))
+
+    # ------------------------------------------------------------------
+    # fence (collective commit with tree reduction)
+    # ------------------------------------------------------------------
+    def _fence_for(self, name: str, nprocs: int) -> _FenceAgg:
+        agg = self._fences.get(name)
+        if agg is None:
+            agg = self._fences[name] = _FenceAgg(name, nprocs)
+        return agg
+
+    def req_fence(self, msg: Message) -> None:
+        """A local client entering a fence (carries its dirty state)."""
+        name = msg.payload["name"]
+        nprocs = msg.payload["nprocs"]
+        sender = msg.payload.get("sender", 0)
+        d = self._dirty.pop(sender, None)
+        agg = self._fence_for(name, nprocs)
+        agg.held.append(msg)
+        if d is not None:
+            agg.ops.extend(d.ops)
+            for sha, obj in d.objs.items():
+                agg.objs[sha] = obj
+        agg.count += 1
+        agg.total_seen += 1
+        self._maybe_flush_fence(agg)
+
+    def req_fencedata(self, msg: Message) -> None:
+        """A child subtree's aggregated fence contribution."""
+        p = msg.payload
+        agg = self._fence_for(p["name"], p["nprocs"])
+        agg.count += p["count"]
+        agg.total_seen += p["count"]
+        agg.ops.extend(p["ops"])
+        for sha, obj in p["objs"].items():
+            agg.objs[sha] = obj      # union by SHA1: redundancy reduces
+            self._obj_put(sha, obj)
+        self.respond(msg, {})
+        self._maybe_flush_fence(agg)
+
+    def _maybe_flush_fence(self, agg: _FenceAgg) -> None:
+        """Flush the aggregate upstream when complete — or after the
+        aggregation window, so fences joined by only a subset of the
+        subtree's clients (e.g. two jobs sharing a session) still make
+        progress."""
+        expected = self.broker.session.subtree_procs(self.rank)
+        if self.master_rank == 0 and agg.total_seen >= min(expected,
+                                                           agg.nprocs):
+            # Fast path (master at the root, whole session fencing):
+            # the root-ward aggregation matches the subtree counts.
+            self._flush_fence(agg.name)
+        elif not agg.timer_armed:
+            agg.timer_armed = True
+            self.broker.after(self.fence_window,
+                              lambda: self._fence_timer(agg.name))
+
+    def _fence_timer(self, name: str) -> None:
+        agg = self._fences.get(name)
+        if agg is None:
+            return
+        agg.timer_armed = False
+        self._flush_fence(name)
+
+    def _flush_fence(self, name: str) -> None:
+        agg = self._fences.get(name)
+        if agg is None or agg.count == 0:
+            return
+        count, agg.count = agg.count, 0
+        ops, agg.ops = agg.ops, []
+        objs, agg.objs = agg.objs, {}
+        if self.master is not None:
+            def apply():
+                res = self.master.fence_add(agg.name, agg.nprocs, count,
+                                            [(k, s) for k, s in ops], objs)
+                if res is not None:
+                    self._apply_root(res.version, res.root_sha)
+                    self._publish_setroot(res.version, res.root_sha,
+                                          fence=agg.name)
+                    self._release_fence(agg)
+            self._master_run(len(ops), apply)
+            return
+        self._toward_master_cb(
+            f"{self.name}.fencedata",
+            {"name": agg.name, "nprocs": agg.nprocs, "count": count,
+             "ops": ops, "objs": objs},
+            lambda resp: None)
+        # Held client fences answer when the fence's setroot arrives.
+
+    def _release_fence(self, agg: _FenceAgg) -> None:
+        self._fences.pop(agg.name, None)
+        for held in agg.held:
+            self.respond(held, {"version": self.version,
+                                "rootref": self.root_sha})
+
+    # ------------------------------------------------------------------
+    # root-version protocol
+    # ------------------------------------------------------------------
+    def _publish_setroot(self, version: int, root_sha: str,
+                         fence: Optional[str] = None) -> None:
+        payload = {"version": version, "rootref": root_sha}
+        if fence is not None:
+            payload["fence"] = fence
+        self.broker.publish(f"{self.name}.setroot", payload)
+
+    def _apply_root(self, version: int, root_sha: str) -> None:
+        """Monotonic root switch: never apply an older version."""
+        if version <= self.version:
+            return
+        self.version = version
+        self.root_sha = root_sha
+        still = []
+        for wanted, held in self._version_waiters:
+            if self.version >= wanted:
+                self.respond(held, {"version": self.version})
+            else:
+                still.append((wanted, held))
+        self._version_waiters = still
+
+    def _on_setroot_event(self, msg: Message) -> None:
+        p = msg.payload
+        self._apply_root(p["version"], p["rootref"])
+        fence = p.get("fence")
+        if fence is not None:
+            agg = self._fences.get(fence)
+            if agg is not None:
+                # The master completed the fence: every contribution
+                # (including any this node held) was accounted for.
+                self._release_fence(agg)
+
+    def req_getversion(self, msg: Message) -> None:
+        self.respond(msg, {"version": self.version})
+
+    def req_waitversion(self, msg: Message) -> None:
+        wanted = msg.payload["version"]
+        if self.version >= wanted:
+            self.respond(msg, {"version": self.version})
+        else:
+            self._version_waiters.append((wanted, msg))
+
+    def req_getroot(self, msg: Message) -> None:
+        self.respond(msg, {"version": self.version,
+                           "rootref": self.root_sha})
+
+    # ------------------------------------------------------------------
+    # get (with fault-in through the slave-cache chain)
+    # ------------------------------------------------------------------
+    def req_get(self, msg: Message) -> None:
+        self.broker.sim.spawn(self._get_proc(msg),
+                              name=f"kvs-get[{self.rank}]")
+
+    def _get_proc(self, msg: Message):
+        key = msg.payload["key"]
+        want_ref = msg.payload.get("ref", False)
+        root = self.root_sha
+        try:
+            parts = split_key(key)
+        except KvsPathError as exc:
+            self.respond(msg, error=str(exc))
+            return
+        sha = root
+        obj = None
+        try:
+            for i, part in enumerate(parts):
+                obj = self._obj_get(sha)
+                if obj is None:
+                    obj = yield self._fault(sha)
+                if obj is None:
+                    raise KvsPathError(f"object {sha} lost in transit")
+                if not is_dir_obj(obj):
+                    raise KvsPathError(
+                        f"{'.'.join(parts[:i])!r} is not a directory")
+                entries = dir_entries(obj)
+                if part not in entries:
+                    raise KvsPathError(f"key {key!r} not found")
+                sha = entries[part]
+            if want_ref:
+                self.respond(msg, {"ref": sha})
+                return
+            obj = self._obj_get(sha)
+            if obj is None:
+                obj = yield self._fault(sha)
+            if obj is None:
+                raise KvsPathError(f"object {sha} lost in transit")
+            if is_dir_obj(obj):
+                self.respond(msg, {"dir": sorted(dir_entries(obj))})
+            else:
+                self.respond(msg, {"value": val_of(obj)})
+        except KvsPathError as exc:
+            self.respond(msg, error=str(exc))
+
+    def _fault(self, sha: str):
+        """Fault ``sha`` in from the tree parent; in-flight loads for
+        the same object are coalesced.  Returns an event yielding the
+        object (or None on failure)."""
+        ev = self.broker.sim.event(name=f"fault:{sha[:8]}")
+        waiters = self._loads.get(sha)
+        if waiters is not None:
+            waiters.append(lambda obj: ev.succeed(obj))
+            return ev
+        self._loads[sha] = [lambda obj: ev.succeed(obj)]
+        self.cache.stats.faults += 1
+        self._toward_master_cb(f"{self.name}.load", {"sha": sha},
+                               lambda resp: self._fault_done(sha, resp))
+        return ev
+
+    def _fault_done(self, sha: str, resp: Message) -> None:
+        obj = None
+        if resp.error is None:
+            obj = resp.payload.get("obj")
+            if obj is not None:
+                self._obj_put(sha, obj)
+        for fn in self._loads.pop(sha, []):
+            fn(obj)
+
+    def req_load(self, msg: Message) -> None:
+        """A downstream slave faulting an object through us."""
+        sha = msg.payload["sha"]
+        obj = self._obj_get(sha)
+        if obj is not None:
+            self.respond(msg, {"obj": obj})
+            return
+        if self.master is not None:
+            self.respond(msg, error=f"unknown object {sha}")
+            return
+        waiters = self._loads.get(sha)
+        relay = lambda obj: self.respond(
+            msg, {"obj": obj} if obj is not None else None,
+            error=None if obj is not None else f"unknown object {sha}")
+        if waiters is not None:
+            waiters.append(relay)
+            return
+        self._loads[sha] = [relay]
+        self.cache.stats.faults += 1
+        self._toward_master_cb(f"{self.name}.load", {"sha": sha},
+                               lambda resp: self._fault_done(sha, resp))
+
+    # ------------------------------------------------------------------
+    # debugging / administration
+    # ------------------------------------------------------------------
+    def req_stats(self, msg: Message) -> None:
+        self.respond(msg, {
+            "rank": self.rank,
+            "version": self.version,
+            "cache": self.cache.stats.as_dict(),
+            "cached_objects": len(self.cache),
+            "is_master": self.master is not None,
+        })
+
+    def req_dropcache(self, msg: Message) -> None:
+        """Evict every unpinned cache entry (admin/testing hook)."""
+        n = self.cache.expire(-1.0)
+        self.respond(msg, {"evicted": n})

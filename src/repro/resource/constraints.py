@@ -1,0 +1,100 @@
+"""Admission constraints — the paper's "complex, multidimensional
+resource bounds at any scale, from the center-wide level down to the
+level of individual processes".
+
+Constraints attach to a :class:`~repro.resource.pool.ResourcePool`
+(i.e. to one level of the instance hierarchy) and veto allocations
+whose tentative plan would violate a bound.  Power capping itself is
+enforced structurally by POWER consumable capacities; the classes
+here add policy-level bounds on top.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from . import types as rt
+from .pool import AllocationRequest, Constraint, ResourcePool
+
+__all__ = ["MaxCoresPerJob", "MaxNodesPerJob", "PowerBudget",
+           "PredicateConstraint", "NodeSpreadConstraint"]
+
+
+class MaxCoresPerJob(Constraint):
+    """No single allocation may exceed ``limit`` cores."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+
+    def check(self, pool: ResourcePool, request: AllocationRequest,
+              plan: dict[int, list[int]]) -> Optional[str]:
+        total = sum(len(v) for v in plan.values())
+        if total > self.limit:
+            return f"{total} cores exceeds per-job limit {self.limit}"
+        return None
+
+
+class MaxNodesPerJob(Constraint):
+    """No single allocation may span more than ``limit`` nodes."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+
+    def check(self, pool: ResourcePool, request: AllocationRequest,
+              plan: dict[int, list[int]]) -> Optional[str]:
+        if len(plan) > self.limit:
+            return f"{len(plan)} nodes exceeds per-job limit {self.limit}"
+        return None
+
+
+class PowerBudget(Constraint):
+    """A *policy* power budget tighter than the hardware caps.
+
+    Rejects a plan whose projected additional draw would push the
+    total draw charged against a given POWER resource above
+    ``budget_watts`` — dynamic site-wide power management without
+    touching the structural capacities.
+    """
+
+    def __init__(self, power_rid: int, budget_watts: float):
+        self.power_rid = power_rid
+        self.budget_watts = budget_watts
+
+    def check(self, pool: ResourcePool, request: AllocationRequest,
+              plan: dict[int, list[int]]) -> Optional[str]:
+        extra = sum(len(v) for v in plan.values()) * request.watts_per_core
+        power = pool.graph.by_id[self.power_rid]
+        if power.used + extra > self.budget_watts:
+            return (f"power budget: {power.used + extra:.0f} W would "
+                    f"exceed {self.budget_watts:.0f} W")
+        return None
+
+
+class NodeSpreadConstraint(Constraint):
+    """Require the plan to use at least ``min_nodes`` distinct nodes
+    (e.g. for bandwidth-bound jobs that must spread I/O)."""
+
+    def __init__(self, min_nodes: int):
+        self.min_nodes = min_nodes
+
+    def check(self, pool: ResourcePool, request: AllocationRequest,
+              plan: dict[int, list[int]]) -> Optional[str]:
+        if len(plan) < self.min_nodes:
+            return f"plan uses {len(plan)} nodes, needs >= {self.min_nodes}"
+        return None
+
+
+class PredicateConstraint(Constraint):
+    """Wrap an arbitrary callable as a constraint.
+
+    ``fn(pool, request, plan)`` returns a violation string or None —
+    the extensibility hook for site-specific policy.
+    """
+
+    def __init__(self, fn: Callable, label: str = "predicate"):
+        self.fn = fn
+        self.label = label
+
+    def check(self, pool: ResourcePool, request: AllocationRequest,
+              plan: dict[int, list[int]]) -> Optional[str]:
+        return self.fn(pool, request, plan)

@@ -1,0 +1,103 @@
+"""Node placement policies for allocation.
+
+The generalized resource model lets schedulers "allocate resources
+tailored to the disparate limiting factors of HPC applications"
+(Challenge 2).  Placement is one such factor: packing minimizes
+fragmentation for large jobs, spreading maximizes per-node memory and
+bandwidth headroom for I/O-bound ones.
+
+A :class:`PlacementPolicy` orders candidate nodes before the pool's
+first-fit walk; it can be set pool-wide or overridden per request via
+:attr:`~repro.resource.pool.AllocationRequest.node_filter` composition.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from . import types as rt
+from .model import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .pool import ResourcePool
+
+__all__ = ["PlacementPolicy", "FirstFit", "BestFit", "WorstFit",
+           "Pack", "Spread"]
+
+
+class PlacementPolicy:
+    """Orders candidate nodes for the allocation walk."""
+
+    name = "base"
+
+    def order(self, nodes: list[Resource],
+              pool: "ResourcePool") -> list[Resource]:
+        """Return ``nodes`` in visit order (must not mutate input)."""
+        raise NotImplementedError
+
+
+class FirstFit(PlacementPolicy):
+    """Graph order — deterministic, cheap, the paper-era default."""
+
+    name = "first-fit"
+
+    def order(self, nodes: list[Resource],
+              pool: "ResourcePool") -> list[Resource]:
+        return list(nodes)
+
+
+class BestFit(PlacementPolicy):
+    """Fewest free cores first: fills holes, keeping whole nodes free
+    for large/exclusive jobs (anti-fragmentation)."""
+
+    name = "best-fit"
+
+    def order(self, nodes: list[Resource],
+              pool: "ResourcePool") -> list[Resource]:
+        return sorted(nodes,
+                      key=lambda n: (len(pool.free_cores(n.rid)), n.rid))
+
+
+class WorstFit(PlacementPolicy):
+    """Most free cores first: balances load across nodes."""
+
+    name = "worst-fit"
+
+    def order(self, nodes: list[Resource],
+              pool: "ResourcePool") -> list[Resource]:
+        return sorted(nodes,
+                      key=lambda n: (-len(pool.free_cores(n.rid)), n.rid))
+
+
+class Pack(PlacementPolicy):
+    """Partially used nodes first, then empty ones in graph order —
+    like best-fit but keeps the stable ordering within each class."""
+
+    name = "pack"
+
+    def order(self, nodes: list[Resource],
+              pool: "ResourcePool") -> list[Resource]:
+        def klass(n: Resource) -> int:
+            free = len(pool.free_cores(n.rid))
+            total = pool.graph.count(rt.CORE, within=n.rid)
+            if free == 0:
+                return 2          # full: useless, visit last
+            return 0 if free < total else 1
+
+        return sorted(nodes, key=lambda n: (klass(n), n.rid))
+
+
+class Spread(PlacementPolicy):
+    """Completely idle nodes first: maximizes per-node headroom
+    (memory/bandwidth-bound workloads)."""
+
+    name = "spread"
+
+    def order(self, nodes: list[Resource],
+              pool: "ResourcePool") -> list[Resource]:
+        def klass(n: Resource) -> int:
+            free = len(pool.free_cores(n.rid))
+            total = pool.graph.count(rt.CORE, within=n.rid)
+            return 0 if free == total else 1
+
+        return sorted(nodes, key=lambda n: (klass(n), n.rid))

@@ -1,0 +1,250 @@
+"""The generalized resource graph (paper Section III).
+
+"Flux introduces a generalized resource model that is extensible and
+covers any kind of resource and its relationships.  This enables
+scheduling decisions based on many types of resources."
+
+A :class:`ResourceGraph` is a containment tree of typed
+:class:`Resource` vertices (center -> cluster -> rack -> node ->
+socket -> core, with consumables like memory/power/bandwidth attached
+anywhere), plus non-containment edges (e.g. a filesystem *serving* a
+cluster).  Consumable resources carry a ``capacity`` and track
+``used``; structural resources are allocated whole.
+
+The graph serializes to plain JSON so instances can publish their
+resource view into the KVS (the ``resvc`` pattern).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterator, Optional
+
+from . import types as rt
+
+__all__ = ["Resource", "ResourceGraph", "build_cluster_graph"]
+
+
+class Resource:
+    """One vertex of the resource graph.
+
+    Attributes
+    ----------
+    rid:
+        Unique integer id within its graph.
+    rtype:
+        Type string (see :mod:`repro.resource.types` for the built-in
+        vocabulary; any string is legal).
+    name:
+        Human-readable label, unique among siblings.
+    capacity:
+        For consumables: total capacity in the resource's unit
+        (bytes, watts, ...).  ``None`` for structural resources.
+    properties:
+        Free-form metadata (e.g. ``{"ghz": 2.6}``).
+    """
+
+    __slots__ = ("rid", "rtype", "name", "capacity", "used",
+                 "properties", "parent_id", "children_ids", "edges",
+                 "allocated_to")
+
+    def __init__(self, rid: int, rtype: str, name: str,
+                 capacity: Optional[float] = None,
+                 properties: Optional[dict] = None):
+        self.rid = rid
+        self.rtype = rtype
+        self.name = name
+        self.capacity = capacity
+        self.used: float = 0.0
+        self.properties = dict(properties or {})
+        self.parent_id: Optional[int] = None
+        self.children_ids: list[int] = []
+        self.edges: list[tuple[str, int]] = []  # (relation, rid)
+        self.allocated_to: Optional[Any] = None  # jobid for exclusive use
+
+    @property
+    def available(self) -> float:
+        """Remaining consumable capacity (0 for exhausted/structural)."""
+        if self.capacity is None:
+            return 0.0 if self.allocated_to is not None else 1.0
+        return self.capacity - self.used
+
+    def __repr__(self) -> str:  # pragma: no cover
+        cap = f" cap={self.capacity}" if self.capacity is not None else ""
+        return f"<Resource #{self.rid} {self.rtype}:{self.name}{cap}>"
+
+
+class ResourceGraph:
+    """A containment tree of resources with typed cross edges."""
+
+    def __init__(self):
+        self._next_id = itertools.count(0)
+        self.by_id: dict[int, Resource] = {}
+        self.root_id: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, rtype: str, name: str, *,
+            parent: Optional[int] = None,
+            capacity: Optional[float] = None,
+            properties: Optional[dict] = None) -> Resource:
+        """Create a resource; the first one added becomes the root."""
+        rid = next(self._next_id)
+        res = Resource(rid, rtype, name, capacity, properties)
+        self.by_id[rid] = res
+        if parent is None:
+            if self.root_id is not None:
+                raise ValueError("graph already has a root; pass parent=")
+            self.root_id = rid
+        else:
+            parent_res = self.by_id[parent]
+            res.parent_id = parent
+            parent_res.children_ids.append(rid)
+        return res
+
+    def link(self, src: int, relation: str, dst: int) -> None:
+        """Add a non-containment edge (e.g. filesystem ``serves``
+        cluster), enabling relationship-aware scheduling."""
+        self.by_id[src].edges.append((relation, dst))
+
+    # ------------------------------------------------------------------
+    # traversal / query
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> Resource:
+        """The root resource."""
+        if self.root_id is None:
+            raise ValueError("empty resource graph")
+        return self.by_id[self.root_id]
+
+    def children(self, rid: int) -> list[Resource]:
+        """Direct children of ``rid``."""
+        return [self.by_id[c] for c in self.by_id[rid].children_ids]
+
+    def parent(self, rid: int) -> Optional[Resource]:
+        """Parent resource, or None at the root."""
+        pid = self.by_id[rid].parent_id
+        return None if pid is None else self.by_id[pid]
+
+    def ancestors(self, rid: int) -> Iterator[Resource]:
+        """Walk from ``rid``'s parent up to the root."""
+        res = self.parent(rid)
+        while res is not None:
+            yield res
+            res = self.parent(res.rid)
+
+    def subtree(self, rid: Optional[int] = None) -> Iterator[Resource]:
+        """Preorder walk of the subtree (default: whole graph)."""
+        start = self.root_id if rid is None else rid
+        if start is None:
+            return
+        stack = [start]
+        while stack:
+            cur = stack.pop()
+            res = self.by_id[cur]
+            yield res
+            stack.extend(reversed(res.children_ids))
+
+    def find(self, rtype: Optional[str] = None,
+             pred: Optional[Callable[[Resource], bool]] = None,
+             within: Optional[int] = None) -> list[Resource]:
+        """Resources matching a type and/or predicate, optionally
+        restricted to a subtree."""
+        out = []
+        for res in self.subtree(within):
+            if rtype is not None and res.rtype != rtype:
+                continue
+            if pred is not None and not pred(res):
+                continue
+            out.append(res)
+        return out
+
+    def count(self, rtype: str, within: Optional[int] = None) -> int:
+        """Number of resources of ``rtype`` in a subtree."""
+        return len(self.find(rtype, within=within))
+
+    def path_name(self, rid: int) -> str:
+        """Slash path from the root, e.g. ``center/clusterA/rack0/node3``."""
+        parts = [self.by_id[rid].name]
+        for anc in self.ancestors(rid):
+            parts.append(anc.name)
+        return "/".join(reversed(parts))
+
+    # ------------------------------------------------------------------
+    # serialization (for KVS publication)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able dump of the whole graph."""
+        return {
+            "root": self.root_id,
+            "resources": {
+                str(r.rid): {
+                    "type": r.rtype, "name": r.name,
+                    "capacity": r.capacity, "used": r.used,
+                    "parent": r.parent_id, "children": list(r.children_ids),
+                    "edges": [list(e) for e in r.edges],
+                    "properties": r.properties,
+                } for r in self.by_id.values()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResourceGraph":
+        """Rebuild a graph from :meth:`to_dict` output."""
+        graph = cls()
+        graph.root_id = data["root"]
+        max_id = -1
+        for rid_s, rec in data["resources"].items():
+            rid = int(rid_s)
+            res = Resource(rid, rec["type"], rec["name"],
+                           rec["capacity"], rec.get("properties"))
+            res.used = rec.get("used", 0.0)
+            res.parent_id = rec["parent"]
+            res.children_ids = list(rec["children"])
+            res.edges = [tuple(e) for e in rec.get("edges", [])]
+            graph.by_id[rid] = res
+            max_id = max(max_id, rid)
+        graph._next_id = itertools.count(max_id + 1)
+        return graph
+
+
+def build_cluster_graph(name: str, n_racks: int, nodes_per_rack: int, *,
+                        sockets: int = 2, cores_per_socket: int = 8,
+                        memory_bytes: int = 32 * 2**30,
+                        node_watts: float = 300.0,
+                        rack_power_cap: Optional[float] = None,
+                        cluster_power_cap: Optional[float] = None,
+                        parent_graph: Optional[ResourceGraph] = None,
+                        parent_id: Optional[int] = None) -> ResourceGraph:
+    """Build a Zin/Cab-like compute hierarchy with power consumables.
+
+    Each rack and the cluster get a POWER child whose ``capacity`` is
+    the cap (defaulting to the worst-case draw, i.e. no throttling);
+    each node gets a MEMORY child.  Pass ``parent_graph``/``parent_id``
+    to graft the cluster under an existing center graph.
+    """
+    graph = parent_graph or ResourceGraph()
+    cluster = graph.add(rt.CLUSTER, name, parent=parent_id)
+    cluster_watts = (cluster_power_cap if cluster_power_cap is not None
+                     else n_racks * nodes_per_rack * node_watts)
+    graph.add(rt.POWER, f"{name}-power", parent=cluster.rid,
+              capacity=cluster_watts)
+    for rack_i in range(n_racks):
+        rack = graph.add(rt.RACK, f"rack{rack_i}", parent=cluster.rid)
+        rack_watts = (rack_power_cap if rack_power_cap is not None
+                      else nodes_per_rack * node_watts)
+        graph.add(rt.POWER, f"rack{rack_i}-power", parent=rack.rid,
+                  capacity=rack_watts)
+        for node_i in range(nodes_per_rack):
+            node_idx = rack_i * nodes_per_rack + node_i
+            node = graph.add(rt.NODE, f"node{node_idx:04d}",
+                             parent=rack.rid,
+                             properties={"index": node_idx})
+            graph.add(rt.MEMORY, "ram", parent=node.rid,
+                      capacity=float(memory_bytes))
+            for s in range(sockets):
+                sock = graph.add(rt.SOCKET, f"socket{s}", parent=node.rid)
+                for c in range(cores_per_socket):
+                    graph.add(rt.CORE, f"core{c}", parent=sock.rid)
+    return graph

@@ -1,0 +1,104 @@
+"""Projection of an allocation into a child instance's resource graph.
+
+The job hierarchy's *parent bounding rule* says "the parent job grants
+and confines the resource allocation of all of its children", and the
+*child empowerment rule* delegates ownership of that slice.  We realize
+this by *projecting* a parent-pool allocation into a brand-new
+:class:`~repro.resource.model.ResourceGraph` containing only the
+granted nodes/cores (plus proportional consumable shares).  The child
+instance schedules against its own graph and physically cannot exceed
+the grant.
+
+:func:`graft_allocation` extends an existing projection when the
+parent grants a *grow* (the elasticity model).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import types as rt
+from .model import Resource, ResourceGraph
+from .pool import Allocation
+
+__all__ = ["project_allocation", "graft_allocation"]
+
+
+def project_allocation(graph: ResourceGraph, alloc: Allocation,
+                       name: str = "grant",
+                       power_cap: Optional[float] = None) -> ResourceGraph:
+    """Build the child-instance view of ``alloc``.
+
+    The projection is rooted at a CLUSTER named ``name`` holding one
+    POWER consumable (capped at ``power_cap`` or the grant's estimated
+    worst-case draw) and a copy of every granted node with exactly the
+    granted cores.  Node memory capacity is scaled by the granted
+    fraction of the node's cores.  The ``index`` property is preserved,
+    so the child can still map nodes to simulator/cluster ids.
+    """
+    child = ResourceGraph()
+    root = child.add(rt.CLUSTER, name)
+    ncores = alloc.ncores
+    watts = alloc.request.watts_per_core * ncores
+    child.add(rt.POWER, f"{name}-power", parent=root.rid,
+              capacity=power_cap if power_cap is not None else max(watts, 1.0))
+    for node_rid in sorted(alloc.cores):
+        _copy_node(graph, child, root.rid, node_rid, alloc.cores[node_rid])
+    return child
+
+
+def graft_allocation(graph: ResourceGraph, child: ResourceGraph,
+                     new_cores: dict[int, list[int]]) -> int:
+    """Graft additional granted cores into an existing projection.
+
+    ``new_cores`` maps parent node rids to newly granted core rids;
+    nodes already present in the child gain cores, new nodes are
+    copied in.  Returns the number of cores added.
+    """
+    root_id = child.root_id
+    assert root_id is not None
+    added = 0
+    by_index = {res.properties.get("index"): res
+                for res in child.find(rt.NODE)}
+    for node_rid, core_rids in new_cores.items():
+        parent_node = graph.by_id[node_rid]
+        index = parent_node.properties.get("index", node_rid)
+        existing = by_index.get(index)
+        if existing is None:
+            _copy_node(graph, child, root_id, node_rid, core_rids)
+            added += len(core_rids)
+        else:
+            sockets = child.find(rt.SOCKET, within=existing.rid)
+            target = sockets[0].rid if sockets else existing.rid
+            for i, _crid in enumerate(core_rids):
+                child.add(rt.CORE, f"grown{existing.rid}-{i}", parent=target)
+                added += 1
+    return added
+
+
+def _copy_node(graph: ResourceGraph, child: ResourceGraph, root_id: int,
+               node_rid: int, core_rids: list[int]) -> None:
+    node = graph.by_id[node_rid]
+    total_cores = graph.count(rt.CORE, within=node_rid)
+    frac = len(core_rids) / max(total_cores, 1)
+    new_node = child.add(rt.NODE, node.name, parent=root_id,
+                         properties=dict(node.properties))
+    mems = graph.find(rt.MEMORY, within=node_rid)
+    if mems:
+        child.add(rt.MEMORY, "ram", parent=new_node.rid,
+                  capacity=mems[0].capacity * frac
+                  if mems[0].capacity else None)
+    # Group granted cores under the sockets they came from, when known.
+    by_socket: dict[Optional[int], list[int]] = {}
+    for crid in core_rids:
+        core = graph.by_id[crid]
+        by_socket.setdefault(core.parent_id, []).append(crid)
+    for s_i, (sock_rid, crids) in enumerate(sorted(
+            by_socket.items(), key=lambda kv: (kv[0] is None, kv[0]))):
+        sock_name = (graph.by_id[sock_rid].name
+                     if sock_rid is not None and
+                     graph.by_id[sock_rid].rtype == rt.SOCKET
+                     else f"socket{s_i}")
+        new_sock = child.add(rt.SOCKET, sock_name, parent=new_node.rid)
+        for crid in crids:
+            child.add(rt.CORE, graph.by_id[crid].name, parent=new_sock.rid)

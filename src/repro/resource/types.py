@@ -1,0 +1,39 @@
+"""Resource type vocabulary for the generalized resource model.
+
+The paper's resource model "is extensible and covers any kind of
+resource and its relationships", beyond the traditional flat node
+list: compute hierarchy (cluster/rack/node/socket/core), consumables
+(memory, power, bandwidth), and site-wide shared services (parallel
+file systems).  Types are plain strings so user code can introduce new
+kinds without touching this module; the constants below are the
+vocabulary the built-in builders and schedulers use.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CLUSTER", "RACK", "NODE", "SOCKET", "CORE", "MEMORY", "GPU",
+    "POWER", "FILESYSTEM", "BANDWIDTH", "SWITCH", "CENTER",
+    "STRUCTURAL_TYPES", "CONSUMABLE_TYPES",
+]
+
+CENTER = "center"            #: an entire HPC facility (Flux's purview)
+CLUSTER = "cluster"          #: one machine/partition
+RACK = "rack"                #: a rack of nodes (power-capping level)
+NODE = "node"                #: a host
+SOCKET = "socket"            #: a CPU package
+CORE = "core"                #: one schedulable core
+GPU = "gpu"                  #: an accelerator
+SWITCH = "switch"            #: a network switch
+
+MEMORY = "memory"            #: bytes of RAM (consumable)
+POWER = "power"              #: watts (consumable, hierarchical caps)
+FILESYSTEM = "filesystem"    #: a shared parallel file system
+BANDWIDTH = "bandwidth"      #: I/O or network bandwidth (consumable)
+
+#: Types that form the containment hierarchy.
+STRUCTURAL_TYPES = frozenset(
+    {CENTER, CLUSTER, RACK, NODE, SOCKET, CORE, GPU, SWITCH, FILESYSTEM})
+
+#: Types whose capacity is divisibly consumed by allocations.
+CONSUMABLE_TYPES = frozenset({MEMORY, POWER, BANDWIDTH})

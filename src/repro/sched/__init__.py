@@ -1,0 +1,25 @@
+"""Hierarchical, policy-pluggable scheduling (paper Sections II-III).
+
+Queues (:mod:`.queue`), policies — FCFS, SJF, EASY backfill —
+(:mod:`.policy`) and scheduler decision-cost models that make the
+scheduler-parallelism trade-off measurable (:mod:`.overhead`).
+The execution engine lives in :mod:`repro.core.instance`.
+"""
+
+from .gantt import gantt, utilization_sparkline
+from .metrics import ScheduleReport, bounded_slowdown, report
+from .overhead import AffineCostModel, SchedCostModel, ZeroCostModel
+from .policy import (EasyBackfillPolicy, FcfsPolicy, SchedulerPolicy,
+                     SjfPolicy, admit_cores)
+from .queue import JobQueue
+from .workload import (batch_mix, burst_waves, ensemble_burst, merge,
+                       replay)
+
+__all__ = [
+    "gantt", "utilization_sparkline",
+    "ScheduleReport", "bounded_slowdown", "report",
+    "AffineCostModel", "SchedCostModel", "ZeroCostModel",
+    "EasyBackfillPolicy", "FcfsPolicy", "SchedulerPolicy", "SjfPolicy",
+    "admit_cores", "JobQueue",
+    "batch_mix", "burst_waves", "ensemble_burst", "merge", "replay",
+]

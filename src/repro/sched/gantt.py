@@ -1,0 +1,89 @@
+"""Text Gantt charts for instance schedules.
+
+Renders a finished (or in-flight) Flux instance's job timeline as
+aligned ASCII — wait time as dots, runtime as bars — so examples and
+debugging sessions can *see* backfill holes, elasticity resizes, and
+hierarchy effects without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.instance import FluxInstance
+    from ..core.job import Job
+
+__all__ = ["gantt", "utilization_sparkline"]
+
+#: Glyphs: queued wait, running, the submit marker.
+_WAIT, _RUN, _SUBMIT = ".", "#", "|"
+
+
+def gantt(instance: "FluxInstance", *, width: int = 72,
+          max_jobs: int = 40,
+          name_width: int = 12,
+          horizon: Optional[float] = None) -> str:
+    """Render the instance's jobs as an ASCII Gantt chart.
+
+    One row per job (submission order, truncated to ``max_jobs``):
+    ``|`` marks submission, ``.`` the queued wait, ``#`` the runtime.
+    The time axis spans ``[0, horizon]`` (default: the makespan).
+    """
+    jobs = sorted(instance.jobs.values(), key=lambda j: j.submit_time)
+    if not jobs:
+        return "(no jobs)"
+    end = horizon if horizon is not None else max(
+        instance.makespan(), instance.sim.now, 1e-9)
+    scale = width / end
+
+    def col(t: float) -> int:
+        return max(0, min(width - 1, int(t * scale)))
+
+    lines = [f"{'job':<{name_width}} 0{'':{width - 2}}{end:.6g}s"]
+    shown = jobs[:max_jobs]
+    for job in shown:
+        row = [" "] * width
+        sub = col(job.submit_time)
+        start = job.start_time
+        stop = job.end_time if job.end_time is not None \
+            else instance.sim.now
+        if start is not None:
+            for c in range(col(job.submit_time), col(start)):
+                row[c] = _WAIT
+            for c in range(col(start), col(stop) + 1):
+                row[c] = _RUN
+        else:
+            for c in range(sub, width):
+                row[c] = _WAIT
+        row[sub] = _SUBMIT
+        label = (job.spec.name or f"job{job.jobid}")[:name_width]
+        lines.append(f"{label:<{name_width}} {''.join(row)}")
+    if len(jobs) > max_jobs:
+        lines.append(f"... {len(jobs) - max_jobs} more jobs not shown")
+    lines.append(f"{'':{name_width}} |=submit  .=queued  #=running")
+    return "\n".join(lines)
+
+
+def utilization_sparkline(instance: "FluxInstance", *, width: int = 72,
+                          horizon: Optional[float] = None) -> str:
+    """A one-line core-utilization profile over time.
+
+    Reconstructs busy cores from job start/end records and renders
+    eight-level block characters; resizes (malleability) appear only
+    as their start/end average, since per-resize history is not kept.
+    """
+    jobs = [j for j in instance.jobs.values() if j.start_time is not None]
+    end = horizon if horizon is not None else max(
+        instance.makespan(), instance.sim.now, 1e-9)
+    total = instance.pool.total_cores()
+    levels = " ▁▂▃▄▅▆▇█"
+    cells = []
+    for i in range(width):
+        t = (i + 0.5) * end / width
+        busy = sum(j.spec.ncores for j in jobs
+                   if j.start_time <= t
+                   and (j.end_time is None or t < j.end_time))
+        frac = min(busy / total, 1.0) if total else 0.0
+        cells.append(levels[round(frac * (len(levels) - 1))])
+    return "".join(cells)

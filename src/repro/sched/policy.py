@@ -1,0 +1,157 @@
+"""Scheduling policies.
+
+A policy answers one question per scheduling pass: *which pending jobs
+should be started right now, in what order?*  The Flux instance
+(:mod:`repro.core.instance`) owns execution; policies only decide.
+This is the paper's per-level specialization hook — every instance in
+the job hierarchy can run a different policy over its own resource
+subset.
+
+Implemented: FCFS (head-of-line blocking), shortest-job-first, and
+EASY backfill (head job gets a shadow-time reservation; later jobs may
+jump ahead only if they cannot delay it).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.instance import FluxInstance
+    from ..core.job import Job
+
+__all__ = ["SchedulerPolicy", "FcfsPolicy", "SjfPolicy",
+           "EasyBackfillPolicy", "admit_cores"]
+
+
+def admit_cores(job: "Job") -> int:
+    """Cores a policy must find before selecting ``job``: the minimum
+    feasible size for moldable jobs, the full request otherwise."""
+    spec = job.spec
+    if spec.is_moldable and spec.min_cores is not None:
+        return spec.min_cores
+    return spec.ncores
+
+
+class SchedulerPolicy:
+    """Base policy: override :meth:`select`."""
+
+    #: Human-readable policy name (benchmark tables).
+    name = "base"
+
+    def select(self, instance: "FluxInstance",
+               pending: list["Job"]) -> list["Job"]:
+        """Jobs to attempt to start now, in order.
+
+        The instance tries each in order; a failed allocation for a
+        selected job simply skips it this pass (the policy's ordering
+        already encodes any blocking semantics).
+        """
+        raise NotImplementedError
+
+
+class FcfsPolicy(SchedulerPolicy):
+    """First-come first-served with head-of-line blocking: start queue
+    prefixes only — if a job doesn't fit, nothing behind it starts."""
+
+    name = "fcfs"
+
+    def select(self, instance: "FluxInstance",
+               pending: list["Job"]) -> list["Job"]:
+        out = []
+        free = instance.pool.total_free_cores()
+        for job in pending:
+            if admit_cores(job) > free:
+                break
+            out.append(job)
+            free -= admit_cores(job)
+        return out
+
+
+class SjfPolicy(SchedulerPolicy):
+    """Shortest (estimated) job first — no blocking, pure greed.
+
+    Starvation-prone on purpose; useful as a baseline in the ablation
+    benches.
+    """
+
+    name = "sjf"
+
+    def select(self, instance: "FluxInstance",
+               pending: list["Job"]) -> list["Job"]:
+        order = sorted(pending, key=lambda j: j.spec.walltime)
+        out = []
+        free = instance.pool.total_free_cores()
+        for job in order:
+            if admit_cores(job) <= free:
+                out.append(job)
+                free -= admit_cores(job)
+        return out
+
+
+class EasyBackfillPolicy(SchedulerPolicy):
+    """EASY (aggressive) backfill.
+
+    The head job gets a reservation at the *shadow time* — the earliest
+    instant enough cores free up given running jobs' walltime
+    estimates.  A later job may start now only if it fits in the
+    currently free cores **and** either finishes before the shadow time
+    or uses only cores beyond the head job's need ("extra" cores).
+    """
+
+    name = "easy"
+
+    def select(self, instance: "FluxInstance",
+               pending: list["Job"]) -> list["Job"]:
+        queue = list(pending)
+        out: list["Job"] = []
+        now = instance.sim.now
+        free = instance.pool.total_free_cores()
+        releases = [(job.estimated_end, job.spec.ncores)
+                    for job in instance.running_jobs()]
+
+        # Phase 1: start the longest queue prefix that fits, tracking
+        # the virtual release schedule of everything we start.
+        while queue and admit_cores(queue[0]) <= free:
+            job = queue.pop(0)
+            out.append(job)
+            free -= admit_cores(job)
+            releases.append((now + (job.spec.walltime or 0.0),
+                             admit_cores(job)))
+        if not queue:
+            return out
+
+        # Phase 2: the head is blocked — compute its reservation.
+        head = queue.pop(0)
+        shadow, extra = self._shadow(head, free, releases)
+        if shadow == float("inf"):
+            # Nothing ever frees enough cores under current estimates:
+            # the head can never be reserved, so refuse to backfill
+            # rather than starve it indefinitely.
+            return out
+
+        # Phase 3: backfill anything that cannot delay the reservation.
+        avail = free
+        for job in queue:
+            need = admit_cores(job)
+            if need > avail:
+                continue
+            fits_time = now + (job.spec.walltime or 0.0) <= shadow
+            fits_extra = need <= extra
+            if fits_time or fits_extra:
+                out.append(job)
+                avail -= need
+                if fits_extra and not fits_time:
+                    extra -= need
+        return out
+
+    @staticmethod
+    def _shadow(head: "Job", free: int,
+                releases: list[tuple[float, int]]) -> tuple[float, int]:
+        """(shadow time, extra cores at shadow time) for the head job."""
+        avail = free
+        for end, ncores in sorted(releases):
+            avail += ncores
+            if avail >= head.spec.ncores:
+                return end, avail - head.spec.ncores
+        return float("inf"), 0

@@ -1,0 +1,48 @@
+"""Job queues for instance schedulers."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.job import Job
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """An ordered queue of pending jobs.
+
+    Insertion order is FIFO; an optional ``priority_fn`` re-sorts on
+    every snapshot (stable, so equal priorities stay submission-
+    ordered).  Policies receive snapshots and pick what to start.
+    """
+
+    def __init__(self, priority_fn: Optional[Callable[["Job"], float]] = None):
+        self._jobs: list["Job"] = []
+        self.priority_fn = priority_fn
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator["Job"]:
+        return iter(self.snapshot())
+
+    def push(self, job: "Job") -> None:
+        """Enqueue a pending job."""
+        self._jobs.append(job)
+
+    def remove(self, job: "Job") -> None:
+        """Drop a job (started or cancelled)."""
+        self._jobs.remove(job)
+
+    def snapshot(self) -> list["Job"]:
+        """Current queue order (priority-sorted when configured)."""
+        if self.priority_fn is None:
+            return list(self._jobs)
+        return sorted(self._jobs, key=self.priority_fn)
+
+    def head(self) -> Optional["Job"]:
+        """The job a blocking policy would start next."""
+        snap = self.snapshot()
+        return snap[0] if snap else None

@@ -1,0 +1,146 @@
+"""Synthetic workload generation.
+
+Section II motivates Flux with workloads that are "diverse, dynamic,
+and large ... moving away from individual monolithic jobs" toward
+ensembles.  This module generates the corresponding job streams for
+the scheduler benches and examples:
+
+- classic batch mixes (power-of-two sizes, heavy-tailed runtimes,
+  Poisson arrivals),
+- UQ-style ensembles (many small identical members, arriving together),
+- burst patterns (waves of short jobs on top of a base load).
+
+All generators take an explicit ``random.Random`` (or seed) so
+workloads are reproducible, and return ``(arrival_time, JobSpec)``
+pairs sorted by arrival.  :func:`replay` feeds such a stream into a
+:class:`~repro.core.instance.FluxInstance` at the right simulated
+times.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Union
+
+from ..core.job import JobKind, JobSpec
+from ..sim.kernel import Simulation
+
+__all__ = ["batch_mix", "ensemble_burst", "burst_waves", "merge",
+           "replay", "Arrival"]
+
+#: One workload element: (arrival time in seconds, spec).
+Arrival = tuple[float, JobSpec]
+
+
+def _rng(seed_or_rng: Union[int, random.Random]) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+def batch_mix(njobs: int, *, seed: Union[int, random.Random] = 0,
+              mean_interarrival: float = 2.0,
+              sizes: Iterable[int] = (1, 2, 4, 8, 16, 32, 64),
+              min_duration: float = 1.0,
+              max_duration: float = 600.0,
+              walltime_slack: float = 2.0,
+              name_prefix: str = "batch") -> list[Arrival]:
+    """A classic HPC batch stream.
+
+    Poisson arrivals; power-of-two core counts (small sizes more
+    likely, weight 1/size); log-uniform runtimes; walltime estimates
+    padded by up to ``walltime_slack``x (users over-estimate) — the
+    over-estimation is what makes EASY backfill interesting.
+    """
+    import math
+    rng = _rng(seed)
+    sizes = list(sizes)
+    weights = [1.0 / s for s in sizes]
+    out: list[Arrival] = []
+    t = 0.0
+    for i in range(njobs):
+        t += rng.expovariate(1.0 / mean_interarrival)
+        ncores = rng.choices(sizes, weights=weights)[0]
+        duration = math.exp(rng.uniform(math.log(min_duration),
+                                        math.log(max_duration)))
+        walltime = duration * rng.uniform(1.0, walltime_slack)
+        out.append((t, JobSpec(ncores=ncores, duration=duration,
+                               walltime=walltime,
+                               name=f"{name_prefix}{i}")))
+    return out
+
+
+def ensemble_burst(nmembers: int, *, at: float = 0.0,
+                   seed: Union[int, random.Random] = 0,
+                   member_cores: int = 8,
+                   min_duration: float = 2.0,
+                   max_duration: float = 10.0,
+                   as_instance: Optional[int] = None,
+                   name_prefix: str = "uq") -> list[Arrival]:
+    """A UQ-style ensemble: ``nmembers`` near-identical small jobs
+    arriving at once.
+
+    With ``as_instance=<ncores>`` the ensemble is wrapped into a single
+    nested-instance job of that size (the unified-job-model shape);
+    otherwise members are submitted individually.
+    """
+    rng = _rng(seed)
+    members = [JobSpec(ncores=member_cores,
+                       duration=rng.uniform(min_duration, max_duration),
+                       name=f"{name_prefix}{i}")
+               for i in range(nmembers)]
+    if as_instance is None:
+        return [(at, m) for m in members]
+    wrapper = JobSpec(ncores=as_instance, kind=JobKind.INSTANCE,
+                      subjobs=members, name=f"{name_prefix}-ensemble",
+                      walltime=sum(m.duration for m in members))
+    return [(at, wrapper)]
+
+
+def burst_waves(nwaves: int, jobs_per_wave: int, *,
+                seed: Union[int, random.Random] = 0,
+                first_at: float = 0.0, spacing: float = 30.0,
+                jitter: float = 1.0, ncores: int = 4,
+                min_duration: float = 0.5, max_duration: float = 2.0,
+                name_prefix: str = "wave") -> list[Arrival]:
+    """Waves of short small jobs (interactive/debug traffic)."""
+    rng = _rng(seed)
+    out: list[Arrival] = []
+    for w in range(nwaves):
+        base = first_at + w * spacing
+        for j in range(jobs_per_wave):
+            out.append((base + rng.uniform(0, jitter),
+                        JobSpec(ncores=ncores,
+                                duration=rng.uniform(min_duration,
+                                                     max_duration),
+                                name=f"{name_prefix}{w}.{j}")))
+    return sorted(out, key=lambda a: a[0])
+
+
+def merge(*streams: list[Arrival]) -> list[Arrival]:
+    """Interleave workload streams by arrival time (stable)."""
+    out: list[Arrival] = []
+    for stream in streams:
+        out.extend(stream)
+    return sorted(out, key=lambda a: a[0])
+
+
+def replay(sim: Simulation, instance, workload: list[Arrival]):
+    """Submit ``workload`` into ``instance`` at the right times.
+
+    Returns the submitter Process; the list of created Jobs (in
+    arrival order) is the process's value when it completes.
+    """
+    ordered = sorted(workload, key=lambda a: a[0])
+
+    def submitter():
+        jobs = []
+        last = sim.now
+        for at, spec in ordered:
+            if at > last:
+                yield sim.timeout(at - last)
+                last = at
+            jobs.append(instance.submit(spec))
+        return jobs
+
+    return sim.spawn(submitter(), name="workload-replay")

@@ -1,0 +1,483 @@
+"""Deterministic discrete-event simulation kernel.
+
+This module is the foundation of the reproduction: every Flux run-time
+component (CMB brokers, KVS masters/slaves, KAP tester processes, jobs)
+runs as a coroutine *process* on top of this kernel, and all latencies
+reported by the benchmark harness are simulated-time measurements taken
+here.
+
+The design is a small, self-contained SimPy-style engine:
+
+- :class:`Event` — a one-shot occurrence that processes can wait on.
+- :class:`Timeout` — an event that fires after a simulated delay.
+- :class:`Process` — a generator-based coroutine; yielding an event
+  suspends the process until the event fires.  A process is itself an
+  event that fires when the generator returns, so processes can join
+  each other.
+- :class:`Simulation` — the event loop.  Time is a float (seconds).
+
+Determinism: the ready queue is a heap ordered by ``(time, priority,
+sequence)`` where ``sequence`` is a monotonically increasing insertion
+counter, so simultaneous events always run in the order they were
+scheduled.  Combined with a single seeded RNG (:attr:`Simulation.rng`)
+a run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Channel",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "Simulation",
+    "PRIORITY_URGENT",
+    "PRIORITY_NORMAL",
+    "PRIORITY_LOW",
+]
+
+#: Scheduling priorities for events that fire at the same instant.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+PRIORITY_LOW = 2
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class Interrupt(SimulationError):
+    """Raised inside a process that has been interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(f"process interrupted: {cause!r}")
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that coroutine processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` (or :meth:`fail`)
+    schedules it, after which all registered callbacks run at the
+    trigger time.  Waiting processes resume with the event's value (or
+    have the failure exception thrown into them).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_state", "name",
+                 "_dead")
+
+    PENDING = 0
+    TRIGGERED = 1  # scheduled, callbacks not yet run
+    PROCESSED = 2  # callbacks have run
+
+    def __init__(self, sim: "Simulation", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._state = Event.PENDING
+        self._dead = False
+
+    # -- inspection ---------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._state != Event.PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._state == Event.PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event fired successfully (valid once triggered)."""
+        return self.triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with.
+
+        Raises :class:`SimulationError` if the event is still pending.
+        """
+        if not self.triggered:
+            raise SimulationError(f"value of untriggered event {self!r}")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # -- triggering ---------------------------------------------------
+    def succeed(self, value: Any = None, *, delay: float = 0.0,
+                priority: int = PRIORITY_NORMAL) -> "Event":
+        """Fire the event successfully with ``value`` after ``delay``."""
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._value = value
+        self._state = Event.TRIGGERED
+        self.sim._schedule(self, delay=delay, priority=priority)
+        return self
+
+    def fail(self, exc: BaseException, *, delay: float = 0.0,
+             priority: int = PRIORITY_NORMAL) -> "Event":
+        """Fire the event as a failure: ``exc`` is thrown into waiters."""
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._exc = exc
+        self._state = Event.TRIGGERED
+        self.sim._schedule(self, delay=delay, priority=priority)
+        return self
+
+    def abandon(self) -> None:
+        """Discard a scheduled event: its callbacks never run and the
+        clock does not advance to its firing time (the loop skips dead
+        heap entries without touching ``now``).  Used to cancel the
+        loser of an any_of race — e.g. a duration job's superseded
+        completion timeout after a malleable resize."""
+        self._dead = True
+        self.callbacks = None
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event fires (immediately if done)."""
+        if self._state == Event.PROCESSED:
+            fn(self)
+        else:
+            assert self.callbacks is not None
+            self.callbacks.append(fn)
+
+    def _run_callbacks(self) -> None:
+        self._state = Event.PROCESSED
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} at t={self.sim.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulation", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay}")
+        super().__init__(sim, name=f"timeout({delay:g})")
+        self.delay = delay
+        self._value = value
+        self._state = Event.TRIGGERED
+        sim._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """A coroutine driven by the simulation.
+
+    Wraps a generator that yields :class:`Event` objects.  Each yield
+    suspends the process until the yielded event fires; the event's
+    value becomes the result of the ``yield`` expression.  When the
+    generator returns, the process — which is itself an event — fires
+    with the generator's return value, so other processes can wait for
+    (join) it.
+    """
+
+    __slots__ = ("gen", "_waiting_on", "contain")
+
+    def __init__(self, sim: "Simulation", gen: Generator, name: str = "",
+                 *, contain: bool = False):
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        self.gen = gen
+        self.contain = contain
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: start executing at the current time.
+        boot = Event(sim, name=f"start:{self.name}")
+        boot._value = None
+        boot._state = Event.TRIGGERED
+        boot.add_callback(self._resume)
+        sim._schedule(boot, delay=0.0, priority=PRIORITY_URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._state == Event.PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        A process waiting on an event is detached from it (the event
+        still fires, but no longer resumes this process).  Interrupting
+        a finished process is an error.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self!r}")
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        kick = Event(self.sim, name=f"interrupt:{self.name}")
+        kick._exc = Interrupt(cause)
+        kick._state = Event.TRIGGERED
+        kick.add_callback(self._resume)
+        self.sim._schedule(kick, delay=0.0, priority=PRIORITY_URGENT)
+
+    # -- engine -------------------------------------------------------
+    def _resume(self, trigger: Event) -> None:
+        self._waiting_on = None
+        self.sim._active_process = self
+        try:
+            if trigger._exc is not None:
+                nxt = self.gen.throw(trigger._exc)
+            else:
+                nxt = self.gen.send(trigger._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # Interrupt escaped the generator: treat as clean termination.
+            self.sim._active_process = None
+            self.succeed(None)
+            return
+        except Exception as exc:
+            self.sim._active_process = None
+            if self.sim.strict and not self.contain:
+                raise
+            self.fail(exc)
+            return
+        self.sim._active_process = None
+        if not isinstance(nxt, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded non-event {nxt!r}")
+        if nxt.sim is not self.sim:
+            raise SimulationError("yielded event belongs to another simulation")
+        self._waiting_on = nxt
+        nxt.add_callback(self._resume)
+
+
+class Channel:
+    """An unbounded FIFO message queue connecting processes.
+
+    ``put`` is immediate; :meth:`get` returns an event that fires with
+    the oldest item as soon as one is available.  Items are handed to
+    getters strictly in FIFO order; concurrent getters are served in
+    the order they asked.
+    """
+
+    __slots__ = ("sim", "name", "_items", "_getters")
+
+    def __init__(self, sim: "Simulation", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest waiting getter, if any."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:  # skip cancelled getters
+                getter.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        ev = Event(self.sim, name=f"get:{self.name}")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def peek_all(self) -> list[Any]:
+        """Snapshot of queued items (for inspection/testing)."""
+        return list(self._items)
+
+
+class AllOf(Event):
+    """Fires once every event in ``events`` has fired successfully.
+
+    The value is the list of the constituent values, in input order.
+    If any constituent fails, this event fails with the same exception
+    (the first failure wins).
+    """
+
+    __slots__ = ("_pending", "_results")
+
+    def __init__(self, sim: "Simulation", events: Iterable[Event]):
+        super().__init__(sim, name="all_of")
+        events = list(events)
+        self._results: list[Any] = [None] * len(events)
+        self._pending = len(events)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for i, ev in enumerate(events):
+            ev.add_callback(lambda e, i=i: self._on_child(i, e))
+
+    def _on_child(self, i: int, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev._exc is not None:
+            self.fail(ev._exc)
+            return
+        self._results[i] = ev._value
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._results)
+
+
+class AnyOf(Event):
+    """Fires as soon as the first of ``events`` fires.
+
+    The value is a ``(index, value)`` tuple identifying which event won.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulation", events: Iterable[Event]):
+        super().__init__(sim, name="any_of")
+        events = list(events)
+        if not events:
+            raise ValueError("AnyOf requires at least one event")
+        for i, ev in enumerate(events):
+            ev.add_callback(lambda e, i=i: self._on_child(i, e))
+
+    def _on_child(self, i: int, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev._exc is not None:
+            self.fail(ev._exc)
+        else:
+            self.succeed((i, ev._value))
+
+
+class Simulation:
+    """The discrete-event loop: simulated clock plus a scheduled-event heap.
+
+    Parameters
+    ----------
+    seed:
+        Seed for :attr:`rng`, the single RNG all stochastic decisions in
+        a run must draw from (this is what makes runs reproducible).
+    strict:
+        When True (the default), an exception escaping a process
+        propagates out of :meth:`run` immediately instead of being
+        recorded as a process failure — the right behaviour for tests.
+    """
+
+    def __init__(self, seed: int = 0, *, strict: bool = True):
+        self.now: float = 0.0
+        self.rng = random.Random(seed)
+        self.strict = strict
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self._nevents = 0
+
+    # -- event creation helpers ----------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def channel(self, name: str = "") -> Channel:
+        """Create an unbounded FIFO :class:`Channel`."""
+        return Channel(self, name=name)
+
+    def spawn(self, gen: Generator, name: str = "",
+              *, contain: bool = False) -> Process:
+        """Start a new process running ``gen``; returns its Process event.
+
+        ``contain=True`` confines an exception escaping the generator to
+        a failed Process event (thrown into joiners) even under
+        ``strict`` — used for sandboxing launched task bodies.
+        """
+        return Process(self, gen, name=name, contain=contain)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling / main loop ----------------------------------------
+    def _schedule(self, ev: Event, *, delay: float = 0.0,
+                  priority: int = PRIORITY_NORMAL) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, ev))
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run until the heap drains, ``until`` is reached, or the event
+        budget ``max_events`` is exhausted.  Returns the final clock.
+        """
+        while self._heap:
+            t, _prio, _seq, ev = self._heap[0]
+            if ev._dead:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and t > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = t
+            self._nevents += 1
+            if max_events is not None and self._nevents > max_events:
+                raise SimulationError(
+                    f"event budget {max_events} exhausted at t={self.now:g}")
+            ev._run_callbacks()
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def run_until_complete(self, proc: Process,
+                           max_events: Optional[int] = None) -> Any:
+        """Run until ``proc`` finishes and return its value."""
+        while not proc.triggered:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: process {proc.name!r} never completed")
+            t, _prio, _seq, ev = heapq.heappop(self._heap)
+            if ev._dead:
+                continue
+            self.now = t
+            self._nevents += 1
+            if max_events is not None and self._nevents > max_events:
+                raise SimulationError(
+                    f"event budget {max_events} exhausted at t={self.now:g}")
+            ev._run_callbacks()
+        return proc.value
+
+    @property
+    def event_count(self) -> int:
+        """Number of events processed so far (a determinism fingerprint)."""
+        return self._nevents

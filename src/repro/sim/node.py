@@ -1,0 +1,84 @@
+"""Simulated compute nodes.
+
+A :class:`Node` models one cluster host: an id, a core count, memory,
+a power envelope, and bookkeeping of the simulated processes currently
+placed on it.  CPU time itself is not simulated (the paper's KAP
+latencies are communication-bound); nodes exist to give overlays a
+placement substrate, to bound core allocation in the scheduler, and to
+anchor NICs and failure state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["NodeSpec", "Node"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware description of one host.
+
+    Defaults match the paper's Zin/Cab nodes: two 8-core Xeon E5-2670
+    sockets (16 cores) and 32 GB of RAM.  ``idle_watts``/``core_watts``
+    feed the generalized-resource power model.
+    """
+
+    cores: int = 16
+    sockets: int = 2
+    memory_bytes: int = 32 * 2**30
+    idle_watts: float = 100.0
+    core_watts: float = 12.5
+
+
+class Node:
+    """One simulated host: placement capacity plus liveness state."""
+
+    __slots__ = ("node_id", "spec", "hostname", "alive",
+                 "_cores_used", "procs")
+
+    def __init__(self, node_id: int, spec: Optional[NodeSpec] = None,
+                 hostname: Optional[str] = None):
+        self.node_id = node_id
+        self.spec = spec or NodeSpec()
+        self.hostname = hostname or f"node{node_id:04d}"
+        self.alive = True
+        self._cores_used = 0
+        self.procs: list[Any] = []
+
+    @property
+    def cores(self) -> int:
+        """Total cores on the node."""
+        return self.spec.cores
+
+    @property
+    def cores_free(self) -> int:
+        """Cores not currently claimed by placed processes."""
+        return self.spec.cores - self._cores_used
+
+    def claim_cores(self, n: int) -> None:
+        """Reserve ``n`` cores; raises ``ValueError`` when oversubscribed."""
+        if n < 0:
+            raise ValueError("core count must be non-negative")
+        if self._cores_used + n > self.spec.cores:
+            raise ValueError(
+                f"{self.hostname}: requested {n} cores, only "
+                f"{self.cores_free} free")
+        self._cores_used += n
+
+    def release_cores(self, n: int) -> None:
+        """Return ``n`` previously claimed cores."""
+        if n < 0 or n > self._cores_used:
+            raise ValueError(f"{self.hostname}: cannot release {n} cores "
+                             f"({self._cores_used} in use)")
+        self._cores_used -= n
+
+    def power_draw(self) -> float:
+        """Instantaneous watts: idle floor plus per-busy-core draw."""
+        return self.spec.idle_watts + self._cores_used * self.spec.core_watts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive else "DOWN"
+        return (f"<Node {self.hostname} [{state}] "
+                f"{self._cores_used}/{self.spec.cores} cores>")

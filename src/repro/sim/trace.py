@@ -1,0 +1,117 @@
+"""Lightweight tracing and statistics collection.
+
+The benchmark harness needs per-phase latency distributions (max, mean,
+percentiles) over thousands of simulated processes; :class:`StatSeries`
+accumulates samples cheaply and summarizes them with numpy.
+:class:`Tracer` records (time, category, payload) tuples for debugging
+and for determinism fingerprints in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+import numpy as np
+
+__all__ = ["StatSeries", "Summary", "Tracer"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Summary statistics over one latency series (seconds)."""
+
+    count: int
+    max: float
+    min: float
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict form for tabular printing / JSON dumps."""
+        return {
+            "count": self.count, "max": self.max, "min": self.min,
+            "mean": self.mean, "p50": self.p50, "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+class StatSeries:
+    """An append-only series of float samples with numpy summarization."""
+
+    __slots__ = ("name", "_samples")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._samples: list[float] = []
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        self._samples.append(float(value))
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Record many samples."""
+        self._samples.extend(float(v) for v in values)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Samples as a numpy array (copy)."""
+        return np.asarray(self._samples, dtype=np.float64)
+
+    def summary(self) -> Summary:
+        """Summarize; raises ``ValueError`` on an empty series."""
+        if not self._samples:
+            raise ValueError(f"no samples in series {self.name!r}")
+        arr = self.values
+        return Summary(
+            count=int(arr.size),
+            max=float(arr.max()),
+            min=float(arr.min()),
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            p99=float(np.percentile(arr, 99)),
+        )
+
+
+class Tracer:
+    """Ring-buffered event trace.
+
+    ``capacity`` bounds memory during huge runs; ``None`` keeps
+    everything (useful in unit tests asserting exact sequences).
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        self.capacity = capacity
+        self._records: list[tuple[float, str, Any]] = []
+        self.enabled = True
+
+    def record(self, t: float, category: str, payload: Any = None) -> None:
+        """Append a trace record (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._records.append((t, category, payload))
+        if self.capacity is not None and len(self._records) > self.capacity:
+            del self._records[: len(self._records) - self.capacity]
+
+    def records(self, category: Optional[str] = None) -> list[tuple[float, str, Any]]:
+        """All records, optionally filtered by category."""
+        if category is None:
+            return list(self._records)
+        return [r for r in self._records if r[1] == category]
+
+    def fingerprint(self) -> int:
+        """Order-sensitive hash of the trace — equal traces, equal hash."""
+        acc = 0
+        for t, cat, payload in self._records:
+            acc = hash((acc, round(t, 12), cat, repr(payload)))
+        return acc
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self._records.clear()

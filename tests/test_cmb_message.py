@@ -1,0 +1,121 @@
+"""Unit tests for CMB messages and canonical JSON utilities."""
+
+import pytest
+
+from repro.cmb.message import HEADER_BYTES, Message, MessageType, split_topic
+from repro.jsonutil import (canonical_dumps, canonical_size, json_loads,
+                            sha1_of)
+
+
+class TestCanonicalJson:
+    def test_key_order_is_canonical(self):
+        a = canonical_dumps({"b": 1, "a": 2})
+        b = canonical_dumps({"a": 2, "b": 1})
+        assert a == b == b'{"a":2,"b":1}'
+
+    def test_roundtrip(self):
+        obj = {"x": [1, 2, {"y": None}], "s": "héllo"}
+        assert json_loads(canonical_dumps(obj)) == obj
+
+    def test_size_matches_dump(self):
+        obj = {"k": "v" * 100}
+        assert canonical_size(obj) == len(canonical_dumps(obj))
+
+    def test_sha1_stable_across_key_order(self):
+        assert sha1_of({"a": 1, "b": 2}) == sha1_of({"b": 2, "a": 1})
+
+    def test_sha1_differs_for_different_values(self):
+        assert sha1_of({"a": 1}) != sha1_of({"a": 2})
+
+    def test_sha1_is_40_hex(self):
+        digest = sha1_of({"x": 1})
+        assert len(digest) == 40
+        int(digest, 16)  # parses as hex
+
+
+class TestSplitTopic:
+    def test_module_and_method(self):
+        assert split_topic("kvs.put") == ("kvs", "put")
+
+    def test_nested_method_names(self):
+        assert split_topic("kvs.watch.cancel") == ("kvs", "watch.cancel")
+
+    def test_bare_module(self):
+        assert split_topic("hb") == ("hb", "")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            split_topic("")
+
+
+class TestMessage:
+    def test_unique_msgids(self):
+        ids = {Message(topic="a.b").msgid for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_size_includes_header_and_payload(self):
+        msg = Message(topic="kvs.put", payload={"key": "k", "value": "v"})
+        assert msg.size() == HEADER_BYTES + canonical_size(msg.payload)
+
+    def test_empty_payload_costs_header_plus_braces(self):
+        msg = Message(topic="x.y")
+        assert msg.size() == HEADER_BYTES + 2  # "{}"
+
+    def test_module_and_method_accessors(self):
+        msg = Message(topic="barrier.enter")
+        assert msg.module_name() == "barrier"
+        assert msg.method_name() == "enter"
+
+    def test_response_correlates_by_msgid(self):
+        req = Message(topic="kvs.get", payload={"key": "a"}, src_rank=5)
+        resp = req.make_response({"value": 1})
+        assert resp.msgid == req.msgid
+        assert resp.mtype is MessageType.RESPONSE
+        assert resp.src_rank == 5
+        assert resp.error is None
+
+    def test_error_response(self):
+        req = Message(topic="kvs.get")
+        resp = req.make_response(error="not found")
+        assert resp.error == "not found"
+        assert resp.payload == {}
+
+    def test_copy_preserves_msgid(self):
+        msg = Message(topic="a.b", payload={"x": 1})
+        dup = msg.copy(src_rank=9)
+        assert dup.msgid == msg.msgid
+        assert dup.src_rank == 9
+        assert msg.src_rank == -1
+
+    def test_larger_payload_larger_size(self):
+        small = Message(topic="t.m", payload={"v": "x"})
+        big = Message(topic="t.m", payload={"v": "x" * 1000})
+        assert big.size() - small.size() == 999
+
+
+class TestSizeCache:
+    def test_size_computed_once(self):
+        msg = Message(topic="kvs.put", payload={"k": "v" * 50})
+        first = msg.size()
+        # Mutating the payload after first size() is a protocol
+        # violation; the cache intentionally keeps the original size.
+        msg.payload["k"] = "x"
+        assert msg.size() == first
+
+    def test_copy_with_new_payload_resizes(self):
+        msg = Message(topic="t.m", payload={"v": "x"})
+        _ = msg.size()
+        bigger = msg.copy(payload={"v": "x" * 1000})
+        assert bigger.size() == msg.size() + 999
+
+    def test_copy_without_payload_keeps_cache(self):
+        msg = Message(topic="t.m", payload={"v": "abc"})
+        size = msg.size()
+        fwd = msg.copy(src_rank=3)
+        assert fwd.size() == size
+
+    def test_response_sized_independently(self):
+        req = Message(topic="t.m", payload={"big": "y" * 500})
+        _ = req.size()
+        resp = req.make_response({"ok": 1})
+        assert resp.size() < req.size()

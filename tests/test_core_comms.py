@@ -1,0 +1,191 @@
+"""Tests for per-job comms sessions (Section III's communication model
+wired into the instance hierarchy)."""
+
+import pytest
+
+from repro.core import FluxInstance, JobSpec, JobKind, make_ensemble_spec
+from repro.core.comms import CommsConfig
+from repro.kvs import KvsClient
+from repro.resource import ResourcePool, build_cluster_graph
+from repro.sim.cluster import make_cluster
+
+
+def hello_task(ctx):
+    ctx.print(f"task {ctx.taskrank} of {ctx.nprocs}")
+    yield ctx.sim.timeout(1e-3)
+
+
+def mpi_task(ctx):
+    handle = ctx.connect()
+    kvs = KvsClient(handle)
+    yield kvs.put(f"app.{ctx.jobid}.{ctx.taskrank}", ctx.taskrank)
+    yield kvs.fence(f"app.{ctx.jobid}", ctx.nprocs)
+    peer = (ctx.taskrank + 1) % ctx.nprocs
+    value = yield kvs.get(f"app.{ctx.jobid}.{peer}")
+    ctx.print(f"peer={value}")
+
+
+def failing_task(ctx):
+    yield ctx.sim.timeout(1e-4)
+    raise RuntimeError("boom")
+
+
+def make_instance(n_nodes=8, registry=None):
+    cluster = make_cluster(n_nodes, seed=61)
+    graph = build_cluster_graph("c", n_racks=1, nodes_per_rack=n_nodes,
+                                sockets=2, cores_per_socket=8)
+    comms = CommsConfig(cluster, task_registry=registry or {
+        "hello": hello_task, "mpi": mpi_task, "fail": failing_task})
+    inst = FluxInstance(cluster.sim, ResourcePool(graph), comms=comms,
+                        name="root")
+    return cluster, inst
+
+
+class TestRootSession:
+    def test_root_instance_owns_a_session(self):
+        cluster, inst = make_instance()
+        assert inst.session is not None
+        assert inst.session.size == 8
+        assert "kvs" in inst.session.brokers[0].modules
+        assert "wexec" in inst.session.brokers[3].modules
+
+    def test_shutdown_stops_session(self):
+        cluster, inst = make_instance()
+        inst.shutdown()
+        assert not inst.session.brokers[0].alive
+
+
+class TestTaskJobs:
+    def test_task_job_runs_via_wexec(self):
+        cluster, inst = make_instance()
+        job = inst.submit(JobSpec(ncores=16, task="hello", ntasks=4,
+                                  name="hi"))
+        cluster.sim.run()
+        assert job.state.value == "complete"
+        # Output captured on the brokers of the allocated nodes.
+        outputs = []
+        for broker in inst.session.brokers:
+            wexec = broker.modules["wexec"]
+            outputs.extend(v for (jid, _), v in wexec.output.items()
+                           if jid == f"lwj{job.jobid}")
+        assert sorted(sum(outputs, [])) == [
+            f"task {i} of 4" for i in range(4)]
+
+    def test_task_defaults_to_one_proc_per_core(self):
+        cluster, inst = make_instance()
+        job = inst.submit(JobSpec(ncores=4, task="hello"))
+        cluster.sim.run()
+        assert job.state.value == "complete"
+        n_out = sum(1 for broker in inst.session.brokers
+                    for (jid, _tr) in broker.modules["wexec"].output
+                    if jid == f"lwj{job.jobid}")
+        assert n_out == 4
+
+    def test_mpi_style_task_bootstraps_through_kvs(self):
+        cluster, inst = make_instance()
+        job = inst.submit(JobSpec(ncores=32, task="mpi", ntasks=8))
+        cluster.sim.run()
+        assert job.state.value == "complete", job.error
+        peers = []
+        for broker in inst.session.brokers:
+            for (jid, tr), out in broker.modules["wexec"].output.items():
+                if jid == f"lwj{job.jobid}":
+                    peers.append((tr, out[0]))
+        assert sorted(peers) == [
+            (i, f"peer={(i + 1) % 8}") for i in range(8)]
+
+    def test_failing_task_fails_the_job(self):
+        cluster, inst = make_instance()
+        job = inst.submit(JobSpec(ncores=4, task="fail", ntasks=2))
+        cluster.sim.run()
+        assert job.state.value == "failed"
+        assert "status 1" in job.error
+
+    def test_task_without_session_fails_job(self):
+        cluster = make_cluster(2, seed=1)
+        graph = build_cluster_graph("c", 1, 2)
+        inst = FluxInstance(cluster.sim, ResourcePool(graph))
+        job = inst.submit(JobSpec(ncores=1, task="hello"))
+        cluster.sim.run()
+        assert job.state.value == "failed"
+        assert "comms session" in job.error
+
+    def test_task_and_body_conflict_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec(ncores=1, task="t", body=lambda j, i: iter(()))
+
+
+class TestJobRecords:
+    def test_job_states_recorded_in_kvs(self):
+        cluster, inst = make_instance()
+        job = inst.submit(JobSpec(ncores=8, duration=0.01, name="rec"))
+        cluster.sim.run()
+
+        def reader():
+            kvs = KvsClient(inst.session.connect(5, collective=False))
+            return (yield kvs.get(f"lwj{job.jobid}.state"))
+
+        proc = cluster.sim.spawn(reader())
+        record = cluster.sim.run_until_complete(proc)
+        assert record["state"] == "complete"
+        assert record["ncores"] == 8 and record["name"] == "rec"
+
+    def test_failed_job_recorded(self):
+        cluster, inst = make_instance()
+        job = inst.submit(JobSpec(ncores=4, task="fail", ntasks=1))
+        cluster.sim.run()
+
+        def reader():
+            kvs = KvsClient(inst.session.connect(0, collective=False))
+            return (yield kvs.get(f"lwj{job.jobid}.state"))
+
+        proc = cluster.sim.spawn(reader())
+        assert cluster.sim.run_until_complete(proc)["state"] == "failed"
+
+
+class TestChildSessions:
+    def test_child_instance_gets_own_session(self):
+        cluster, inst = make_instance()
+        ens = inst.submit(make_ensemble_spec(
+            "ens", 32, [JobSpec(ncores=8, duration=0.01)]))
+        cluster.sim.run(until=0.05)
+        assert ens.child is not None
+        assert ens.child.session is not None
+        assert ens.child.session is not inst.session
+        # The child session spans exactly the granted nodes.
+        assert ens.child.session.size == ens.allocation.nnodes \
+            if ens.allocation else True
+        cluster.sim.run()
+        assert ens.state.value == "complete"
+
+    def test_child_session_torn_down_at_completion(self):
+        cluster, inst = make_instance()
+        ens = inst.submit(make_ensemble_spec(
+            "ens", 16, [JobSpec(ncores=4, duration=0.01)]))
+        cluster.sim.run()
+        assert ens.state.value == "complete"
+        assert not ens.child.session.brokers[0].alive
+
+    def test_assisted_bootstrap_charged(self):
+        cluster, inst = make_instance()
+        ens = inst.submit(make_ensemble_spec(
+            "ens", 16, [JobSpec(ncores=4, duration=0.0)]))
+        cluster.sim.run()
+        boot = inst.comms.bootstrap_delay(2, assisted=True)
+        assert ens.run_time >= boot
+
+    def test_assisted_cheaper_than_cold(self):
+        cfg = CommsConfig(make_cluster(4, seed=1))
+        assert (cfg.bootstrap_delay(64, assisted=True)
+                < cfg.bootstrap_delay(64, assisted=False))
+
+    def test_tasks_run_inside_child_instance(self):
+        cluster, inst = make_instance()
+        ens = inst.submit(make_ensemble_spec(
+            "nested", 32,
+            [JobSpec(ncores=8, task="hello", ntasks=2, name=f"m{i}")
+             for i in range(3)]))
+        cluster.sim.run()
+        assert ens.state.value == "complete"
+        member_states = [j.state.value for j in ens.child.jobs.values()]
+        assert member_states == ["complete"] * 3

@@ -1,0 +1,104 @@
+"""Tests for CommsConfig (per-job session construction and the
+bootstrap cost model)."""
+
+import pytest
+
+from repro.cmb.session import ModuleSpec
+from repro.core.comms import CommsConfig
+from repro.sim.cluster import make_cluster
+
+
+class TestBootstrapModel:
+    def test_cold_boot_scales_with_nodes(self):
+        cfg = CommsConfig(make_cluster(4, seed=1))
+        assert (cfg.bootstrap_delay(512, assisted=False)
+                > cfg.bootstrap_delay(64, assisted=False) * 2)
+
+    def test_assisted_boot_scales_with_depth(self):
+        cfg = CommsConfig(make_cluster(4, seed=1))
+        d64 = cfg.bootstrap_delay(64, assisted=True)
+        d512 = cfg.bootstrap_delay(512, assisted=True)
+        # log2(512)/log2(64) = 1.5: depth scaling, not node scaling.
+        assert d512 < d64 * 2
+
+    def test_assisted_always_cheaper_at_scale(self):
+        cfg = CommsConfig(make_cluster(4, seed=1))
+        for n in (2, 16, 128, 1024):
+            assert (cfg.bootstrap_delay(n, assisted=True)
+                    < cfg.bootstrap_delay(n, assisted=False))
+
+    def test_single_node_session_boot(self):
+        cfg = CommsConfig(make_cluster(2, seed=1))
+        assert cfg.bootstrap_delay(1, assisted=True) > 0
+
+
+class TestBuildSession:
+    def test_standard_module_set(self):
+        cluster = make_cluster(8, seed=2)
+        cfg = CommsConfig(cluster)
+        session = cfg.build_session(list(range(8))).start()
+        root_mods = set(session.brokers[0].modules)
+        assert {"kvs", "barrier", "log", "group", "resvc", "wexec",
+                "job"} <= root_mods
+        # Depth-limited modules absent at the leaves.
+        leaf_mods = set(session.brokers[7].modules)
+        assert "group" not in leaf_mods and "resvc" not in leaf_mods
+        assert "kvs" in leaf_mods
+
+    def test_session_over_subset(self):
+        cluster = make_cluster(8, seed=2)
+        cfg = CommsConfig(cluster)
+        session = cfg.build_session([2, 5, 6])
+        assert session.size == 3
+        assert session.node_of_rank(1) == 5
+
+    def test_arity_clamped_for_tiny_sessions(self):
+        cluster = make_cluster(4, seed=2)
+        cfg = CommsConfig(cluster, tree_arity=8)
+        session = cfg.build_session([0, 1])
+        assert session.topology.arity == 1
+
+    def test_extra_modules_hook(self):
+        from repro.cmb.modules import HeartbeatModule
+        cluster = make_cluster(4, seed=2)
+        cfg = CommsConfig(
+            cluster,
+            extra_modules=lambda size: [
+                ModuleSpec(HeartbeatModule, period=0.1, max_epochs=2)])
+        session = cfg.build_session([0, 1, 2]).start()
+        assert "hb" in session.brokers[0].modules
+
+    def test_task_registry_reaches_wexec(self):
+        def t(ctx):
+            yield ctx.sim.timeout(1e-4)
+
+        cluster = make_cluster(4, seed=2)
+        cfg = CommsConfig(cluster, task_registry={"t": t})
+        session = cfg.build_session([0, 1]).start()
+        assert "t" in session.brokers[1].modules["wexec"].registry
+
+    def test_two_sessions_coexist_on_same_nodes(self):
+        """Per-job overlays: two sessions share nodes but have distinct
+        ports and module instances."""
+        cluster = make_cluster(4, seed=2)
+        cfg = CommsConfig(cluster)
+        s1 = cfg.build_session([0, 1, 2, 3]).start()
+        s2 = cfg.build_session([0, 1]).start()
+        assert s1.port_key != s2.port_key
+        assert (s1.brokers[0].modules["kvs"]
+                is not s2.brokers[0].modules["kvs"])
+
+        # Both sessions' KVS work independently.
+        from repro.kvs import KvsClient
+        sim = cluster.sim
+
+        def writer(session, value):
+            kvs = KvsClient(session.connect(1))
+            yield kvs.put("shared.key", value)
+            yield kvs.commit()
+            return (yield kvs.get("shared.key"))
+
+        p1 = sim.spawn(writer(s1, "one"))
+        p2 = sim.spawn(writer(s2, "two"))
+        sim.run()
+        assert p1.value == "one" and p2.value == "two"

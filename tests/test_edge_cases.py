@@ -1,0 +1,310 @@
+"""Edge-case tests across the stack: lifecycle, teardown, unusual
+shapes, and error paths not covered by the main suites."""
+
+import pytest
+
+from repro import ModuleSpec, make_cluster, standard_session
+from repro.cmb.api import RpcError
+from repro.cmb.message import Message
+from repro.cmb.module import CommsModule, NoHandlerError
+from repro.cmb.session import CommsSession
+from repro.cmb.topology import TreeTopology
+from repro.kvs import KvsClient, KvsModule
+from repro.sim.cluster import make_cluster as mk
+
+
+class EchoModule(CommsModule):
+    name = "echo"
+
+    def req_ping(self, msg: Message) -> None:
+        self.respond(msg, {"rank": self.rank})
+
+
+def run_proc(cluster, gen):
+    proc = cluster.sim.spawn(gen)
+    return cluster.sim.run_until_complete(proc)
+
+
+class TestModuleLifecycle:
+    def test_module_must_have_name(self):
+        class Nameless(CommsModule):
+            name = ""
+
+        cluster = mk(2)
+        session = CommsSession(cluster)
+        with pytest.raises(ValueError):
+            Nameless(session.brokers[0])
+
+    def test_unload_module_stops_service(self):
+        cluster = mk(2)
+        session = CommsSession(cluster,
+                               modules=[ModuleSpec(EchoModule)]).start()
+        session.brokers[0].unload_module("echo")
+        session.brokers[1].unload_module("echo")
+
+        def client(h):
+            with pytest.raises(RpcError, match="no module"):
+                yield h.rpc("echo.ping", {})
+            return "ok"
+
+        h = session.connect(1, collective=False)
+        assert run_proc(cluster, client(h)) == "ok"
+
+    def test_load_module_after_start(self):
+        cluster = mk(2)
+        session = CommsSession(cluster).start()
+        session.load_module(ModuleSpec(EchoModule))
+
+        def client(h):
+            return (yield h.rpc("echo.ping", {}))
+
+        h = session.connect(1, collective=False)
+        assert run_proc(cluster, client(h)) == {"rank": 1}
+
+    def test_double_start_rejected(self):
+        cluster = mk(2)
+        session = CommsSession(cluster).start()
+        with pytest.raises(RuntimeError):
+            session.start()
+
+    def test_unload_unknown_module_raises(self):
+        cluster = mk(1)
+        session = CommsSession(cluster).start()
+        with pytest.raises(KeyError):
+            session.brokers[0].unload_module("ghost")
+
+    def test_dispatch_missing_handler_is_nohandler(self):
+        cluster = mk(1)
+        session = CommsSession(cluster)
+        mod = EchoModule(session.brokers[0])
+        with pytest.raises(NoHandlerError):
+            mod.dispatch_request(Message(topic="echo.nope"))
+
+
+class TestSessionTeardown:
+    def test_stop_halts_brokers(self):
+        cluster = mk(4)
+        session = standard_session(cluster, with_heartbeat=True,
+                                   hb_period=0.01, hb_max_epochs=1000)
+        session.start()
+        cluster.sim.run(until=0.05)
+        session.stop()
+        epoch_at_stop = session.module_at(0, "hb").epoch
+        cluster.sim.run(until=1.0)
+        # No more pulses processed after stop.
+        assert session.module_at(0, "hb").epoch <= epoch_at_stop + 1
+
+    def test_log_without_log_module_is_noop(self):
+        cluster = mk(1)
+        session = CommsSession(cluster).start()
+        session.brokers[0].log("err", "into the void")  # must not raise
+
+
+class TestHandleEdges:
+    def test_close_is_idempotent_for_subscriptions(self):
+        cluster = mk(2)
+        session = CommsSession(cluster).start()
+        h = session.connect(1)
+        h.subscribe("x.", lambda m: None)
+        h.close()
+        h.close()  # second close must not raise
+        assert session.total_procs == 0
+
+    def test_publish_from_handle_reaches_other_node(self):
+        cluster = mk(4)
+        session = CommsSession(cluster).start()
+        h_pub = session.connect(3, collective=False)
+        h_sub = session.connect(1, collective=False)
+
+        def client():
+            ev = h_sub.wait_event("news.")
+            h_pub.publish("news.flash", {"n": 1})
+            msg = yield ev
+            return msg.payload
+
+        assert run_proc(cluster, client()) == {"n": 1}
+
+    def test_concurrent_rpcs_from_one_handle(self):
+        cluster = mk(4)
+        session = CommsSession(cluster,
+                               modules=[ModuleSpec(EchoModule)]).start()
+        h = session.connect(2, collective=False)
+
+        def client():
+            evs = [h.rpc("echo.ping", {"i": i}) for i in range(10)]
+            results = yield cluster.sim.all_of(evs)
+            return results
+
+        results = run_proc(cluster, client())
+        assert all(r == {"rank": 2} for r in results)
+
+
+class TestKvsEdges:
+    def _session(self, n=4):
+        cluster = mk(n)
+        session = CommsSession(cluster, topology=TreeTopology(n),
+                               modules=[ModuleSpec(KvsModule)]).start()
+        return cluster, session
+
+    def test_getroot_rpc(self):
+        cluster, session = self._session()
+
+        def client():
+            kvs = KvsClient(session.connect(2))
+            yield kvs.put("k", 1)
+            yield kvs.commit()
+            root = yield kvs.handle.rpc("kvs.getroot")
+            return root
+
+        root = run_proc(cluster, client())
+        assert root["version"] == 1 and len(root["rootref"]) == 40
+
+    def test_empty_commit_bumps_version(self):
+        cluster, session = self._session()
+
+        def client():
+            kvs = KvsClient(session.connect(3))
+            r1 = yield kvs.commit()
+            r2 = yield kvs.commit()
+            return r1["version"], r2["version"]
+
+        assert run_proc(cluster, client()) == (1, 2)
+
+    def test_unlink_through_fence(self):
+        cluster, session = self._session()
+
+        def client():
+            kvs = KvsClient(session.connect(1))
+            yield kvs.put("gone.soon", 1)
+            yield kvs.fence("f1", 1)
+            yield kvs.unlink("gone.soon")
+            yield kvs.fence("f2", 1)
+            with pytest.raises(RpcError, match="not found"):
+                yield kvs.get("gone.soon")
+            return "ok"
+
+        assert run_proc(cluster, client()) == "ok"
+
+    def test_wait_version_already_satisfied(self):
+        cluster, session = self._session()
+
+        def client():
+            kvs = KvsClient(session.connect(0))
+            yield kvs.put("k", 1)
+            yield kvs.commit()
+            resp = yield kvs.wait_version(1)  # already there
+            return resp["version"]
+
+        assert run_proc(cluster, client()) >= 1
+
+    def test_overwrite_same_key_many_times(self):
+        cluster, session = self._session()
+
+        def client():
+            kvs = KvsClient(session.connect(2))
+            for i in range(10):
+                yield kvs.put("hot", i)
+            yield kvs.commit()
+            return (yield kvs.get("hot"))
+
+        assert run_proc(cluster, client()) == 9
+
+    def test_large_nested_path(self):
+        cluster, session = self._session()
+        deep = ".".join(f"d{i}" for i in range(20))
+
+        def client():
+            kvs = KvsClient(session.connect(1))
+            yield kvs.put(deep, "bottom")
+            yield kvs.commit()
+            return (yield kvs.get(deep))
+
+        assert run_proc(cluster, client()) == "bottom"
+
+    def test_non_string_json_values(self):
+        cluster, session = self._session()
+        values = [None, True, 3.5, [1, [2, 3]], {"a": {"b": 1}}, 0]
+
+        def client():
+            kvs = KvsClient(session.connect(3))
+            for i, v in enumerate(values):
+                yield kvs.put(f"types.v{i}", v)
+            yield kvs.commit()
+            out = []
+            for i in range(len(values)):
+                out.append((yield kvs.get(f"types.v{i}")))
+            return out
+
+        assert run_proc(cluster, client()) == values
+
+    def test_get_on_virgin_store_fails_cleanly(self):
+        cluster, session = self._session()
+
+        def client():
+            kvs = KvsClient(session.connect(2))
+            with pytest.raises(RpcError):
+                yield kvs.get("never.written")
+            return "ok"
+
+        assert run_proc(cluster, client()) == "ok"
+
+
+class TestWexecEdges:
+    def test_two_concurrent_jobs(self):
+        def t(ctx):
+            ctx.print(f"{ctx.jobid}:{ctx.taskrank}")
+            yield ctx.sim.timeout(1e-3)
+
+        cluster = mk(4)
+        session = standard_session(cluster, task_registry={"t": t}).start()
+
+        def client():
+            h = session.connect(0, collective=False)
+            done = {}
+            h.subscribe("wexec.done",
+                        lambda m: done.setdefault(m.payload["jobid"],
+                                                  m.payload))
+            yield h.rpc("wexec.run", {"jobid": "A", "task": "t",
+                                      "nprocs": 8})
+            yield h.rpc("wexec.run", {"jobid": "B", "task": "t",
+                                      "nprocs": 4})
+            while len(done) < 2:
+                yield cluster.sim.timeout(1e-4)
+            return done
+
+        done = run_proc(cluster, client())
+        assert done["A"]["status"] == 0 and done["B"]["status"] == 0
+
+    def test_single_task_job(self):
+        def t(ctx):
+            ctx.print("solo")
+            yield ctx.sim.timeout(1e-4)
+
+        cluster = mk(4)
+        session = standard_session(cluster, task_registry={"t": t}).start()
+
+        def client():
+            h = session.connect(2, collective=False)
+            done = h.wait_event("wexec.done")
+            yield h.rpc("wexec.run", {"jobid": "s", "task": "t",
+                                      "nprocs": 1})
+            msg = yield done
+            return msg.payload
+
+        payload = run_proc(cluster, client())
+        assert list(payload["rcs"]) == ["0"]
+
+    def test_zero_nprocs_rejected(self):
+        cluster = mk(2)
+        session = standard_session(cluster,
+                                   task_registry={"t": lambda c: iter(())}
+                                   ).start()
+
+        def client():
+            h = session.connect(0, collective=False)
+            with pytest.raises(RpcError, match="bad job shape"):
+                yield h.rpc("wexec.run", {"jobid": "z", "task": "t",
+                                          "nprocs": 0})
+            return "ok"
+
+        assert run_proc(cluster, client()) == "ok"

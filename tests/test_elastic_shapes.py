@@ -1,0 +1,195 @@
+"""Tests for rigid / moldable / malleable scheduling (paper Challenge 3:
+"rigid vs. moldable vs. malleable scheduling against different workload
+and resource types")."""
+
+import pytest
+
+from repro.core import FluxInstance, JobSpec, JobState
+from repro.resource import ResourcePool, build_cluster_graph
+from repro.sched import FcfsPolicy
+from repro.sim import Simulation
+
+
+def make_instance(ncores=32):
+    sim = Simulation(seed=0)
+    graph = build_cluster_graph("e", n_racks=1, nodes_per_rack=ncores // 8,
+                                sockets=1, cores_per_socket=8)
+    return sim, FluxInstance(sim, ResourcePool(graph))
+
+
+class TestSpecValidation:
+    def test_rigid_by_default(self):
+        spec = JobSpec(ncores=4, duration=1.0)
+        assert not spec.is_moldable and not spec.malleable
+
+    def test_moldable_range(self):
+        spec = JobSpec(ncores=8, duration=1.0, min_cores=2, max_cores=16)
+        assert spec.is_moldable
+
+    def test_malleable_defaults_min_to_preferred(self):
+        spec = JobSpec(ncores=8, duration=1.0, malleable=True, max_cores=16)
+        assert spec.min_cores == 8
+
+    def test_bad_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec(ncores=4, duration=1, min_cores=8)
+        with pytest.raises(ValueError):
+            JobSpec(ncores=4, duration=1, max_cores=2)
+        with pytest.raises(ValueError):
+            JobSpec(ncores=4, duration=1, min_cores=0)
+
+    def test_shapes_only_for_duration_jobs(self):
+        with pytest.raises(ValueError):
+            JobSpec(ncores=4, min_cores=2, body=lambda j, i: iter(()))
+        with pytest.raises(ValueError):
+            JobSpec(ncores=4, min_cores=2, task="t")
+
+    def test_serial_fraction_range(self):
+        with pytest.raises(ValueError):
+            JobSpec(ncores=1, serial_fraction=1.5)
+
+
+class TestRuntimeModel:
+    def test_preferred_size_gives_nominal_duration(self):
+        spec = JobSpec(ncores=8, duration=10.0, serial_fraction=0.2)
+        assert spec.runtime_at(8) == pytest.approx(10.0)
+
+    def test_perfect_scaling_without_serial_fraction(self):
+        spec = JobSpec(ncores=8, duration=10.0)
+        assert spec.runtime_at(16) == pytest.approx(5.0)
+        assert spec.runtime_at(4) == pytest.approx(20.0)
+
+    def test_amdahl_limits_speedup(self):
+        spec = JobSpec(ncores=8, duration=10.0, serial_fraction=0.5)
+        # Infinite cores can at best halve the runtime.
+        assert spec.runtime_at(8000) > 5.0
+        assert spec.runtime_at(16) == pytest.approx(7.5)
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            JobSpec(ncores=1, duration=1.0).runtime_at(0)
+
+
+class TestMoldable:
+    def test_molds_down_to_fit_now(self):
+        sim, inst = make_instance(ncores=32)
+        inst.submit(JobSpec(ncores=24, duration=10.0))  # leaves 8 free
+        moldable = inst.submit(JobSpec(ncores=16, duration=4.0,
+                                       min_cores=4))
+        sim.run(until=1.0)
+        assert moldable.state is JobState.RUNNING
+        assert moldable.allocation.ncores == 8  # molded into the hole
+        sim.run()
+        # Ran at half the preferred size -> twice the nominal duration.
+        assert moldable.run_time == pytest.approx(8.0)
+
+    def test_molds_up_when_room(self):
+        sim, inst = make_instance(ncores=32)
+        job = inst.submit(JobSpec(ncores=8, duration=8.0, max_cores=32))
+        sim.run()
+        assert job.run_time == pytest.approx(2.0)  # 4x cores, 4x speed
+
+    def test_refuses_below_min(self):
+        sim, inst = make_instance(ncores=32)
+        hog = inst.submit(JobSpec(ncores=30, duration=5.0))
+        picky = inst.submit(JobSpec(ncores=16, duration=1.0, min_cores=4))
+        sim.run(until=1.0)
+        assert picky.state is JobState.PENDING  # only 2 free < min 4
+        sim.run()
+        assert picky.state is JobState.COMPLETE
+
+    def test_rigid_job_timing_unchanged(self):
+        sim, inst = make_instance(ncores=32)
+        job = inst.submit(JobSpec(ncores=8, duration=3.0))
+        sim.run()
+        assert job.run_time == pytest.approx(3.0)
+
+
+class TestMalleable:
+    def test_expands_into_idle_cores(self):
+        sim, inst = make_instance(ncores=32)
+        job = inst.submit(JobSpec(ncores=8, duration=8.0, malleable=True,
+                                  max_cores=32))
+        sim.run(until=0.1)
+        assert job.allocation.ncores == 32  # grabbed the idle machine
+        sim.run()
+        assert job.run_time == pytest.approx(2.0, rel=0.1)
+
+    def test_shrinks_to_admit_queued_job(self):
+        sim, inst = make_instance(ncores=32)
+        elastic = inst.submit(JobSpec(ncores=8, duration=8.0,
+                                      malleable=True, min_cores=8,
+                                      max_cores=32))
+        sim.run(until=1.0)
+        assert elastic.allocation.ncores == 32
+        rigid = inst.submit(JobSpec(ncores=16, duration=2.0))
+        sim.run(until=1.5)
+        assert rigid.state is JobState.RUNNING
+        assert elastic.allocation.ncores == 16  # gave half back
+        sim.run()
+        assert elastic.state is JobState.COMPLETE
+        assert rigid.state is JobState.COMPLETE
+
+    def test_work_conserved_across_resizes(self):
+        """Total core-seconds consumed equals the job's work regardless
+        of the resize history (perfect-scaling model)."""
+        sim, inst = make_instance(ncores=32)
+        elastic = inst.submit(JobSpec(ncores=8, duration=8.0,
+                                      malleable=True, min_cores=4,
+                                      max_cores=32))
+        # Perturb it twice with rigid arrivals.
+        inst.submit(JobSpec(ncores=16, duration=1.0))
+        sim.run(until=2.0)
+        inst.submit(JobSpec(ncores=24, duration=1.0))
+        sim.run()
+        assert elastic.state is JobState.COMPLETE
+        # Work = 8 cores x 8 s = 64 core-seconds; utilization integral
+        # should reflect all three jobs' work.
+        expected = 64 + 16 * 1.0 + 24 * 1.0
+        measured = inst._busy_area
+        assert measured == pytest.approx(expected, rel=0.02)
+
+    def test_never_shrinks_below_min(self):
+        sim, inst = make_instance(ncores=32)
+        elastic = inst.submit(JobSpec(ncores=16, duration=4.0,
+                                      malleable=True, min_cores=16,
+                                      max_cores=32))
+        sim.run(until=0.5)
+        blocked = inst.submit(JobSpec(ncores=32, duration=1.0))
+        sim.run(until=1.0)
+        assert elastic.allocation.ncores >= 16
+        assert blocked.state is JobState.PENDING
+        sim.run()
+        assert blocked.state is JobState.COMPLETE
+
+    def test_two_malleable_jobs_share_reclamation(self):
+        sim, inst = make_instance(ncores=32)
+        a = inst.submit(JobSpec(ncores=8, duration=6.0, malleable=True,
+                                min_cores=4, max_cores=16))
+        b = inst.submit(JobSpec(ncores=8, duration=6.0, malleable=True,
+                                min_cores=4, max_cores=16))
+        sim.run(until=0.5)
+        assert a.allocation.ncores + b.allocation.ncores == 32
+        rigid = inst.submit(JobSpec(ncores=20, duration=1.0))
+        sim.run(until=1.2)
+        assert rigid.state is JobState.RUNNING
+        assert a.allocation.ncores >= 4 and b.allocation.ncores >= 4
+        sim.run()
+        assert all(j.state is JobState.COMPLETE for j in (a, b, rigid))
+
+    def test_malleable_faster_than_rigid_on_bursty_load(self):
+        """Elasticity pays: the same workload finishes sooner when the
+        long job can donate and reabsorb cores."""
+        def run(malleable):
+            sim, inst = make_instance(ncores=32)
+            inst.submit(JobSpec(ncores=32 if not malleable else 8,
+                                duration=8.0 if not malleable else 32.0,
+                                malleable=malleable, min_cores=8,
+                                max_cores=32))
+            # Same work either way: 256 core-seconds.
+            for _ in range(3):
+                inst.submit(JobSpec(ncores=8, duration=1.0))
+            sim.run()
+            return inst.makespan()
+
+        assert run(True) < run(False)

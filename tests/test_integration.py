@@ -1,0 +1,162 @@
+"""End-to-end integration tests: full sessions under combined load,
+failure injection, and whole-run determinism."""
+
+import pytest
+
+from repro import ModuleSpec, make_cluster, standard_session
+from repro.cmb.session import CommsSession
+from repro.cmb.topology import TreeTopology, flat_topology
+from repro.kap import KapConfig, run_kap
+from repro.kvs import KvsClient, KvsModule
+from repro.cmb.modules import BarrierModule
+
+
+class TestFullStack:
+    def test_kvs_under_all_modules(self):
+        """The standard session (all Table I modules) sustains a mixed
+        put/fence/get workload with heartbeats running."""
+        cluster = make_cluster(8, seed=21)
+        session = standard_session(cluster, with_heartbeat=True,
+                                   hb_max_epochs=10, hb_period=0.01).start()
+        sim = cluster.sim
+        N = 16
+
+        def worker(i):
+            kvs = KvsClient(session.connect(i % 8))
+            yield kvs.put(f"mix.k{i}", "v" * 64)
+            yield kvs.fence("mix", N)
+            value = yield kvs.get(f"mix.k{(i + 1) % N}")
+            assert value == "v" * 64
+            return i
+
+        procs = [sim.spawn(worker(i)) for i in range(N)]
+        sim.run()
+        assert sorted(p.value for p in procs) == list(range(N))
+
+    def test_wexec_tasks_use_kvs_and_barrier(self):
+        """Launched tasks bootstrap through PMI-style KVS exchange."""
+        def mpi_like(ctx):
+            handle = ctx.connect()
+            kvs = KvsClient(handle)
+            yield kvs.put(f"boot.{ctx.jobid}.{ctx.taskrank}",
+                          ctx.taskrank * 2)
+            yield kvs.fence(f"boot.{ctx.jobid}", ctx.nprocs)
+            peer = (ctx.taskrank + 1) % ctx.nprocs
+            value = yield kvs.get(f"boot.{ctx.jobid}.{peer}")
+            ctx.print(f"peer value {value}")
+
+        cluster = make_cluster(4, seed=22)
+        session = standard_session(
+            cluster, task_registry={"mpi": mpi_like}).start()
+        sim = cluster.sim
+
+        def driver():
+            h = session.connect(0, collective=False)
+            done = h.wait_event("wexec.done")
+            yield h.rpc("wexec.run",
+                        {"jobid": "boot1", "task": "mpi", "nprocs": 8})
+            msg = yield done
+            return msg.payload["status"]
+
+        proc = sim.spawn(driver())
+        assert sim.run_until_complete(proc) == 0
+        out = session.module_at(1, "wexec").output[("boot1", 1)]
+        assert out == ["peer value 4"]
+
+    def test_failure_mid_workload_recovers(self):
+        """Kill an interior broker while clients are active; after the
+        live module heals the overlay, new RPCs succeed."""
+        cluster = make_cluster(15, seed=23)
+        session = standard_session(cluster, with_heartbeat=True,
+                                   hb_period=0.05, hb_max_epochs=200).start()
+        sim = cluster.sim
+
+        def phase1():
+            kvs = KvsClient(session.connect(14, collective=False))
+            yield kvs.put("pre.fail", 1)
+            yield kvs.commit()
+
+        p1 = sim.spawn(phase1())
+        sim.run(until=0.2)
+        assert p1.ok
+        session.fail_rank(1)
+        sim.run(until=1.5)  # detection + heal
+
+        def phase2():
+            kvs = KvsClient(session.connect(3, collective=False))
+            yield kvs.put("post.fail", 2)
+            yield kvs.commit()
+            v1 = yield kvs.get("pre.fail")
+            v2 = yield kvs.get("post.fail")
+            return v1, v2
+
+        p2 = sim.spawn(phase2())
+        sim.run(until=3.0)
+        assert p2.ok and p2.value == (1, 2)
+
+
+class TestTopologyVariants:
+    @pytest.mark.parametrize("arity", [1, 2, 4, 7])
+    def test_kvs_works_on_any_tree_shape(self, arity):
+        cluster = make_cluster(8, seed=24)
+        session = CommsSession(
+            cluster, topology=TreeTopology(8, arity=arity),
+            modules=[ModuleSpec(KvsModule),
+                     ModuleSpec(BarrierModule)]).start()
+        sim = cluster.sim
+        N = 8
+
+        def worker(i):
+            kvs = KvsClient(session.connect(i))
+            yield kvs.put(f"t.k{i}", i)
+            yield kvs.fence("t", N)
+            return (yield kvs.get(f"t.k{(i + 3) % N}"))
+
+        procs = [sim.spawn(worker(i)) for i in range(N)]
+        sim.run()
+        assert [p.value for p in procs] == [(i + 3) % N for i in range(N)]
+
+    def test_flat_topology_matches_tree_results(self):
+        """Same workload, different overlays: identical KVS contents."""
+        def final_root(topology_factory):
+            cluster = make_cluster(8, seed=25)
+            session = CommsSession(
+                cluster, topology=topology_factory(8),
+                modules=[ModuleSpec(KvsModule),
+                         ModuleSpec(BarrierModule)]).start()
+            sim = cluster.sim
+
+            def worker(i):
+                kvs = KvsClient(session.connect(i))
+                yield kvs.put(f"same.k{i}", i * i)
+                yield kvs.fence("f", 8)
+
+            procs = [sim.spawn(worker(i)) for i in range(8)]
+            sim.run()
+            assert all(p.ok for p in procs)
+            return session.module_at(0, "kvs").master.root_sha
+
+        tree_root = final_root(lambda n: TreeTopology(n, arity=2))
+        flat_root = final_root(flat_topology)
+        assert tree_root == flat_root  # content-addressed: same state
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_traces(self):
+        def fingerprint(seed):
+            res = run_kap(KapConfig(nnodes=8, procs_per_node=2,
+                                    value_size=64, naccess=2, seed=seed))
+            return (res.events, res.bytes_sent, res.total_time,
+                    res.max_sync_latency)
+
+        assert fingerprint(3) == fingerprint(3)
+
+    def test_simulated_time_independent_of_wall_clock(self):
+        """Run the same config twice with different real-time gaps; the
+        simulated results must be bit-identical."""
+        import time
+        r1 = run_kap(KapConfig(nnodes=4, procs_per_node=2, seed=1))
+        time.sleep(0.01)
+        r2 = run_kap(KapConfig(nnodes=4, procs_per_node=2, seed=1))
+        assert r1.total_time == r2.total_time
+        assert r1.producer.values.tolist() == r2.producer.values.tolist()

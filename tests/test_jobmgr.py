@@ -1,0 +1,176 @@
+"""Tests for in-band job submission (the ``job`` comms module and
+JobClient — the flux-submit path of the unified job model)."""
+
+import pytest
+
+from repro.cmb.api import RpcError
+from repro.core import CommsConfig, FluxInstance, JobClient, JobSpec
+from repro.resource import ResourcePool, build_cluster_graph
+from repro.sim.cluster import make_cluster
+
+
+def quick_task(ctx):
+    ctx.print("ran")
+    yield ctx.sim.timeout(1e-3)
+
+
+def make_instance(n_nodes=8):
+    cluster = make_cluster(n_nodes, seed=81)
+    graph = build_cluster_graph("jm", 1, n_nodes, sockets=2,
+                                cores_per_socket=8)
+    comms = CommsConfig(cluster, task_registry={"quick": quick_task})
+    inst = FluxInstance(cluster.sim, ResourcePool(graph), comms=comms)
+    return cluster, inst
+
+
+def run(cluster, gen):
+    proc = cluster.sim.spawn(gen)
+    return cluster.sim.run_until_complete(proc)
+
+
+class TestSubmitOverWire:
+    def test_submit_from_leaf_node(self):
+        cluster, inst = make_instance()
+
+        def client():
+            jc = JobClient(inst.session.connect(7, collective=False))
+            resp = yield jc.submit({"ncores": 8, "duration": 0.01,
+                                    "name": "wired"})
+            state = yield jc.wait(resp["jobid"])
+            return resp["jobid"], state
+
+        jobid, state = run(cluster, client())
+        assert state == "complete"
+        assert inst.jobs[jobid].spec.name == "wired"
+
+    def test_submit_and_wait_helper(self):
+        cluster, inst = make_instance()
+
+        def client():
+            jc = JobClient(inst.session.connect(3, collective=False))
+            state = yield from jc.submit_and_wait(
+                {"ncores": 4, "duration": 0.02})
+            return state
+
+        assert run(cluster, client()) == "complete"
+
+    def test_task_job_over_wire(self):
+        cluster, inst = make_instance()
+
+        def client():
+            jc = JobClient(inst.session.connect(5, collective=False))
+            resp = yield jc.submit({"ncores": 8, "task": "quick",
+                                    "ntasks": 2})
+            return (yield jc.wait(resp["jobid"]))
+
+        assert run(cluster, client()) == "complete"
+
+    def test_failed_job_reported(self):
+        cluster, inst = make_instance()
+
+        def client():
+            jc = JobClient(inst.session.connect(2, collective=False))
+            resp = yield jc.submit({"ncores": 4, "task": "nosuch",
+                                    "ntasks": 1})
+            state = yield jc.wait(resp["jobid"])
+            info = yield jc.info(resp["jobid"])
+            return state, info["error"]
+
+        state, error = run(cluster, client())
+        assert state == "failed"
+        assert "nosuch" in error or "status" in error
+
+    def test_invalid_spec_rejected(self):
+        cluster, inst = make_instance()
+
+        def client():
+            jc = JobClient(inst.session.connect(1, collective=False))
+            with pytest.raises(RpcError, match="rejected|needs ncores"):
+                yield jc.submit({"duration": 1.0})
+            with pytest.raises(RpcError, match="rejected"):
+                yield jc.submit({"ncores": 0})
+            return "ok"
+
+        assert run(cluster, client()) == "ok"
+
+    def test_callable_fields_not_accepted_over_wire(self):
+        cluster, inst = make_instance()
+
+        def client():
+            jc = JobClient(inst.session.connect(1, collective=False))
+            # "body"/"subjobs" are not in the whitelist: silently
+            # ignored, so this is just a duration job.
+            resp = yield jc.submit({"ncores": 2, "duration": 0.01,
+                                    "body": "evil", "subjobs": [1]})
+            return (yield jc.wait(resp["jobid"]))
+
+        assert run(cluster, client()) == "complete"
+
+    def test_info_and_list(self):
+        cluster, inst = make_instance()
+
+        def client():
+            jc = JobClient(inst.session.connect(6, collective=False))
+            r1 = yield jc.submit({"ncores": 4, "duration": 0.01,
+                                  "name": "a"})
+            r2 = yield jc.submit({"ncores": 4, "duration": 0.01,
+                                  "name": "b"})
+            yield jc.wait(r1["jobid"])
+            yield jc.wait(r2["jobid"])
+            info = yield jc.info(r1["jobid"])
+            listing = yield jc.list()
+            return info, listing
+
+        info, listing = run(cluster, client())
+        assert info["state"] == "complete" and info["name"] == "a"
+        assert {j["name"] for j in listing["jobs"]} == {"a", "b"}
+
+    def test_info_unknown_job(self):
+        cluster, inst = make_instance()
+
+        def client():
+            jc = JobClient(inst.session.connect(0, collective=False))
+            with pytest.raises(RpcError, match="unknown job"):
+                yield jc.info(999999)
+            return "ok"
+
+        assert run(cluster, client()) == "ok"
+
+    def test_wait_after_completion_resolves(self):
+        cluster, inst = make_instance()
+
+        def client():
+            jc = JobClient(inst.session.connect(4, collective=False))
+            resp = yield jc.submit({"ncores": 2, "duration": 0.005})
+            yield cluster.sim.timeout(0.1)  # job long done, no event kept
+            jc2 = JobClient(inst.session.connect(4, collective=False))
+            return (yield jc2.wait(resp["jobid"]))
+
+        assert run(cluster, client()) == "complete"
+
+
+class TestRecursiveSubmission:
+    def test_task_submits_follow_up_work(self):
+        """The unified model's recursion: a running task submits a new
+        job to its own instance through the job manager."""
+        cluster = make_cluster(8, seed=82)
+        graph = build_cluster_graph("rec", 1, 8, sockets=2,
+                                    cores_per_socket=8)
+
+        def spawner_task(ctx):
+            handle = ctx.connect()
+            jc = JobClient(handle)
+            state = yield from jc.submit_and_wait(
+                {"ncores": 4, "duration": 0.01, "name": "spawned"})
+            ctx.print(f"child finished: {state}")
+
+        comms = CommsConfig(cluster,
+                            task_registry={"spawner": spawner_task})
+        inst = FluxInstance(cluster.sim, ResourcePool(graph), comms=comms)
+        parent = inst.submit(JobSpec(ncores=8, task="spawner", ntasks=1))
+        cluster.sim.run()
+        assert parent.state.value == "complete"
+        spawned = [j for j in inst.jobs.values()
+                   if j.spec.name == "spawned"]
+        assert len(spawned) == 1
+        assert spawned[0].state.value == "complete"

@@ -1,0 +1,106 @@
+"""Tests for the KAP batch-sweep driver."""
+
+import csv
+import io
+
+import pytest
+
+from repro.kap.sweep import (CSV_FIELDS, SweepSpec, main, run_sweep,
+                             write_csv)
+
+
+SMALL = SweepSpec(nodes=(2, 4), procs_per_node=(2,), value_sizes=(8,),
+                  redundant=(False, True))
+
+
+class TestSweepSpec:
+    def test_len_is_product(self):
+        assert len(SMALL) == 4
+
+    def test_configs_cover_product(self):
+        combos = {(c.nnodes, c.redundant_values)
+                  for c in SMALL.configs()}
+        assert combos == {(2, False), (2, True), (4, False), (4, True)}
+
+    def test_default_spec_is_reasonable(self):
+        spec = SweepSpec()
+        assert len(spec) == len(spec.nodes) * len(spec.value_sizes)
+
+
+class TestRunSweep:
+    def test_rows_have_all_fields(self):
+        rows = run_sweep(SMALL)
+        assert len(rows) == 4
+        for row in rows:
+            assert set(row) == set(CSV_FIELDS)
+            assert row["max_fence_s"] > 0
+            assert row["events"] > 0
+
+    def test_progress_stream(self):
+        buf = io.StringIO()
+        run_sweep(SweepSpec(nodes=(2,), procs_per_node=(2,),
+                            value_sizes=(8,)), progress=buf)
+        assert "[1/1]" in buf.getvalue()
+
+    def test_deterministic(self):
+        r1 = run_sweep(SMALL)
+        r2 = run_sweep(SMALL)
+        assert r1 == r2
+
+
+class TestCsv:
+    def test_roundtrip(self):
+        rows = run_sweep(SweepSpec(nodes=(2,), procs_per_node=(2,),
+                                   value_sizes=(8,)))
+        buf = io.StringIO()
+        write_csv(rows, buf)
+        buf.seek(0)
+        parsed = list(csv.DictReader(buf))
+        assert len(parsed) == 1
+        assert parsed[0]["nnodes"] == "2"
+        assert float(parsed[0]["max_fence_s"]) > 0
+
+    def test_dir_width_none_is_empty_cell(self):
+        rows = run_sweep(SweepSpec(nodes=(2,), procs_per_node=(2,),
+                                   value_sizes=(8,), dir_widths=(None,)))
+        buf = io.StringIO()
+        write_csv(rows, buf)
+        line = buf.getvalue().splitlines()[1]
+        fields = line.split(",")
+        assert fields[CSV_FIELDS.index("dir_width")] == ""
+
+
+class TestCli:
+    def test_stdout_csv(self, capsys):
+        rc = main(["--nodes", "2", "--procs-per-node", "2",
+                   "--value-size", "8", "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        header = out.splitlines()[0]
+        assert header == ",".join(CSV_FIELDS)
+        assert len(out.splitlines()) == 2
+
+    def test_file_output(self, tmp_path, capsys):
+        path = tmp_path / "sweep.csv"
+        rc = main(["--nodes", "2,4", "--procs-per-node", "2",
+                   "--value-size", "8", "--redundant", "both",
+                   "-o", str(path), "--quiet"])
+        assert rc == 0
+        rows = list(csv.DictReader(path.open()))
+        assert len(rows) == 4
+
+    def test_redundant_both(self, capsys):
+        main(["--nodes", "2", "--procs-per-node", "2", "--value-size",
+              "8", "--redundant", "both", "--quiet"])
+        out = capsys.readouterr().out
+        flags = {line.split(",")[CSV_FIELDS.index("redundant")]
+                 for line in out.splitlines()[1:]}
+        assert flags == {"0", "1"}
+
+    def test_dir_width_list(self, capsys):
+        main(["--nodes", "2", "--procs-per-node", "2", "--value-size",
+              "8", "--dir-width", "none,4", "--quiet"])
+        out = capsys.readouterr().out
+        widths = {line.split(",")[CSV_FIELDS.index("dir_width")]
+                  for line in out.splitlines()[1:]}
+        assert widths == {"", "4"}

@@ -1,0 +1,142 @@
+"""Unit tests for the slave cache and the master commit engine."""
+
+import pytest
+
+from repro.jsonutil import sha1_of
+from repro.kvs.cache import SlaveCache
+from repro.kvs.master import KvsMaster
+from repro.kvs.store import EMPTY_DIR_SHA, make_val_obj
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def cache(clock):
+    return SlaveCache(clock)
+
+
+def obj_for(value):
+    obj = make_val_obj(value)
+    return sha1_of(obj), obj
+
+
+class TestSlaveCache:
+    def test_insert_and_get(self, cache):
+        sha, obj = obj_for(1)
+        cache.insert(sha, obj)
+        assert cache.get(sha) == obj
+        assert cache.stats.hits == 1
+
+    def test_miss_counted(self, cache):
+        assert cache.get("0" * 40) is None
+        assert cache.stats.misses == 1
+
+    def test_expiry_evicts_idle_entries(self, cache, clock):
+        sha, obj = obj_for("old")
+        cache.insert(sha, obj)
+        clock.t = 100.0
+        evicted = cache.expire(max_idle=50.0)
+        assert evicted == 1
+        assert sha not in cache
+
+    def test_recent_use_prevents_expiry(self, cache, clock):
+        sha, obj = obj_for("warm")
+        cache.insert(sha, obj)
+        clock.t = 100.0
+        cache.get(sha)  # touch
+        clock.t = 140.0
+        assert cache.expire(max_idle=50.0) == 0
+        assert sha in cache
+
+    def test_pinned_entries_survive_expiry(self, cache, clock):
+        sha, obj = obj_for("dirty")
+        cache.insert(sha, obj, pin=True)
+        clock.t = 1000.0
+        assert cache.expire(max_idle=1.0) == 0
+        cache.unpin(sha)
+        assert cache.expire(max_idle=1.0) == 1
+
+    def test_empty_dir_never_expires(self, cache, clock):
+        clock.t = 1e9
+        cache.expire(max_idle=1.0)
+        assert EMPTY_DIR_SHA in cache
+
+    def test_eviction_stat(self, cache, clock):
+        for i in range(5):
+            sha, obj = obj_for(i)
+            cache.insert(sha, obj)
+        clock.t = 10.0
+        cache.expire(max_idle=5.0)
+        assert cache.stats.evictions == 5
+
+
+class TestKvsMaster:
+    def test_initial_state(self):
+        m = KvsMaster()
+        assert m.root_sha == EMPTY_DIR_SHA and m.version == 0
+
+    def test_commit_bumps_version_and_root(self):
+        m = KvsMaster()
+        sha, obj = obj_for(42)
+        m.ingest_objects({sha: obj})
+        res = m.commit([("a.b", sha)])
+        assert res.version == 1
+        assert res.root_sha != EMPTY_DIR_SHA
+        assert m.root_sha == res.root_sha
+
+    def test_empty_commit_still_bumps_version(self):
+        m = KvsMaster()
+        res = m.commit([])
+        assert res.version == 1
+
+    def test_commit_unknown_object_rejected(self):
+        m = KvsMaster()
+        with pytest.raises(KeyError):
+            m.commit([("k", "f" * 40)])
+
+    def test_fence_waits_for_all_contributions(self):
+        m = KvsMaster()
+        sha1v, obj1 = obj_for("one")
+        sha2v, obj2 = obj_for("two")
+        assert m.fence_add("f", 2, 1, [("k1", sha1v)], {sha1v: obj1}) is None
+        assert m.version == 0  # nothing applied yet
+        res = m.fence_add("f", 2, 1, [("k2", sha2v)], {sha2v: obj2})
+        assert res is not None and res.version == 1
+        assert m.pending_fences() == []
+
+    def test_fence_aggregated_counts(self):
+        m = KvsMaster()
+        sha, obj = obj_for("x")
+        res = m.fence_add("f", 4, 4, [("k", sha)], {sha: obj})
+        assert res is not None  # one pre-aggregated contribution of 4
+
+    def test_fence_nprocs_conflict_rejected(self):
+        m = KvsMaster()
+        m.fence_add("f", 2, 1, [], {})
+        with pytest.raises(ValueError):
+            m.fence_add("f", 3, 1, [], {})
+
+    def test_fence_name_reusable_after_completion(self):
+        m = KvsMaster()
+        assert m.fence_add("f", 1, 1, [], {}) is not None
+        assert m.fence_add("f", 1, 1, [], {}) is not None
+        assert m.version == 2
+
+    def test_interleaved_fences(self):
+        m = KvsMaster()
+        assert m.fence_add("a", 2, 1, [], {}) is None
+        assert m.fence_add("b", 2, 1, [], {}) is None
+        assert sorted(m.pending_fences()) == ["a", "b"]
+        assert m.fence_add("b", 2, 1, [], {}) is not None
+        assert m.fence_add("a", 2, 1, [], {}) is not None

@@ -1,0 +1,610 @@
+"""Distributed KVS protocol tests: the Section IV-B behaviours —
+write-back puts, commits, fences with tree reduction, fault-in gets,
+watch, and the three Vogels consistency properties."""
+
+import pytest
+
+from repro.cmb.api import RpcError
+from repro.cmb.modules import BarrierModule, HeartbeatModule
+from repro.cmb.session import CommsSession, ModuleSpec
+from repro.cmb.topology import TreeTopology
+from repro.kvs import KvsClient, KvsModule
+from repro.sim.cluster import make_cluster
+
+
+def make_kvs_session(n=8, arity=2, expiry=None, hb=False):
+    cluster = make_cluster(n, seed=5)
+    modules = [ModuleSpec(KvsModule, expiry=expiry),
+               ModuleSpec(BarrierModule)]
+    if hb:
+        modules.append(ModuleSpec(HeartbeatModule, period=0.1,
+                                  max_epochs=30))
+    session = CommsSession(cluster, topology=TreeTopology(n, arity=arity),
+                           modules=modules).start()
+    return cluster, session
+
+
+def run(cluster, *gens):
+    procs = [cluster.sim.spawn(g) for g in gens]
+    cluster.sim.run()
+    for p in procs:
+        assert p.ok, f"process failed: {p._exc!r}"
+    return [p.value for p in procs]
+
+
+class TestPutCommitGet:
+    def test_put_is_local_until_commit(self):
+        cluster, session = make_kvs_session()
+        master = session.module_at(0, "kvs").master
+
+        def writer():
+            kvs = KvsClient(session.connect(5))
+            yield kvs.put("a.b", 1)
+            assert master.version == 0  # nothing flushed yet
+            yield kvs.commit()
+            assert master.version == 1
+
+        run(cluster, writer())
+
+    def test_get_own_write_after_commit(self):
+        cluster, session = make_kvs_session()
+
+        def writer():
+            kvs = KvsClient(session.connect(7))
+            yield kvs.put("deep.nested.key", {"v": [1, 2]})
+            yield kvs.commit()
+            return (yield kvs.get("deep.nested.key"))
+
+        assert run(cluster, writer()) == [{"v": [1, 2]}]
+
+    def test_cross_node_read_after_wait_version(self):
+        cluster, session = make_kvs_session()
+        done = {}
+
+        def writer():
+            kvs = KvsClient(session.connect(3))
+            yield kvs.put("x", "hello")
+            resp = yield kvs.commit()
+            done["version"] = resp["version"]
+
+        def reader():
+            kvs = KvsClient(session.connect(6))
+            while "version" not in done:
+                yield cluster.sim.timeout(1e-5)
+            yield kvs.wait_version(done["version"])
+            return (yield kvs.get("x"))
+
+        assert run(cluster, writer(), reader())[1] == "hello"
+
+    def test_get_missing_key_is_rpc_error(self):
+        cluster, session = make_kvs_session()
+
+        def reader():
+            kvs = KvsClient(session.connect(2))
+            with pytest.raises(RpcError, match="not found"):
+                yield kvs.get("ghost")
+            return "ok"
+
+        assert run(cluster, reader()) == ["ok"]
+
+    def test_unlink_removes_key(self):
+        cluster, session = make_kvs_session()
+
+        def writer():
+            kvs = KvsClient(session.connect(1))
+            yield kvs.put("k", 1)
+            yield kvs.commit()
+            yield kvs.unlink("k")
+            yield kvs.commit()
+            with pytest.raises(RpcError, match="not found"):
+                yield kvs.get("k")
+            return "ok"
+
+        assert run(cluster, writer()) == ["ok"]
+
+    def test_get_dir_listing(self):
+        cluster, session = make_kvs_session()
+
+        def writer():
+            kvs = KvsClient(session.connect(4))
+            yield kvs.put("d.one", 1)
+            yield kvs.put("d.two", 2)
+            yield kvs.commit()
+            return (yield kvs.get_dir("d"))
+
+        assert run(cluster, writer()) == [["one", "two"]]
+
+    def test_get_ref_returns_sha(self):
+        cluster, session = make_kvs_session()
+
+        def writer():
+            kvs = KvsClient(session.connect(4))
+            yield kvs.put("r", "val")
+            yield kvs.commit()
+            resp = yield kvs.get_ref("r")
+            return resp["ref"]
+
+        ref = run(cluster, writer())[0]
+        assert len(ref) == 40
+
+    def test_two_clients_same_node_have_separate_dirty_sets(self):
+        cluster, session = make_kvs_session()
+        order = []
+
+        def client_a():
+            kvs = KvsClient(session.connect(3))
+            yield kvs.put("a", 1)
+            order.append("a-put")
+            # Never commits: "a" must not leak via client_b's commit.
+
+        def client_b():
+            kvs = KvsClient(session.connect(3))
+            yield kvs.put("b", 2)
+            yield cluster.sim.timeout(1e-3)
+            yield kvs.commit()
+            with pytest.raises(RpcError, match="not found"):
+                yield kvs.get("a")
+            return (yield kvs.get("b"))
+
+        results = run(cluster, client_a(), client_b())
+        assert results[1] == 2
+
+    def test_bad_key_rejected_at_put(self):
+        cluster, session = make_kvs_session()
+
+        def writer():
+            kvs = KvsClient(session.connect(0))
+            with pytest.raises(RpcError):
+                yield kvs.put("bad..key", 1)
+            return "ok"
+
+        assert run(cluster, writer()) == ["ok"]
+
+
+class TestConsistencyProperties:
+    """The three Vogels properties claimed in Section IV-B."""
+
+    def test_read_your_writes(self):
+        """A process having updated a data item never accesses an older
+        value — even though its slave is weakly consistent."""
+        cluster, session = make_kvs_session(n=15)
+
+        def writer():
+            kvs = KvsClient(session.connect(14))  # deepest leaf
+            for i in range(5):
+                yield kvs.put("ryw", i)
+                yield kvs.commit()
+                value = yield kvs.get("ryw")
+                assert value == i, f"stale read {value} after writing {i}"
+            return "ok"
+
+        assert run(cluster, writer()) == ["ok"]
+
+    def test_causal_consistency(self):
+        """A writes, passes the version to B out of band; B waits for
+        that version and must see A's value."""
+        cluster, session = make_kvs_session(n=15)
+        mailbox = []
+
+        def process_a():
+            kvs = KvsClient(session.connect(7))
+            yield kvs.put("causal", "from-A")
+            resp = yield kvs.commit()
+            mailbox.append(resp["version"])  # the out-of-band message
+
+        def process_b():
+            kvs = KvsClient(session.connect(13))
+            while not mailbox:
+                yield cluster.sim.timeout(1e-6)
+            yield kvs.wait_version(mailbox[0])
+            return (yield kvs.get("causal"))
+
+        assert run(cluster, process_a(), process_b())[1] == "from-A"
+
+    def test_monotonic_reads(self):
+        """Once a process saw version v's value it never reads an older
+        one, even while updates race."""
+        cluster, session = make_kvs_session(n=15)
+        seen = []
+
+        def writer():
+            kvs = KvsClient(session.connect(3))
+            for i in range(10):
+                yield kvs.put("mono", i)
+                yield kvs.commit()
+                yield cluster.sim.timeout(5e-6)
+
+        def reader():
+            kvs = KvsClient(session.connect(14))
+            for _ in range(30):
+                try:
+                    value = yield kvs.get("mono")
+                    seen.append(value)
+                except RpcError:
+                    pass  # not yet visible
+                yield cluster.sim.timeout(2e-6)
+
+        run(cluster, writer(), reader())
+        assert seen == sorted(seen), f"non-monotonic reads: {seen}"
+
+    def test_root_versions_never_applied_out_of_order(self):
+        cluster, session = make_kvs_session(n=15)
+
+        def writer(node):
+            kvs = KvsClient(session.connect(node))
+            for i in range(5):
+                yield kvs.put(f"w{node}.{i}", i)
+                yield kvs.commit()
+
+        run(cluster, writer(1), writer(8), writer(14))
+        for rank in range(15):
+            mod = session.module_at(rank, "kvs")
+            assert mod.version == 15  # all commits observed everywhere
+
+    def test_get_version_reflects_local_application(self):
+        cluster, session = make_kvs_session()
+
+        def writer():
+            kvs = KvsClient(session.connect(6))
+            v0 = (yield kvs.get_version())["version"]
+            yield kvs.put("vv", 1)
+            yield kvs.commit()
+            v1 = (yield kvs.get_version())["version"]
+            assert v1 == v0 + 1
+            return "ok"
+
+        assert run(cluster, writer()) == ["ok"]
+
+
+class TestFence:
+    def test_fence_is_collective_commit(self):
+        cluster, session = make_kvs_session(n=8)
+        N = 16
+        master = session.module_at(0, "kvs").master
+
+        def member(i):
+            kvs = KvsClient(session.connect(i % 8))
+            yield kvs.put(f"fence.k{i}", i)
+            yield kvs.fence("f", N)
+            # After the fence every member sees every other member's key.
+            other = (i + 5) % N
+            value = yield kvs.get(f"fence.k{other}")
+            assert value == other
+            return "ok"
+
+        results = run(cluster, *[member(i) for i in range(N)])
+        assert results == ["ok"] * N
+        assert master.version == 1  # one combined commit
+
+    def test_redundant_values_reduce_to_one_object(self):
+        cluster, session = make_kvs_session(n=8)
+        N = 16
+
+        def member(i):
+            kvs = KvsClient(session.connect(i % 8))
+            yield kvs.put(f"red.k{i}", "same-value-everywhere")
+            yield kvs.fence("f", N)
+
+        run(cluster, *[member(i) for i in range(N)])
+        master = session.module_at(0, "kvs").master
+        # All 16 keys share one content object.
+        from repro.kvs.store import make_val_obj
+        from repro.jsonutil import sha1_of
+        sha = sha1_of(make_val_obj("same-value-everywhere"))
+        assert sha in master.store
+
+    def test_fence_bytes_unique_vs_redundant(self):
+        """The Figure 3 asymmetry at the transport level: a fence of
+        unique values moves far more bytes than redundant ones."""
+        def total_bytes(redundant):
+            cluster, session = make_kvs_session(n=8)
+            N = 16
+
+            def member(i):
+                kvs = KvsClient(session.connect(i % 8))
+                # Same 512-byte size either way; only redundancy differs.
+                value = "R" * 512 if redundant else f"u{i:02d}" + "x" * 508
+                yield kvs.put(f"k{i}", value)
+                yield kvs.fence("f", N)
+
+            before = cluster.network.total_bytes_sent()
+            run(cluster, *[member(i) for i in range(N)])
+            return cluster.network.total_bytes_sent() - before
+
+        unique = total_bytes(False)
+        redundant = total_bytes(True)
+        assert unique > 2 * redundant
+
+    def test_fence_with_pure_consumers(self):
+        """Participants without dirty data still synchronize."""
+        cluster, session = make_kvs_session(n=4)
+
+        def producer():
+            kvs = KvsClient(session.connect(1))
+            yield kvs.put("p", 1)
+            yield kvs.fence("f", 2)
+            return "p"
+
+        def consumer():
+            kvs = KvsClient(session.connect(3))
+            yield kvs.fence("f", 2)
+            return (yield kvs.get("p"))
+
+        assert run(cluster, producer(), consumer()) == ["p", 1]
+
+    def test_two_sequential_fences(self):
+        cluster, session = make_kvs_session(n=4)
+        N = 8
+
+        def member(i):
+            kvs = KvsClient(session.connect(i % 4))
+            yield kvs.put(f"r1.k{i}", i)
+            yield kvs.fence("f1", N)
+            yield kvs.put(f"r2.k{i}", i * 10)
+            yield kvs.fence("f2", N)
+            return (yield kvs.get(f"r2.k{(i + 1) % N}"))
+
+        results = run(cluster, *[member(i) for i in range(N)])
+        assert results == [((i + 1) % N) * 10 for i in range(N)]
+
+    def test_single_rank_session_fence(self):
+        cluster, session = make_kvs_session(n=1)
+
+        def solo():
+            kvs = KvsClient(session.connect(0))
+            yield kvs.put("k", 1)
+            yield kvs.fence("f", 1)
+            return (yield kvs.get("k"))
+
+        assert run(cluster, solo()) == [1]
+
+
+class TestFaultInAndCaching:
+    def test_objects_cached_along_the_chain(self):
+        cluster, session = make_kvs_session(n=15)
+
+        def writer():
+            kvs = KvsClient(session.connect(0))
+            yield kvs.put("shared.obj", "payload")
+            yield kvs.commit()
+
+        def reader(rank):
+            def gen():
+                kvs = KvsClient(session.connect(rank))
+                yield kvs.wait_version(1)
+                return (yield kvs.get("shared.obj"))
+            return gen()
+
+        run(cluster, writer())
+        # Deep leaf faults the object in: every ancestor caches it.
+        run(cluster, reader(14))
+        for rank in (14, 6, 2):  # 14 -> 6 -> 2 -> 0 chain
+            mod = session.module_at(rank, "kvs")
+            assert mod.cache is not None
+            # root dir + shared dir + value all present now
+            assert len(mod.cache) >= 3
+
+    def test_second_read_is_local(self):
+        cluster, session = make_kvs_session(n=15)
+
+        def writer():
+            kvs = KvsClient(session.connect(0))
+            yield kvs.put("warm.key", 1)
+            yield kvs.commit()
+
+        run(cluster, writer())
+        sim = cluster.sim
+        spans = []
+
+        def reader():
+            kvs = KvsClient(session.connect(14))
+            yield kvs.wait_version(1)
+            t0 = sim.now
+            yield kvs.get("warm.key")
+            spans.append(sim.now - t0)
+            t0 = sim.now
+            yield kvs.get("warm.key")
+            spans.append(sim.now - t0)
+
+        run(cluster, reader())
+        assert spans[1] < spans[0] / 2  # cache hit skips the chain
+
+    def test_concurrent_faults_coalesce(self):
+        cluster, session = make_kvs_session(n=15)
+
+        def writer():
+            kvs = KvsClient(session.connect(0))
+            yield kvs.put("hot.key", "x" * 1000)
+            yield kvs.commit()
+
+        run(cluster, writer())
+        master_mod = session.module_at(0, "kvs")
+        served_before = master_mod.broker.requests_handled
+
+        def reader():
+            kvs = KvsClient(session.connect(14))
+            yield kvs.wait_version(1)
+            return (yield kvs.get("hot.key"))
+
+        # Many simultaneous readers on the same node: in-flight load
+        # coalescing means the upstream chain sees a bounded number of
+        # load requests, not one per reader.
+        results = run(cluster, *[reader() for _ in range(10)])
+        assert all(r == "x" * 1000 for r in results)
+        served = master_mod.broker.requests_handled - served_before
+        assert served <= 6
+
+    def test_dropcache_forces_refetch(self):
+        cluster, session = make_kvs_session(n=4)
+
+        def flow():
+            kvs = KvsClient(session.connect(3))
+            yield kvs.put("k", 7)
+            yield kvs.commit()
+            yield kvs.get("k")
+            resp = yield kvs.handle.rpc("kvs.dropcache")
+            assert resp["evicted"] > 0
+            return (yield kvs.get("k"))  # refetched through the chain
+
+        assert run(cluster, flow()) == [7]
+
+    def test_heartbeat_driven_expiry(self):
+        cluster, session = make_kvs_session(n=4, expiry=0.2, hb=True)
+
+        def flow():
+            kvs = KvsClient(session.connect(3))
+            yield kvs.put("exp.k", 1)
+            yield kvs.commit()
+            yield kvs.get("exp.k")
+            mod = session.module_at(3, "kvs")
+            populated = len(mod.cache)
+            yield cluster.sim.timeout(1.5)  # many heartbeats idle
+            assert len(mod.cache) < populated
+            return "ok"
+
+        assert run(cluster, flow()) == ["ok"]
+
+    def test_stats_rpc(self):
+        cluster, session = make_kvs_session(n=4)
+
+        def flow():
+            kvs = KvsClient(session.connect(2))
+            yield kvs.put("s", 1)
+            yield kvs.commit()
+            yield kvs.get("s")
+            local = yield kvs.stats()
+            remote = yield kvs.stats(rank=0)
+            return local, remote
+
+        local, remote = run(cluster, flow())[0]
+        assert local["rank"] == 2 and not local["is_master"]
+        assert remote["rank"] == 0 and remote["is_master"]
+
+
+class TestWatch:
+    def test_watch_fires_on_change(self):
+        cluster, session = make_kvs_session(n=8)
+        fired = []
+
+        def watcher():
+            kvs = KvsClient(session.connect(6))
+            kvs.watch("watched.key", lambda k, v: fired.append((k, v)))
+            yield cluster.sim.timeout(1e-3)
+
+        def writer():
+            kvs = KvsClient(session.connect(3))
+            yield cluster.sim.timeout(2e-4)
+            yield kvs.put("watched.key", "v1")
+            yield kvs.commit()
+
+        run(cluster, watcher(), writer())
+        assert fired == [("watched.key", "v1")]
+
+    def test_watch_does_not_fire_without_change(self):
+        cluster, session = make_kvs_session(n=8)
+        fired = []
+
+        def watcher():
+            kvs = KvsClient(session.connect(6))
+            kvs.watch("quiet.key", lambda k, v: fired.append(v))
+            yield cluster.sim.timeout(1e-3)
+
+        def writer():
+            kvs = KvsClient(session.connect(3))
+            yield kvs.put("other.key", 1)
+            yield kvs.commit()
+            yield kvs.put("other.key2", 2)
+            yield kvs.commit()
+
+        run(cluster, watcher(), writer())
+        assert fired == []
+
+    def test_watch_directory_fires_on_deep_change(self):
+        """Hash-tree organization: a watched directory changes when
+        keys under it at any depth change."""
+        cluster, session = make_kvs_session(n=8)
+        fired = []
+
+        def watcher():
+            kvs = KvsClient(session.connect(7))
+            kvs.watch("tree", lambda k, v: fired.append(v))
+            yield cluster.sim.timeout(1e-3)
+
+        def writer():
+            kvs = KvsClient(session.connect(2))
+            yield cluster.sim.timeout(2e-4)
+            yield kvs.put("tree.a.b.c.leaf", 99)
+            yield kvs.commit()
+
+        run(cluster, watcher(), writer())
+        assert fired == [{"__dir__": ["a"]}]
+
+    def test_watch_sequence_of_updates(self):
+        cluster, session = make_kvs_session(n=4)
+        fired = []
+
+        def watcher():
+            kvs = KvsClient(session.connect(3))
+            kvs.watch("seq", lambda k, v: fired.append(v))
+            yield cluster.sim.timeout(5e-3)
+
+        def writer():
+            kvs = KvsClient(session.connect(1))
+            for i in range(4):
+                yield cluster.sim.timeout(5e-4)
+                yield kvs.put("seq", i)
+                yield kvs.commit()
+
+        run(cluster, watcher(), writer())
+        assert fired == [0, 1, 2, 3]
+
+    def test_cancel_stops_callbacks(self):
+        cluster, session = make_kvs_session(n=4)
+        fired = []
+
+        def flow():
+            kvs = KvsClient(session.connect(3))
+            w = kvs.watch("c.key", lambda k, v: fired.append(v))
+            yield cluster.sim.timeout(1e-4)
+            w.cancel()
+            writer = KvsClient(session.connect(1))
+            yield writer.put("c.key", 1)
+            yield writer.commit()
+            yield cluster.sim.timeout(1e-3)
+
+        run(cluster, flow())
+        assert fired == []
+
+    def test_watch_key_removal_fires_none(self):
+        cluster, session = make_kvs_session(n=4)
+        fired = []
+
+        def flow():
+            kvs = KvsClient(session.connect(2))
+            yield kvs.put("gone", 1)
+            yield kvs.commit()
+            kvs.watch("gone", lambda k, v: fired.append(v))
+            yield cluster.sim.timeout(1e-4)
+            yield kvs.unlink("gone")
+            yield kvs.commit()
+            yield cluster.sim.timeout(1e-3)
+
+        run(cluster, flow())
+        assert fired == [None]
+
+
+class TestCommitWaitSync:
+    def test_commit_plus_wait_version_synchronizes(self):
+        """The KAP 'commit_wait' alternative to fence."""
+        cluster, session = make_kvs_session(n=8)
+        NP = 8
+
+        def producer(i):
+            kvs = KvsClient(session.connect(i))
+            yield kvs.put(f"cw.k{i}", i)
+            yield kvs.commit()
+            yield kvs.wait_version(NP)
+            return (yield kvs.get(f"cw.k{(i + 3) % NP}"))
+
+        results = run(cluster, *[producer(i) for i in range(NP)])
+        assert results == [(i + 3) % NP for i in range(NP)]

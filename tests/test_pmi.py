@@ -1,0 +1,98 @@
+"""Tests for the PMI-over-CMB bootstrap library (MPI wire-up)."""
+
+import pytest
+
+from repro import make_cluster, standard_session
+from repro.cmb.pmi import PmiClient
+
+
+def wireup_job(session, jobid, size, nodes):
+    """Spawn `size` simulated MPI ranks doing the canonical exchange."""
+    cluster_sim = session.sim
+    cards = {}
+
+    def mpi_rank(rank):
+        handle = session.connect(rank % nodes)
+        pmi = PmiClient(handle, jobid, rank, size)
+        my_card = f"ib://node{rank % nodes}:{5000 + rank}"
+        got = yield from pmi.exchange_business_cards(my_card)
+        cards[rank] = got
+
+    procs = [cluster_sim.spawn(mpi_rank(r)) for r in range(size)]
+    cluster_sim.run()
+    assert all(p.ok for p in procs)
+    return cards
+
+
+class TestPmiBootstrap:
+    def test_full_exchange(self):
+        cluster = make_cluster(4, seed=11)
+        session = standard_session(cluster).start()
+        cards = wireup_job(session, "mpi1", 8, 4)
+        expected = [f"ib://node{r % 4}:{5000 + r}" for r in range(8)]
+        for rank in range(8):
+            assert cards[rank] == expected
+
+    def test_two_jobs_namespaces_isolated(self):
+        cluster = make_cluster(4, seed=11)
+        session = standard_session(cluster).start()
+        sim = cluster.sim
+        results = {}
+
+        def rank_of(jobid, rank, size):
+            handle = session.connect(rank % 4)
+            pmi = PmiClient(handle, jobid, rank, size)
+            got = yield from pmi.exchange_business_cards(f"{jobid}-{rank}")
+            results[(jobid, rank)] = got
+
+        procs = [sim.spawn(rank_of("jA", r, 4)) for r in range(4)]
+        procs += [sim.spawn(rank_of("jB", r, 4)) for r in range(4)]
+        sim.run()
+        assert all(p.ok for p in procs)
+        assert results[("jA", 0)] == [f"jA-{r}" for r in range(4)]
+        assert results[("jB", 3)] == [f"jB-{r}" for r in range(4)]
+
+    def test_pure_barrier(self):
+        cluster = make_cluster(2, seed=11)
+        session = standard_session(cluster).start()
+        sim = cluster.sim
+        release = []
+
+        def rank_of(rank):
+            handle = session.connect(rank % 2)
+            pmi = PmiClient(handle, "jb", rank, 4)
+            yield sim.timeout(rank * 1e-4)
+            yield pmi.barrier()
+            release.append(sim.now)
+
+        procs = [sim.spawn(rank_of(r)) for r in range(4)]
+        sim.run()
+        assert all(p.ok for p in procs)
+        assert min(release) >= 3e-4  # nobody exits before the last entry
+
+    def test_repeated_fences_advance(self):
+        cluster = make_cluster(2, seed=11)
+        session = standard_session(cluster).start()
+        sim = cluster.sim
+
+        def rank_of(rank):
+            handle = session.connect(rank % 2)
+            pmi = PmiClient(handle, "jf", rank, 2)
+            for round_i in range(3):
+                yield pmi.put(f"r{round_i}.{rank}", round_i * 10 + rank)
+                yield pmi.fence()
+                peer = 1 - rank
+                value = yield pmi.get(f"r{round_i}.{peer}")
+                assert value == round_i * 10 + peer
+            return "ok"
+
+        procs = [sim.spawn(rank_of(r)) for r in range(2)]
+        sim.run()
+        assert all(p.ok and p.value == "ok" for p in procs)
+
+    def test_kvsname_convention(self):
+        cluster = make_cluster(1, seed=0)
+        session = standard_session(cluster).start()
+        handle = session.connect(0)
+        pmi = PmiClient(handle, "lwj42", 0, 1)
+        assert pmi.kvsname == "pmi.lwj42"

@@ -1,0 +1,187 @@
+"""Property-based tests of distributed invariants.
+
+Hypothesis drives randomized workloads through the full simulated
+stack and checks the system-level guarantees: linearized commit order,
+fence completeness under arbitrary placements, and per-pair FIFO
+delivery in the fabric.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cmb.modules import BarrierModule
+from repro.cmb.session import CommsSession, ModuleSpec
+from repro.cmb.topology import TreeTopology
+from repro.kvs import KvsClient, KvsModule
+from repro.sim.cluster import make_cluster
+from repro.sim.kernel import Simulation
+from repro.sim.network import Network, NetworkParams
+
+# -- strategies -------------------------------------------------------------
+
+_key = st.sampled_from([f"k{i}" for i in range(6)]).map(
+    lambda k: f"prop.{k}")
+_batch = st.lists(st.tuples(_key, st.integers(0, 999)),
+                  min_size=1, max_size=4)
+
+
+@st.composite
+def commit_workload(draw):
+    """A set of clients, each with a sequence of commit batches."""
+    nclients = draw(st.integers(1, 4))
+    return [
+        (draw(st.integers(0, 7)),                     # session rank
+         draw(st.lists(_batch, min_size=1, max_size=3)))
+        for _ in range(nclients)
+    ]
+
+
+class TestCommitLinearization:
+    @given(workload=commit_workload())
+    @settings(max_examples=40, deadline=None)
+    def test_final_state_matches_master_commit_order(self, workload):
+        """Whatever the interleaving, the final KVS state equals a flat
+        dict built by applying batches in master version order, and
+        every rank observes that same state."""
+        cluster = make_cluster(8, seed=99)
+        session = CommsSession(
+            cluster, topology=TreeTopology(8),
+            modules=[ModuleSpec(KvsModule)]).start()
+        sim = cluster.sim
+        committed = []  # (version, batch)
+
+        def client(rank, batches):
+            kvs = KvsClient(session.connect(rank))
+            for batch in batches:
+                for key, value in batch:
+                    yield kvs.put(key, value)
+                resp = yield kvs.commit()
+                committed.append((resp["version"], batch))
+
+        procs = [sim.spawn(client(rank, batches))
+                 for rank, batches in workload]
+        sim.run()
+        assert all(p.ok for p in procs)
+
+        # Versions are unique and dense.
+        versions = sorted(v for v, _ in committed)
+        assert versions == list(range(1, len(committed) + 1))
+
+        model = {}
+        for _version, batch in sorted(committed, key=lambda x: x[0]):
+            for key, value in batch:
+                model[key] = value
+
+        final_version = len(committed)
+
+        def reader(rank):
+            kvs = KvsClient(session.connect(rank, collective=False))
+            yield kvs.wait_version(final_version)
+            out = {}
+            for key in model:
+                out[key] = yield kvs.get(key)
+            return out
+
+        readers = [sim.spawn(reader(r)) for r in (0, 3, 7)]
+        sim.run()
+        for p in readers:
+            assert p.ok and p.value == model
+
+
+class TestFencePlacementProperty:
+    @given(placement=st.lists(st.integers(0, 14), min_size=2, max_size=12),
+           vsize=st.sampled_from([4, 64, 512]))
+    @settings(max_examples=30, deadline=None)
+    def test_fence_completes_under_any_placement(self, placement, vsize):
+        """However participants are scattered over the tree, the fence
+        releases everyone and makes all keys globally visible."""
+        cluster = make_cluster(15, seed=7)
+        session = CommsSession(
+            cluster, topology=TreeTopology(15),
+            modules=[ModuleSpec(KvsModule)]).start()
+        sim = cluster.sim
+        n = len(placement)
+
+        def member(i, rank):
+            kvs = KvsClient(session.connect(rank))
+            yield kvs.put(f"pf.k{i}", "v" * vsize)
+            yield kvs.fence("pf", n)
+            peer = (i + 1) % n
+            value = yield kvs.get(f"pf.k{peer}")
+            assert value == "v" * vsize
+            return i
+
+        procs = [sim.spawn(member(i, rank))
+                 for i, rank in enumerate(placement)]
+        sim.run()
+        assert sorted(p.value for p in procs) == list(range(n))
+
+    @given(placement=st.lists(st.integers(0, 7), min_size=2, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_barrier_releases_after_last_arrival(self, placement):
+        cluster = make_cluster(8, seed=7)
+        session = CommsSession(
+            cluster, topology=TreeTopology(8),
+            modules=[ModuleSpec(BarrierModule)]).start()
+        sim = cluster.sim
+        n = len(placement)
+        last_arrival = (n - 1) * 1e-5
+        releases = []
+
+        def member(i, rank):
+            handle = session.connect(rank)
+            yield sim.timeout(i * 1e-5)
+            yield handle.barrier("pb", n)
+            releases.append(sim.now)
+
+        procs = [sim.spawn(member(i, r)) for i, r in enumerate(placement)]
+        sim.run()
+        assert all(p.ok for p in procs)
+        assert len(releases) == n
+        assert min(releases) >= last_arrival
+
+
+class TestFabricFifoProperty:
+    @given(sends=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3),
+                  st.integers(1, 5000)),
+        min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_per_pair_fifo(self, sends):
+        """Messages between the same (src, dst) pair always arrive in
+        send order, whatever the interleaving with other pairs."""
+        sim = Simulation(seed=3)
+        net = Network(sim, NetworkParams())
+        for i in range(4):
+            net.register(i)
+        seqnos = {}
+        for src, dst, size in sends:
+            seq = seqnos.setdefault((src, dst), [])
+            seq.append(len(seq))
+            net.send(src, dst, (src, dst, seq[-1]), size)
+        sim.run()
+        got: dict = {}
+        for node in range(4):
+            for (src, dst, seq) in net.inbox(node).peek_all():
+                got.setdefault((src, dst), []).append(seq)
+        for pair, seqs in got.items():
+            assert seqs == sorted(seqs), f"reordered {pair}: {seqs}"
+
+    @given(sends=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3),
+                  st.integers(1, 5000)),
+        min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_conservation(self, sends):
+        """Every message is either delivered or dropped, never both or
+        neither (all nodes alive here: all delivered)."""
+        sim = Simulation(seed=4)
+        net = Network(sim, NetworkParams())
+        for i in range(4):
+            net.register(i)
+        for src, dst, size in sends:
+            net.send(src, dst, "m", size)
+        sim.run()
+        total_in = sum(len(net.inbox(i)) for i in range(4))
+        assert total_in == len(sends)
+        assert net.delivered == len(sends)
+        assert net.dropped == 0

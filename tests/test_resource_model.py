@@ -1,0 +1,125 @@
+"""Tests for the generalized resource graph."""
+
+import pytest
+
+from repro.resource import types as rt
+from repro.resource.model import Resource, ResourceGraph, build_cluster_graph
+
+
+@pytest.fixture
+def graph():
+    return build_cluster_graph("zin", n_racks=2, nodes_per_rack=3,
+                               sockets=2, cores_per_socket=4)
+
+
+class TestGraphConstruction:
+    def test_counts(self, graph):
+        assert graph.count(rt.RACK) == 2
+        assert graph.count(rt.NODE) == 6
+        assert graph.count(rt.SOCKET) == 12
+        assert graph.count(rt.CORE) == 48
+        assert graph.count(rt.MEMORY) == 6
+        assert graph.count(rt.POWER) == 3  # cluster + 2 racks
+
+    def test_root_is_cluster(self, graph):
+        assert graph.root.rtype == rt.CLUSTER
+        assert graph.root.name == "zin"
+
+    def test_single_root_enforced(self):
+        g = ResourceGraph()
+        g.add(rt.CLUSTER, "a")
+        with pytest.raises(ValueError):
+            g.add(rt.CLUSTER, "b")
+
+    def test_subtree_scoping(self, graph):
+        rack0 = graph.find(rt.RACK)[0]
+        assert graph.count(rt.NODE, within=rack0.rid) == 3
+        assert graph.count(rt.CORE, within=rack0.rid) == 24
+
+    def test_ancestors_chain(self, graph):
+        core = graph.find(rt.CORE)[0]
+        types = [r.rtype for r in graph.ancestors(core.rid)]
+        assert types == [rt.SOCKET, rt.NODE, rt.RACK, rt.CLUSTER]
+
+    def test_path_name(self, graph):
+        core = graph.find(rt.CORE)[0]
+        path = graph.path_name(core.rid)
+        assert path.startswith("zin/rack0/node0000/socket0/core0")
+
+    def test_find_with_predicate(self, graph):
+        nodes = graph.find(rt.NODE,
+                           pred=lambda r: r.properties["index"] % 2 == 0)
+        assert [n.properties["index"] for n in nodes] == [0, 2, 4]
+
+    def test_power_capacity_defaults_to_worst_case(self, graph):
+        cluster_power = [r for r in graph.find(rt.POWER)
+                         if "zin-power" in r.name][0]
+        assert cluster_power.capacity == 6 * 300.0
+
+    def test_custom_power_caps(self):
+        g = build_cluster_graph("c", 1, 4, rack_power_cap=500.0,
+                                cluster_power_cap=450.0)
+        caps = sorted(r.capacity for r in g.find(rt.POWER))
+        assert caps == [450.0, 500.0]
+
+    def test_empty_graph_root_raises(self):
+        with pytest.raises(ValueError):
+            _ = ResourceGraph().root
+
+    def test_cross_edges(self, graph):
+        fs = graph.add(rt.FILESYSTEM, "lustre", parent=graph.root_id,
+                       capacity=1e12)
+        graph.link(fs.rid, "serves", graph.root_id)
+        assert (("serves", graph.root_id) in graph.by_id[fs.rid].edges)
+
+    def test_graft_under_center(self):
+        center = ResourceGraph()
+        c = center.add(rt.CENTER, "llnl")
+        build_cluster_graph("zin", 1, 2, parent_graph=center, parent_id=c.rid)
+        build_cluster_graph("cab", 1, 2, parent_graph=center, parent_id=c.rid)
+        assert center.count(rt.CLUSTER) == 2
+        assert center.count(rt.NODE) == 4
+
+
+class TestResourceState:
+    def test_consumable_available(self):
+        r = Resource(0, rt.POWER, "p", capacity=100.0)
+        assert r.available == 100.0
+        r.used = 30.0
+        assert r.available == 70.0
+
+    def test_structural_available_tracks_allocation(self):
+        r = Resource(0, rt.CORE, "c")
+        assert r.available == 1.0
+        r.allocated_to = "job1"
+        assert r.available == 0.0
+
+
+class TestSerialization:
+    def test_roundtrip(self, graph):
+        data = graph.to_dict()
+        clone = ResourceGraph.from_dict(data)
+        assert clone.count(rt.CORE) == graph.count(rt.CORE)
+        assert clone.root.name == graph.root.name
+        core = clone.find(rt.CORE)[0]
+        assert [r.rtype for r in clone.ancestors(core.rid)] == \
+            [rt.SOCKET, rt.NODE, rt.RACK, rt.CLUSTER]
+
+    def test_roundtrip_preserves_usage(self, graph):
+        power = graph.find(rt.POWER)[0]
+        power.used = 123.0
+        clone = ResourceGraph.from_dict(graph.to_dict())
+        assert clone.by_id[power.rid].used == 123.0
+
+    def test_roundtrip_is_json_clean(self, graph):
+        import json
+        text = json.dumps(graph.to_dict())
+        clone = ResourceGraph.from_dict(json.loads(text))
+        assert clone.count(rt.NODE) == 6
+
+    def test_new_ids_continue_after_load(self, graph):
+        clone = ResourceGraph.from_dict(graph.to_dict())
+        added = clone.add(rt.GPU, "gpu0", parent=clone.root_id)
+        assert added.rid not in graph.by_id or \
+            added.rid > max(r for r in graph.by_id) - 1
+        assert clone.by_id[added.rid].name == "gpu0"

@@ -1,0 +1,161 @@
+"""Tests for queues, scheduling policies, and cost models."""
+
+import pytest
+
+from repro.core import FluxInstance, JobSpec
+from repro.resource import ResourcePool, build_cluster_graph
+from repro.sched import (AffineCostModel, EasyBackfillPolicy, FcfsPolicy,
+                         JobQueue, SjfPolicy, ZeroCostModel)
+from repro.sim import Simulation
+
+
+def make_instance(ncores=32, policy=None, cost_model=None, seed=0):
+    sim = Simulation(seed=seed)
+    graph = build_cluster_graph("t", n_racks=1, nodes_per_rack=ncores // 8,
+                                sockets=1, cores_per_socket=8)
+    pool = ResourcePool(graph)
+    inst = FluxInstance(sim, pool, policy=policy or FcfsPolicy(),
+                        cost_model=cost_model or ZeroCostModel())
+    return sim, inst
+
+
+class TestJobQueue:
+    def test_fifo_by_default(self):
+        sim, inst = make_instance()
+        q = JobQueue()
+        jobs = [inst.submit.__self__ and None for _ in range(0)]  # noqa
+        j1 = inst.submit(JobSpec(ncores=1, duration=1))
+        j2 = inst.submit(JobSpec(ncores=1, duration=1))
+        q.push(j1)
+        q.push(j2)
+        assert q.snapshot() == [j1, j2]
+        assert q.head() is j1
+
+    def test_priority_fn_sorts(self):
+        sim, inst = make_instance()
+        q = JobQueue(priority_fn=lambda j: j.spec.duration)
+        j1 = inst.submit(JobSpec(ncores=1, duration=9))
+        j2 = inst.submit(JobSpec(ncores=1, duration=1))
+        q.push(j1)
+        q.push(j2)
+        assert q.snapshot() == [j2, j1]
+
+    def test_remove(self):
+        sim, inst = make_instance()
+        q = JobQueue()
+        j = inst.submit(JobSpec(ncores=1, duration=1))
+        q.push(j)
+        q.remove(j)
+        assert len(q) == 0 and q.head() is None
+
+
+class TestFcfs:
+    def test_jobs_run_in_submission_order(self):
+        sim, inst = make_instance(ncores=32)
+        jobs = [inst.submit(JobSpec(ncores=32, duration=5.0))
+                for _ in range(3)]
+        sim.run()
+        starts = [j.start_time for j in jobs]
+        assert starts == sorted(starts)
+        assert starts == [0.0, 5.0, 10.0]
+
+    def test_head_of_line_blocks(self):
+        sim, inst = make_instance(ncores=32)
+        big = inst.submit(JobSpec(ncores=32, duration=10.0, name="big"))
+        blocker = inst.submit(JobSpec(ncores=32, duration=1.0, name="blocked"))
+        small = inst.submit(JobSpec(ncores=1, duration=1.0, name="small"))
+        sim.run()
+        # FCFS: small cannot jump the blocked 32-core job.
+        assert small.start_time >= blocker.start_time
+
+    def test_parallel_starts_when_capacity_allows(self):
+        sim, inst = make_instance(ncores=32)
+        jobs = [inst.submit(JobSpec(ncores=8, duration=5.0))
+                for _ in range(4)]
+        sim.run()
+        assert all(j.start_time == 0.0 for j in jobs)
+        assert inst.makespan() == 5.0
+
+
+class TestSjf:
+    def test_short_jobs_first(self):
+        sim, inst = make_instance(ncores=8)
+        long_j = inst.submit(JobSpec(ncores=8, duration=10.0))
+        short_j = inst.submit(JobSpec(ncores=8, duration=1.0))
+        mid_j = inst.submit(JobSpec(ncores=8, duration=5.0))
+        sim.run()
+        # long runs first (it was alone at the first pass), then the
+        # queue reorders: short before mid.
+        assert short_j.start_time < mid_j.start_time
+
+
+class TestEasyBackfill:
+    def test_backfill_fills_the_hole(self):
+        sim, inst = make_instance(ncores=32, policy=EasyBackfillPolicy())
+        running = inst.submit(JobSpec(ncores=24, duration=10.0, name="run"))
+        waiter = inst.submit(JobSpec(ncores=32, duration=5.0, name="head"))
+        filler = inst.submit(JobSpec(ncores=8, duration=2.0, name="fill"))
+        sim.run()
+        # filler (8 cores, 2 s) fits in the 8 free cores and finishes
+        # before the head's shadow time (10 s) -> starts immediately.
+        assert filler.start_time == pytest.approx(0.0)
+        assert waiter.start_time == pytest.approx(10.0)
+
+    def test_backfill_never_delays_head(self):
+        sim, inst = make_instance(ncores=32, policy=EasyBackfillPolicy())
+        running = inst.submit(JobSpec(ncores=24, duration=10.0))
+        head = inst.submit(JobSpec(ncores=32, duration=5.0))
+        # This filler would overrun the shadow time on head-needed cores.
+        bad_filler = inst.submit(JobSpec(ncores=8, duration=50.0))
+        sim.run()
+        assert head.start_time == pytest.approx(10.0)
+        assert bad_filler.start_time >= 10.0
+
+    def test_long_filler_on_extra_cores_allowed(self):
+        sim, inst = make_instance(ncores=32, policy=EasyBackfillPolicy())
+        running = inst.submit(JobSpec(ncores=16, duration=10.0))
+        head = inst.submit(JobSpec(ncores=24, duration=5.0))
+        # 16 cores free; head needs 24, shadow at t=10 with 8 extra.
+        # An 8-core long job fits the extra cores without delaying head.
+        extra_filler = inst.submit(JobSpec(ncores=8, duration=100.0))
+        sim.run()
+        assert extra_filler.start_time == pytest.approx(0.0)
+        assert head.start_time == pytest.approx(10.0)
+
+    def test_easy_beats_fcfs_makespan_on_mixed_load(self):
+        def run_with(policy):
+            sim, inst = make_instance(ncores=32, policy=policy)
+            inst.submit(JobSpec(ncores=24, duration=10.0))
+            inst.submit(JobSpec(ncores=32, duration=5.0))
+            for _ in range(6):
+                inst.submit(JobSpec(ncores=4, duration=2.0))
+            sim.run()
+            return inst.makespan()
+
+        assert run_with(EasyBackfillPolicy()) < run_with(FcfsPolicy())
+
+
+class TestCostModels:
+    def test_zero_cost_passes_instantly(self):
+        sim, inst = make_instance(cost_model=ZeroCostModel())
+        j = inst.submit(JobSpec(ncores=1, duration=1.0))
+        sim.run()
+        assert j.start_time == 0.0
+        assert inst.sched_time == 0.0
+
+    def test_affine_cost_delays_starts(self):
+        model = AffineCostModel(base=0.1, per_job=0.0)
+        sim, inst = make_instance(cost_model=model)
+        j = inst.submit(JobSpec(ncores=1, duration=1.0))
+        sim.run()
+        assert j.start_time == pytest.approx(0.1)
+        assert inst.sched_time == pytest.approx(0.1)
+
+    def test_cost_scales_with_queue_depth(self):
+        m = AffineCostModel(base=0.0, per_job=1e-3, node_factor=0.0)
+        assert m.pass_cost(10, 4) == pytest.approx(1e-2)
+        assert m.pass_cost(100, 4) == pytest.approx(1e-1)
+
+    def test_cost_scales_with_pool_size(self):
+        m = AffineCostModel(base=0.0, per_job=1e-3, node_factor=1.0)
+        assert m.pass_cost(1, 63) == pytest.approx(1e-3 * 64)

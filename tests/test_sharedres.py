@@ -1,0 +1,257 @@
+"""Tests for the max-min fair shared-resource model and bandwidth
+co-scheduling charges."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.resource import AllocationRequest, ResourcePool, build_cluster_graph
+from repro.resource import types as rt
+from repro.resource.pool import AllocationError
+from repro.sim import Simulation
+from repro.sim.sharedres import SharedResource, max_min_rates
+
+
+class TestMaxMinRates:
+    def test_undersubscribed_everyone_satisfied(self):
+        assert max_min_rates(100.0, [10, 20, 30]) == [10, 20, 30]
+
+    def test_oversubscribed_equal_split(self):
+        assert max_min_rates(90.0, [100, 100, 100]) == [30, 30, 30]
+
+    def test_small_demand_satisfied_leftover_shared(self):
+        rates = max_min_rates(100.0, [10, 1000, 1000])
+        assert rates == [10, 45, 45]
+
+    def test_empty(self):
+        assert max_min_rates(100.0, []) == []
+
+    @given(capacity=st.floats(1, 1e6),
+           demands=st.lists(st.floats(0.1, 1e6), min_size=1, max_size=10))
+    @settings(max_examples=200, deadline=None)
+    def test_properties(self, capacity, demands):
+        rates = max_min_rates(capacity, demands)
+        assert all(0 < r <= d * (1 + 1e-9)
+                   for r, d in zip(rates, demands))
+        assert sum(rates) <= capacity * (1 + 1e-9)
+        # Work-conserving: either everyone is satisfied, or capacity
+        # is fully used.
+        if any(r < d * (1 - 1e-9) for r, d in zip(rates, demands)):
+            assert sum(rates) == pytest.approx(capacity)
+
+
+class TestSharedResource:
+    def test_solo_transfer_at_full_demand(self):
+        sim = Simulation(seed=0)
+        fs = SharedResource(sim, capacity=100.0)
+
+        def writer():
+            elapsed = yield from fs.transfer(50.0, demand=10.0)
+            return elapsed
+
+        proc = sim.spawn(writer())
+        assert sim.run_until_complete(proc) == pytest.approx(5.0)
+
+    def test_contention_stretches_transfers(self):
+        sim = Simulation(seed=0)
+        fs = SharedResource(sim, capacity=100.0)
+        spans = {}
+
+        def writer(tag):
+            t = yield from fs.transfer(100.0, demand=100.0, label=tag)
+            spans[tag] = t
+
+        sim.spawn(writer("a"))
+        sim.spawn(writer("b"))
+        sim.run()
+        # Two flows at 50 each: both take 2 s instead of 1.
+        assert spans["a"] == pytest.approx(2.0)
+        assert spans["b"] == pytest.approx(2.0)
+
+    def test_staggered_flows_repace(self):
+        sim = Simulation(seed=0)
+        fs = SharedResource(sim, capacity=100.0)
+        done = {}
+
+        def early():
+            t = yield from fs.transfer(100.0, demand=100.0)
+            done["early"] = sim.now
+
+        def late():
+            yield sim.timeout(0.5)
+            t = yield from fs.transfer(100.0, demand=100.0)
+            done["late"] = sim.now
+
+        sim.spawn(early())
+        sim.spawn(late())
+        sim.run()
+        # early: 0.5 s at 100, then shares 50/50.  Remaining 50 units at
+        # 50/s until early finishes at t=1.5; late then has 50 left at
+        # full rate -> t=2.0.
+        assert done["early"] == pytest.approx(1.5)
+        assert done["late"] == pytest.approx(2.0)
+
+    def test_small_flow_unharmed_by_elephants(self):
+        sim = Simulation(seed=0)
+        fs = SharedResource(sim, capacity=100.0)
+        spans = {}
+
+        def elephant(tag):
+            spans[tag] = yield from fs.transfer(1000.0, demand=100.0)
+
+        def mouse():
+            spans["mouse"] = yield from fs.transfer(1.0, demand=5.0)
+
+        sim.spawn(elephant("e1"))
+        sim.spawn(elephant("e2"))
+        sim.spawn(mouse())
+        sim.run()
+        # Max-min: the mouse's 5 u/s demand is fully satisfied.
+        assert spans["mouse"] == pytest.approx(1.0 / 5.0)
+
+    def test_zero_amount_is_instant(self):
+        sim = Simulation(seed=0)
+        fs = SharedResource(sim, capacity=10.0)
+
+        def noop():
+            return (yield from fs.transfer(0.0, demand=1.0))
+
+        proc = sim.spawn(noop())
+        assert sim.run_until_complete(proc) == 0.0
+
+    def test_bad_args_rejected(self):
+        sim = Simulation(seed=0)
+        with pytest.raises(ValueError):
+            SharedResource(sim, capacity=0.0)
+        fs = SharedResource(sim, capacity=1.0)
+        with pytest.raises(ValueError):
+            list(fs.transfer(1.0, demand=0.0))
+
+    def test_stats(self):
+        sim = Simulation(seed=0)
+        fs = SharedResource(sim, capacity=100.0)
+
+        def writer():
+            yield from fs.transfer(10.0, demand=10.0)
+
+        sim.spawn(writer())
+        sim.spawn(writer())
+        sim.run()
+        assert fs.total_transferred == pytest.approx(20.0)
+        assert fs.peak_flows == 2
+        assert fs.active_flows == 0
+
+    @given(flows=st.lists(
+        st.tuples(st.floats(0.0, 2.0),       # start offset
+                  st.floats(1.0, 50.0),      # amount
+                  st.floats(1.0, 100.0)),    # demand
+        min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_conservation_property(self, flows):
+        """Every transfer completes and total moved matches the ask."""
+        sim = Simulation(seed=0)
+        fs = SharedResource(sim, capacity=40.0)
+
+        def writer(delay, amount, demand):
+            yield sim.timeout(delay)
+            yield from fs.transfer(amount, demand)
+
+        procs = [sim.spawn(writer(*f)) for f in flows]
+        sim.run()
+        assert all(p.ok for p in procs)
+        assert fs.total_transferred == pytest.approx(
+            sum(a for _d, a, _dm in flows), rel=1e-6)
+
+
+class TestBandwidthCharges:
+    def _graph_with_fs(self):
+        graph = build_cluster_graph("c", 1, 2, sockets=1,
+                                    cores_per_socket=8)
+        fs = graph.add(rt.FILESYSTEM, "lustre", parent=graph.root_id)
+        bw = graph.add(rt.BANDWIDTH, "lustre-bw", parent=fs.rid,
+                       capacity=100.0)
+        return graph, bw.rid
+
+    def test_bandwidth_reserved_and_refunded(self):
+        graph, bw = self._graph_with_fs()
+        pool = ResourcePool(graph)
+        pool.allocate("io1", AllocationRequest(
+            ncores=4, extra_charges=((bw, 60.0),)))
+        assert graph.by_id[bw].used == 60.0
+        pool.release("io1")
+        assert graph.by_id[bw].used == 0.0
+
+    def test_oversubscription_rejected(self):
+        graph, bw = self._graph_with_fs()
+        pool = ResourcePool(graph)
+        pool.allocate("io1", AllocationRequest(
+            ncores=4, extra_charges=((bw, 60.0),)))
+        with pytest.raises(AllocationError, match="lustre-bw"):
+            pool.allocate("io2", AllocationRequest(
+                ncores=4, extra_charges=((bw, 60.0),)))
+
+    def test_failed_charge_leaves_no_residue(self):
+        graph, bw = self._graph_with_fs()
+        pool = ResourcePool(graph)
+        with pytest.raises(AllocationError):
+            pool.allocate("io", AllocationRequest(
+                ncores=4, extra_charges=((bw, 1000.0),)))
+        assert graph.by_id[bw].used == 0.0
+        assert pool.total_free_cores() == 16
+
+    def test_invalid_charge_rejected(self):
+        with pytest.raises(ValueError):
+            AllocationRequest(ncores=1, extra_charges=((1, -5.0),))
+
+
+class TestProportionalPolicy:
+    def test_rates_scale_with_demand(self):
+        from repro.sim.sharedres import proportional_rates
+        rates = proportional_rates(10.0, [9.0, 1.0])
+        assert rates == [9.0, 1.0]  # undersubscribed: all satisfied
+        rates = proportional_rates(10.0, [90.0, 10.0])
+        assert rates == [9.0, 1.0]  # oversubscribed: proportional
+
+    def test_bursts_squeeze_small_flows(self):
+        """Unlike max-min, proportional sharing lets elephants crush
+        mice — the disruption mode the paper's intro describes."""
+        sim = Simulation(seed=0)
+        fs = SharedResource(sim, capacity=10.0, policy="proportional")
+        spans = {}
+
+        def elephant(tag):
+            spans[tag] = yield from fs.transfer(100.0, demand=10.0)
+
+        def mouse():
+            spans["mouse"] = yield from fs.transfer(1.0, demand=1.0)
+
+        for tag in ("e1", "e2", "e3"):
+            sim.spawn(elephant(tag))
+        sim.spawn(mouse())
+        sim.run()
+        # demand 31 over capacity 10: mouse rate = 10/31 ~ 0.32 -> ~3.1x
+        assert spans["mouse"] > 2.5
+
+    def test_maxmin_protects_where_proportional_does_not(self):
+        def mouse_span(policy):
+            sim = Simulation(seed=0)
+            fs = SharedResource(sim, capacity=10.0, policy=policy)
+            spans = {}
+
+            def elephant():
+                yield from fs.transfer(100.0, demand=10.0)
+
+            def mouse():
+                spans["m"] = yield from fs.transfer(1.0, demand=1.0)
+
+            sim.spawn(elephant())
+            sim.spawn(elephant())
+            sim.spawn(mouse())
+            sim.run()
+            return spans["m"]
+
+        assert mouse_span("maxmin") < mouse_span("proportional")
+
+    def test_unknown_policy_rejected(self):
+        sim = Simulation(seed=0)
+        with pytest.raises(ValueError):
+            SharedResource(sim, capacity=1.0, policy="lottery")

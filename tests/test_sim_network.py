@@ -1,0 +1,160 @@
+"""Unit tests for the network cost model and cluster construction."""
+
+import pytest
+
+from repro.sim.cluster import Cluster, make_cluster, zin_like_params
+from repro.sim.kernel import Simulation
+from repro.sim.network import Network, NetworkParams
+from repro.sim.node import Node, NodeSpec
+
+
+@pytest.fixture
+def net():
+    sim = Simulation(seed=0)
+    network = Network(sim, NetworkParams(
+        latency=1e-6, bandwidth=1e9, per_message_overhead=0.0))
+    for i in range(4):
+        network.register(i)
+    return sim, network
+
+
+class TestNic:
+    def test_delay_is_serialization_plus_latency(self, net):
+        sim, network = net
+        delay = network.nic(0).send_delay(1000)
+        # 1000 B / 1 GB/s = 1 us, + 1 us latency
+        assert delay == pytest.approx(2e-6)
+
+    def test_back_to_back_sends_serialize(self, net):
+        sim, network = net
+        nic = network.nic(0)
+        d1 = nic.send_delay(1000)
+        d2 = nic.send_delay(1000)
+        assert d2 == pytest.approx(d1 + 1e-6)  # second waits for the first
+
+    def test_stats_accumulate(self, net):
+        _, network = net
+        nic = network.nic(0)
+        nic.send_delay(100)
+        nic.send_delay(200)
+        assert nic.bytes_sent == 300 and nic.msgs_sent == 2
+
+
+class TestNetworkDelivery:
+    def test_send_delivers_to_inbox(self, net):
+        sim, network = net
+        network.send(0, 1, "hello", 100)
+        sim.run()
+        assert network.inbox(1).peek_all() == ["hello"]
+        assert network.delivered == 1
+
+    def test_fifo_between_same_pair(self, net):
+        sim, network = net
+        for i in range(5):
+            network.send(0, 1, i, 1000)
+        sim.run()
+        assert network.inbox(1).peek_all() == [0, 1, 2, 3, 4]
+
+    def test_loopback_uses_ipc_cost(self, net):
+        sim, network = net
+        network.send(2, 2, "self", 100)
+        sim.run()
+        assert network.inbox(2).peek_all() == ["self"]
+        # Loopback does not touch the NIC.
+        assert network.nic(2).msgs_sent == 0
+
+    def test_send_to_dead_node_drops(self, net):
+        sim, network = net
+        drops = []
+        network.drop_hook = lambda s, d, p: drops.append((s, d, p))
+        network.fail_node(1)
+        network.send(0, 1, "lost", 100)
+        sim.run()
+        assert network.dropped == 1 and len(network.inbox(1)) == 0
+        assert drops == [(0, 1, "lost")]
+
+    def test_send_from_dead_node_drops(self, net):
+        sim, network = net
+        network.fail_node(0)
+        network.send(0, 1, "lost", 100)
+        sim.run()
+        assert network.dropped == 1
+
+    def test_revive_restores_delivery(self, net):
+        sim, network = net
+        network.fail_node(1)
+        network.send(0, 1, "lost", 10)
+        sim.run()
+        network.revive_node(1)
+        network.send(0, 1, "found", 10)
+        sim.run()
+        assert network.inbox(1).peek_all() == ["found"]
+
+    def test_duplicate_registration_rejected(self, net):
+        _, network = net
+        with pytest.raises(ValueError):
+            network.register(0)
+
+    def test_total_bytes(self, net):
+        sim, network = net
+        network.send(0, 1, "a", 500)
+        network.send(2, 3, "b", 300)
+        sim.run()
+        assert network.total_bytes_sent() == 800
+
+
+class TestNode:
+    def test_default_spec_matches_paper_nodes(self):
+        node = Node(0)
+        assert node.cores == 16
+        assert node.spec.sockets == 2
+        assert node.spec.memory_bytes == 32 * 2**30
+
+    def test_core_claim_release(self):
+        node = Node(0, NodeSpec(cores=4))
+        node.claim_cores(3)
+        assert node.cores_free == 1
+        node.release_cores(2)
+        assert node.cores_free == 3
+
+    def test_oversubscription_rejected(self):
+        node = Node(0, NodeSpec(cores=4))
+        with pytest.raises(ValueError):
+            node.claim_cores(5)
+
+    def test_over_release_rejected(self):
+        node = Node(0, NodeSpec(cores=4))
+        node.claim_cores(2)
+        with pytest.raises(ValueError):
+            node.release_cores(3)
+
+    def test_power_draw_scales_with_busy_cores(self):
+        node = Node(0, NodeSpec(cores=4, idle_watts=100, core_watts=10))
+        assert node.power_draw() == 100
+        node.claim_cores(2)
+        assert node.power_draw() == 120
+
+
+class TestCluster:
+    def test_make_cluster_registers_all_nodes(self):
+        cluster = make_cluster(8)
+        assert len(cluster) == 8
+        for i in range(8):
+            assert cluster.network.is_alive(i)
+
+    def test_fail_and_revive(self):
+        cluster = make_cluster(4)
+        cluster.fail_node(2)
+        assert not cluster.node(2).alive
+        assert cluster.alive_ids() == [0, 1, 3]
+        cluster.revive_node(2)
+        assert cluster.alive_ids() == [0, 1, 2, 3]
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            make_cluster(0)
+
+    def test_zin_params_shape(self):
+        p = zin_like_params()
+        assert p.latency < 1e-5
+        assert p.bandwidth > 1e9

@@ -1,0 +1,118 @@
+"""Tests for statistics collection, tracing, and KAP result handling."""
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import StatSeries, Summary, Tracer
+from repro.kap.config import KapConfig
+from repro.kap.results import KapResult
+
+
+class TestStatSeries:
+    def test_add_and_len(self):
+        s = StatSeries("lat")
+        s.add(1.0)
+        s.add(2.0)
+        assert len(s) == 2
+
+    def test_extend(self):
+        s = StatSeries()
+        s.extend([1, 2, 3])
+        assert len(s) == 3
+        assert s.values.dtype == np.float64
+
+    def test_summary_fields(self):
+        s = StatSeries()
+        s.extend(range(1, 101))
+        summary = s.summary()
+        assert summary.count == 100
+        assert summary.min == 1.0 and summary.max == 100.0
+        assert summary.mean == pytest.approx(50.5)
+        assert summary.p50 == pytest.approx(50.5)
+        assert summary.p95 == pytest.approx(95.05)
+        assert summary.p99 > summary.p95
+
+    def test_empty_summary_raises(self):
+        with pytest.raises(ValueError):
+            StatSeries("empty").summary()
+
+    def test_summary_as_dict(self):
+        s = StatSeries()
+        s.add(5.0)
+        d = s.summary().as_dict()
+        assert d["count"] == 1 and d["max"] == 5.0
+        assert set(d) == {"count", "max", "min", "mean", "p50", "p95",
+                          "p99"}
+
+    def test_values_returns_copy_like_array(self):
+        s = StatSeries()
+        s.add(1.0)
+        arr = s.values
+        arr[0] = 99.0
+        assert s.values[0] == 1.0
+
+
+class TestTracer:
+    def test_record_and_filter(self):
+        t = Tracer()
+        t.record(0.0, "send", {"to": 1})
+        t.record(1.0, "recv", {"from": 0})
+        t.record(2.0, "send", {"to": 2})
+        assert len(t.records()) == 3
+        assert len(t.records("send")) == 2
+
+    def test_capacity_bounds_memory(self):
+        t = Tracer(capacity=5)
+        for i in range(20):
+            t.record(float(i), "e", i)
+        records = t.records()
+        assert len(records) == 5
+        assert records[0][2] == 15
+
+    def test_disabled_tracer_drops(self):
+        t = Tracer()
+        t.enabled = False
+        t.record(0.0, "e")
+        assert t.records() == []
+
+    def test_fingerprint_detects_order(self):
+        t1, t2 = Tracer(), Tracer()
+        t1.record(0.0, "a")
+        t1.record(1.0, "b")
+        t2.record(1.0, "b")
+        t2.record(0.0, "a")
+        assert t1.fingerprint() != t2.fingerprint()
+
+    def test_fingerprint_equal_for_equal_traces(self):
+        t1, t2 = Tracer(), Tracer()
+        for t in (t1, t2):
+            t.record(0.5, "x", {"k": 1})
+            t.record(0.7, "y", [1, 2])
+        assert t1.fingerprint() == t2.fingerprint()
+
+    def test_clear(self):
+        t = Tracer()
+        t.record(0.0, "e")
+        t.clear()
+        assert t.records() == []
+
+
+class TestKapResult:
+    def test_empty_phases_report_zero(self):
+        r = KapResult(KapConfig(nnodes=1, procs_per_node=1))
+        assert r.max_producer_latency == 0.0
+        assert r.max_sync_latency == 0.0
+        assert r.max_consumer_latency == 0.0
+
+    def test_summaries_none_for_empty(self):
+        r = KapResult(KapConfig(nnodes=1, procs_per_node=1))
+        assert r.summaries() == {"producer": None, "sync": None,
+                                 "consumer": None}
+
+    def test_max_metrics_track_series(self):
+        r = KapResult(KapConfig(nnodes=1, procs_per_node=1))
+        r.producer.extend([0.1, 0.5, 0.3])
+        r.sync.add(1.0)
+        assert r.max_producer_latency == 0.5
+        assert r.max_sync_latency == 1.0
+        assert r.summaries()["producer"].count == 3

@@ -1,0 +1,223 @@
+"""Tests for workload generation and schedule metrics."""
+
+import random
+
+import pytest
+
+from repro.core import FluxInstance, JobKind, JobSpec
+from repro.resource import ResourcePool, build_cluster_graph
+from repro.sched import (EasyBackfillPolicy, ScheduleReport, batch_mix,
+                         bounded_slowdown, burst_waves, ensemble_burst,
+                         merge, replay, report)
+from repro.sim import Simulation
+
+
+def make_instance(ncores=64, policy=None):
+    sim = Simulation(seed=0)
+    graph = build_cluster_graph("w", 1, ncores // 16)
+    return sim, FluxInstance(sim, ResourcePool(graph), policy=policy)
+
+
+class TestBatchMix:
+    def test_reproducible(self):
+        a = batch_mix(50, seed=3)
+        b = batch_mix(50, seed=3)
+        assert [(t, s.ncores, s.duration) for t, s in a] == \
+            [(t, s.ncores, s.duration) for t, s in b]
+
+    def test_different_seeds_differ(self):
+        a = batch_mix(50, seed=3)
+        b = batch_mix(50, seed=4)
+        assert [t for t, _ in a] != [t for t, _ in b]
+
+    def test_arrivals_sorted_and_positive(self):
+        wl = batch_mix(100, seed=1)
+        times = [t for t, _ in wl]
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    def test_sizes_from_menu(self):
+        wl = batch_mix(200, seed=2, sizes=(2, 8))
+        assert {s.ncores for _, s in wl} <= {2, 8}
+
+    def test_small_jobs_more_common(self):
+        wl = batch_mix(500, seed=5, sizes=(1, 64))
+        ones = sum(1 for _, s in wl if s.ncores == 1)
+        assert ones > 400  # weight 1 vs 1/64
+
+    def test_durations_bounded(self):
+        wl = batch_mix(100, seed=6, min_duration=2.0, max_duration=50.0)
+        assert all(2.0 <= s.duration <= 50.0 for _, s in wl)
+
+    def test_walltime_overestimates(self):
+        wl = batch_mix(100, seed=7, walltime_slack=3.0)
+        assert all(s.walltime >= s.duration for _, s in wl)
+        assert any(s.walltime > s.duration * 1.5 for _, s in wl)
+
+    def test_accepts_shared_rng(self):
+        rng = random.Random(9)
+        a = batch_mix(10, seed=rng)
+        b = batch_mix(10, seed=rng)  # advances the same stream
+        assert [t for t, _ in a] != [t for t, _ in b]
+
+
+class TestEnsembleAndBursts:
+    def test_ensemble_individual_members(self):
+        wl = ensemble_burst(16, at=5.0, member_cores=4)
+        assert len(wl) == 16
+        assert all(t == 5.0 for t, _ in wl)
+        assert all(s.ncores == 4 for _, s in wl)
+
+    def test_ensemble_as_instance_job(self):
+        wl = ensemble_burst(16, as_instance=64)
+        assert len(wl) == 1
+        _, spec = wl[0]
+        assert spec.kind is JobKind.INSTANCE
+        assert len(spec.subjobs) == 16 and spec.ncores == 64
+
+    def test_burst_waves_shape(self):
+        wl = burst_waves(3, 10, first_at=2.0, spacing=10.0, jitter=0.5)
+        assert len(wl) == 30
+        times = [t for t, _ in wl]
+        assert times == sorted(times)
+        assert min(times) >= 2.0 and max(times) <= 22.5
+
+    def test_merge_interleaves(self):
+        a = burst_waves(1, 3, first_at=0.0, seed=1)
+        b = burst_waves(1, 3, first_at=0.1, seed=2)
+        merged = merge(a, b)
+        assert len(merged) == 6
+        assert [t for t, _ in merged] == sorted(t for t, _ in merged)
+
+
+class TestReplay:
+    def test_jobs_submitted_at_arrival_times(self):
+        sim, inst = make_instance()
+        wl = [(1.0, JobSpec(ncores=4, duration=0.5, name="a")),
+              (3.0, JobSpec(ncores=4, duration=0.5, name="b"))]
+        proc = replay(sim, inst, wl)
+        sim.run()
+        jobs = proc.value
+        assert [j.submit_time for j in jobs] == [1.0, 3.0]
+        assert all(j.state.value == "complete" for j in jobs)
+
+    def test_full_batch_workload_completes(self):
+        sim, inst = make_instance(policy=EasyBackfillPolicy())
+        wl = batch_mix(60, seed=11, mean_interarrival=0.5,
+                       sizes=(1, 2, 4, 8, 16), max_duration=20.0)
+        replay(sim, inst, wl)
+        sim.run()
+        assert len(inst.completed_jobs()) == 60
+
+
+class TestMetrics:
+    def test_bounded_slowdown_floor(self):
+        sim, inst = make_instance()
+        job = inst.submit(JobSpec(ncores=4, duration=0.1))
+        sim.run()
+        # Tiny job with no wait: bsld clamps to 1 via the tau floor.
+        assert bounded_slowdown(job) == 1.0
+
+    def test_bounded_slowdown_counts_waits(self):
+        sim, inst = make_instance(ncores=16)
+        inst.submit(JobSpec(ncores=16, duration=20.0))
+        queued = inst.submit(JobSpec(ncores=16, duration=20.0))
+        sim.run()
+        # waited 20, ran 20 -> bsld 2.0
+        assert bounded_slowdown(queued) == pytest.approx(2.0)
+
+    def test_unfinished_job_has_no_bsld(self):
+        sim, inst = make_instance()
+        job = inst.submit(JobSpec(ncores=4, duration=10.0))
+        sim.run(until=1.0)
+        assert bounded_slowdown(job) is None
+
+    def test_report_aggregates(self):
+        sim, inst = make_instance(ncores=16)
+        for i in range(4):
+            inst.submit(JobSpec(ncores=16, duration=5.0, name=f"j{i}"))
+        sim.run()
+        rep = report(inst)
+        assert rep.njobs == 4 and rep.completed == 4 and rep.failed == 0
+        assert rep.makespan == pytest.approx(20.0)
+        assert rep.mean_wait == pytest.approx((0 + 5 + 10 + 15) / 4)
+        assert rep.utilization == pytest.approx(1.0)
+        assert rep.throughput == pytest.approx(4 / 20.0)
+
+    def test_report_prefix_filter(self):
+        sim, inst = make_instance(ncores=32)
+        inst.submit(JobSpec(ncores=16, duration=2.0, name="batch0"))
+        inst.submit(JobSpec(ncores=16, duration=2.0, name="wave0"))
+        sim.run()
+        assert report(inst, name_prefix="wave").njobs == 1
+        assert report(inst, name_prefix="batch").njobs == 1
+        assert report(inst).njobs == 2
+
+    def test_report_counts_failures(self):
+        sim, inst = make_instance()
+
+        def bad(job, instance):
+            yield instance.sim.timeout(0.1)
+            raise RuntimeError("x")
+
+        inst.submit(JobSpec(ncores=4, body=bad))
+        sim.run()
+        rep = report(inst)
+        assert rep.failed == 1 and rep.completed == 0
+
+    def test_row_and_header_align(self):
+        rep = ScheduleReport(njobs=5, completed=5, failed=0, makespan=10,
+                             mean_wait=1, max_wait=2, mean_bsld=1.5,
+                             p95_bsld=2.0, utilization=0.8,
+                             throughput=0.5)
+        assert len(rep.row().split()) == len(ScheduleReport.header().split())
+
+
+class TestGantt:
+    def _finished_instance(self):
+        sim, inst = make_instance(ncores=16)
+        inst.submit(JobSpec(ncores=16, duration=4.0, name="first"))
+        inst.submit(JobSpec(ncores=16, duration=4.0, name="second"))
+        sim.run()
+        return sim, inst
+
+    def test_gantt_renders_rows(self):
+        from repro.sched import gantt
+        _, inst = self._finished_instance()
+        chart = gantt(inst, width=40)
+        lines = chart.splitlines()
+        assert any("first" in l for l in lines)
+        assert any("second" in l for l in lines)
+        first = next(l for l in lines if l.startswith("first"))
+        second = next(l for l in lines if l.startswith("second"))
+        assert "#" in first and "#" in second
+        # The second job waited: its row shows queued dots.
+        assert "." in second and "." not in first.split("|", 1)[0]
+
+    def test_gantt_empty_instance(self):
+        from repro.sched import gantt
+        sim, inst = make_instance()
+        assert gantt(inst) == "(no jobs)"
+
+    def test_gantt_truncates(self):
+        from repro.sched import gantt
+        sim, inst = make_instance(ncores=64)
+        for i in range(10):
+            inst.submit(JobSpec(ncores=4, duration=1.0, name=f"j{i}"))
+        sim.run()
+        chart = gantt(inst, max_jobs=3)
+        assert "7 more jobs not shown" in chart
+
+    def test_sparkline_tracks_load(self):
+        from repro.sched import utilization_sparkline
+        _, inst = self._finished_instance()
+        spark = utilization_sparkline(inst, width=8)
+        assert len(spark) == 8
+        assert set(spark) == {"█"}  # machine fully busy throughout
+
+    def test_sparkline_idle_instance(self):
+        from repro.sched import utilization_sparkline
+        sim, inst = make_instance()
+        sim.run(until=1.0)
+        spark = utilization_sparkline(inst, width=5, horizon=1.0)
+        assert set(spark) <= {" "}
