@@ -23,6 +23,7 @@ Run:  python examples/debug_tool.py
 from collections import Counter
 
 from repro import make_cluster, standard_session
+from repro.cmb import RpcError
 from repro.kvs import KvsClient
 
 N_NODES = 8
@@ -68,10 +69,17 @@ def main() -> None:
         handle = session.connect(3, collective=False)
 
         # 1. Job-wide status sweep over the rank-addressed overlay.
+        # Errors are structured (errnum code + failing rank), so a
+        # broker that can't answer is reported, not silently skipped.
         snapshot = []
         for rank in range(N_NODES):
-            resp = yield handle.rpc_rank(rank, "wexec.query",
-                                         {"jobid": "app"})
+            try:
+                resp = yield handle.rpc_rank(rank, "wexec.query",
+                                             {"jobid": "app"})
+            except RpcError as exc:
+                print(f"tool: broker {rank} query failed "
+                      f"[{exc.code} @ rank {exc.rank}]: {exc.error}")
+                continue
             snapshot.extend(resp["tasks"])
         by_status = Counter(t["status"] for t in snapshot)
         print("tool: job-wide task states "
@@ -84,7 +92,12 @@ def main() -> None:
 
         # 2. Pull the hung broker's circular debug buffer for context.
         hung_broker = HUNG_RANK % N_NODES
-        dump = yield handle.rpc_rank(hung_broker, "log.dump", {})
+        try:
+            dump = yield handle.rpc_rank(hung_broker, "log.dump", {})
+        except RpcError as exc:
+            raise SystemExit(
+                f"tool: log.dump failed [{exc.code} @ rank {exc.rank}]: "
+                f"{exc.error}")
         err_lines = [r["text"] for r in dump["records"]
                      if r["level"] == "err"]
         print(f"tool: debug buffer on broker {hung_broker}: {err_lines}")

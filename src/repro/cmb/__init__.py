@@ -9,15 +9,20 @@ plugin base (:mod:`.module`), the Table I service plugins
 
 from .api import Handle, RpcError
 from .broker import Broker
-from .message import HEADER_BYTES, Message, MessageType, split_topic
-from .module import CommsModule, NoHandlerError
+from .errors import (EEXIST, EHOSTUNREACH, EINVAL, ENOENT, ENOSYS, EOVERFLOW,
+                     EPROTO, ERROR_CODES, ETIMEDOUT)
+from .message import (HEADER_BYTES, Message, MessageType, RequestContext,
+                      split_topic)
+from .module import CommsModule, NoHandlerError, request_handler
 from .pmi import PmiClient
 from .session import CommsSession, ModuleSpec
 from .topology import RingTopology, TreeTopology, flat_topology
 
 __all__ = [
     "Handle", "RpcError", "Broker", "HEADER_BYTES", "Message",
-    "MessageType", "split_topic", "CommsModule", "NoHandlerError",
-    "PmiClient", "CommsSession", "ModuleSpec", "RingTopology",
-    "TreeTopology", "flat_topology",
+    "MessageType", "RequestContext", "split_topic", "CommsModule",
+    "NoHandlerError", "request_handler", "PmiClient", "CommsSession",
+    "ModuleSpec", "RingTopology", "TreeTopology", "flat_topology",
+    "ERROR_CODES", "ENOSYS", "ENOENT", "EEXIST", "EINVAL", "EOVERFLOW",
+    "ETIMEDOUT", "EHOSTUNREACH", "EPROTO",
 ]

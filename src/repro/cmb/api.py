@@ -11,7 +11,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Optional
 
 from ..sim.kernel import Event
-from .broker import RpcError, _Source
+from .broker import _Source
+from .errors import ETIMEDOUT, RpcError
 from .message import Message, MessageType
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -47,18 +48,26 @@ class Handle:
     # request / response
     # ------------------------------------------------------------------
     def rpc(self, topic: str, payload: Optional[dict] = None,
-            timeout: Optional[float] = None) -> Event:
+            timeout: Optional[float] = None,
+            deadline: Optional[float] = None) -> Event:
         """Issue an RPC; the returned event fires with the response
         payload, or fails with :class:`RpcError` on an error response.
 
         ``timeout`` (simulated seconds) bounds the wait: a response
         lost to a node failure otherwise hangs the caller forever.  On
-        expiry the event fails with an ``RpcError('timeout ...')``; the
-        stale response, if it ever arrives, is dropped.
+        expiry the event fails with ``RpcError(code="ETIMEDOUT")``; the
+        stale response, if it ever arrives, is dropped.  The deadline
+        (``now + timeout``, or an explicit absolute ``deadline``) also
+        rides the request's header-frame context, so brokers drop the
+        request at the first forward hop past it instead of letting a
+        doomed request keep consuming the fabric.
         """
         ev = self.sim.event(name=f"client-rpc:{topic}")
+        if deadline is None and timeout is not None:
+            deadline = self.sim.now + timeout
         msg = Message(topic=topic, payload=payload or {},
                       src_rank=self.rank)
+        msg.ensure_context(origin_rank=self.rank, deadline=deadline)
         self._waiters[msg.msgid] = ev
         self._ipc_deliver(msg)
         if timeout is not None:
@@ -73,7 +82,8 @@ class Handle:
             if ev.triggered:
                 return
             self._waiters.pop(msgid, None)
-            ev.fail(RpcError(topic, f"timeout after {timeout:g}s"))
+            ev.fail(RpcError(topic, f"timeout after {timeout:g}s",
+                             code=ETIMEDOUT, rank=self.rank))
 
         timer.add_callback(expire)
         # Cancel the timer when the response wins the race.
@@ -81,16 +91,22 @@ class Handle:
                         if not timer.processed else None)
 
     def rpc_rank(self, dst_rank: int, topic: str,
-                 payload: Optional[dict] = None) -> Event:
+                 payload: Optional[dict] = None,
+                 timeout: Optional[float] = None) -> Event:
         """Rank-addressed RPC routed over the ring overlay."""
         ev = self.sim.event(name=f"client-ring:{topic}@{dst_rank}")
         msg = Message(topic=topic, mtype=MessageType.RING,
                       payload=payload or {}, src_rank=self.rank,
                       dst_rank=dst_rank)
+        msg.ensure_context(
+            origin_rank=self.rank,
+            deadline=self.sim.now + timeout if timeout is not None else None)
         self._waiters[msg.msgid] = ev
         delay = self._ipc_delay(msg.size())
         t = self.sim.timeout(delay)
         t.add_callback(lambda _e: self._inject_ring(msg))
+        if timeout is not None:
+            self._arm_timeout(msg.msgid, ev, topic, timeout)
         return ev
 
     def publish(self, topic: str, payload: Optional[dict] = None) -> None:
@@ -179,7 +195,8 @@ class Handle:
             if ev.triggered:
                 return
             if resp.error is not None:
-                ev.fail(RpcError(resp.topic, resp.error))
+                ev.fail(RpcError(resp.topic, resp.error,
+                                 code=resp.errnum, rank=resp.err_rank))
             else:
                 ev.succeed(resp.payload)
 

@@ -24,7 +24,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from ..sim.kernel import Event, Simulation
-from .message import Message, MessageType
+from .errors import EHOSTUNREACH, ENOSYS, ETIMEDOUT, RpcError
+from .message import Message, MessageType, RequestContext
 from .module import CommsModule, NoHandlerError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -38,15 +39,10 @@ PLANE_EVENT_UP = "event_up"
 PLANE_EVENT_DOWN = "event_down"
 PLANE_RING = "ring"
 PLANE_TREE_RANK = "tree_rank"  # rank-addressed over the tree (extension)
-
-
-class RpcError(Exception):
-    """An RPC completed with an error response."""
-
-    def __init__(self, topic: str, error: str):
-        super().__init__(f"{topic}: {error}")
-        self.topic = topic
-        self.error = error
+# Pseudo-planes for the message-count breakdown: local IPC deliveries to
+# clients and in-broker deliveries (module/callback/event sources).
+PLANE_IPC = "ipc"
+PLANE_LOCAL = "local"
 
 
 class _Source:
@@ -87,6 +83,11 @@ class Broker:
         # Observability.
         self.requests_handled = 0
         self.events_seen = 0
+        #: Per-(module, plane, kind) message counters; ``kind`` is
+        #: ``request``/``response``/``error``/``event``/``ring``.  Each
+        #: forwarding hop counts once, giving the per-hop accounting the
+        #: benchmarks aggregate via ``CommsSession.message_counts()``.
+        self.msg_counts: dict[tuple[str, str, str], int] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -131,11 +132,32 @@ class Broker:
     # ------------------------------------------------------------------
     # plane-level sends
     # ------------------------------------------------------------------
+    def _count(self, plane: str, msg: Message) -> None:
+        """Tally one message for the per-module/per-plane breakdown."""
+        if msg.mtype is MessageType.RESPONSE:
+            kind = "error" if msg.error is not None else "response"
+        else:
+            kind = msg.mtype.value
+        key = (msg.module_name(), plane, kind)
+        self.msg_counts[key] = self.msg_counts.get(key, 0) + 1
+
     def _send(self, peer_rank: int, plane: str, msg: Message) -> None:
         msg.hops += 1
+        self._count(plane, msg)
         self.network.send(self.node_id, self.session.node_of_rank(peer_rank),
                           (plane, msg), msg.size(),
                           port=self.session.port_key)
+
+    def _expired(self, msg: Message) -> bool:
+        """True when the request's deadline passed (checked per hop)."""
+        ctx = msg.ctx
+        return ctx is not None and ctx.expired(self.sim.now)
+
+    def _expiry_response(self, msg: Message) -> Message:
+        return msg.make_response(
+            error=(f"deadline expired in transit at rank {self.rank} "
+                   f"(t={self.sim.now:g})"),
+            errnum=ETIMEDOUT, err_rank=self.rank)
 
     # ------------------------------------------------------------------
     # inbound dispatch
@@ -159,18 +181,24 @@ class Broker:
         mod = self.modules.get(msg.module_name())
         if mod is not None:
             self.requests_handled += 1
+            self._count(PLANE_LOCAL, msg)
             msg._source = source  # type: ignore[attr-defined]
             msg._broker = self    # type: ignore[attr-defined]
             try:
                 mod.dispatch_request(msg)
             except NoHandlerError as exc:
-                self._send_response(source, msg.make_response(error=str(exc)))
+                self._send_response(source, msg.make_response(
+                    error=str(exc), errnum=ENOSYS, err_rank=self.rank))
             return
         if self.parent is None:
             self._send_response(
                 source,
                 msg.make_response(
-                    error=f"no module matches topic {msg.topic!r}"))
+                    error=f"no module matches topic {msg.topic!r}",
+                    errnum=ENOSYS, err_rank=self.rank))
+            return
+        if self._expired(msg):
+            self._send_response(source, self._expiry_response(msg))
             return
         self._pending[msg.msgid] = source
         fwd = msg.copy(src_rank=self.rank)
@@ -186,15 +214,19 @@ class Broker:
         if source.kind == "child":
             self._send(source.target, PLANE_TREE, resp)
         elif source.kind == "client":
+            self._count(PLANE_IPC, resp)
             source.target._deliver_response(resp)
         elif source.kind == "local":
+            self._count(PLANE_LOCAL, resp)
             ev: Event = source.target
             if not ev.triggered:
                 if resp.error is not None:
-                    ev.fail(RpcError(resp.topic, resp.error))
+                    ev.fail(RpcError(resp.topic, resp.error,
+                                     code=resp.errnum, rank=resp.err_rank))
                 else:
                     ev.succeed(resp.payload)
         elif source.kind == "callback":
+            self._count(PLANE_LOCAL, resp)
             source.target(resp)
         else:  # pragma: no cover - defensive
             raise AssertionError(f"unknown source kind {source.kind}")
@@ -237,18 +269,24 @@ class Broker:
         if msg.dst_rank == self.rank:
             self._route_request(msg, _Source("child", msg.src_rank))
             return
+        if self._expired(msg):
+            self._send(msg.src_rank, PLANE_TREE_RANK,
+                       self._expiry_response(msg))
+            return
         hop = self.session.topology.next_hop_toward(self.rank, msg.dst_rank)
         self._pending[msg.msgid] = _Source("child", msg.src_rank)
         fwd = msg.copy(src_rank=self.rank)
         self._send(hop, PLANE_TREE_RANK, fwd)
 
     def rpc_rank_tree(self, dst_rank: int, topic: str,
-                      payload: dict) -> Event:
+                      payload: dict,
+                      deadline: Optional[float] = None) -> Event:
         """Rank-addressed RPC routed over the tree instead of the ring:
         O(log n) hops at the cost of routing knowledge at each hop."""
         ev = self.sim.event(name=f"treerank:{topic}@{dst_rank}")
         msg = Message(topic=topic, mtype=MessageType.RING, payload=payload,
                       src_rank=self.rank, dst_rank=dst_rank)
+        msg.ensure_context(origin_rank=self.rank, deadline=deadline)
         if dst_rank == self.rank:
             self._route_request(msg, _Source("local", ev))
             return ev
@@ -258,13 +296,17 @@ class Broker:
         return ev
 
     def rpc_hop_cb(self, peer_rank: int, topic: str, payload: dict,
-                   callback: Callable[[Message], None]) -> None:
+                   callback: Callable[[Message], None],
+                   ctx: Optional[RequestContext] = None) -> None:
         """Send a request directly to an adjacent tree neighbour
         (parent OR child), bypassing the local module match — the
         generalization of :meth:`rpc_parent_cb` that lets comms-module
         chains run toward an arbitrary rank (e.g. a non-root KVS
-        master)."""
-        msg = Message(topic=topic, payload=payload, src_rank=self.rank)
+        master).  ``ctx`` propagates an in-flight request's context
+        (deadline, origin) across the module-level hop."""
+        msg = Message(topic=topic, payload=payload, src_rank=self.rank,
+                      ctx=ctx)
+        msg.ensure_context(origin_rank=self.rank)
         self._pending[msg.msgid] = _Source("callback", callback)
         self._send(peer_rank, PLANE_TREE, msg)
 
@@ -280,16 +322,30 @@ class Broker:
         if msg.dst_rank == self.rank:
             self._route_request(msg, _Source("ringback", None))
             return
+        if self._expired(msg):
+            # Error responses travel on around the ring to the origin.
+            self._send(self.session.ring.next_rank(self.rank),
+                       PLANE_RING, self._expiry_response(msg))
+            return
         self._send(self.session.ring.next_rank(self.rank), PLANE_RING, msg)
 
     # ------------------------------------------------------------------
     # services offered to modules and clients
     # ------------------------------------------------------------------
     def respond(self, request: Message, payload: Optional[dict] = None,
-                error: Optional[str] = None) -> None:
-        """Send the response for ``request`` back where it came from."""
+                error: Optional[str] = None, code: Optional[str] = None,
+                err_rank: Optional[int] = None) -> None:
+        """Send the response for ``request`` back where it came from.
+
+        Error responses carry the structured ``code`` (``EPROTO`` when
+        the caller supplied none) and the failing rank — this broker's
+        unless a relay passes through an upstream ``err_rank``.
+        """
         source: _Source = request._source  # type: ignore[attr-defined]
-        resp = request.make_response(payload, error=error)
+        resp = request.make_response(
+            payload, error=error, errnum=code,
+            err_rank=(err_rank if err_rank is not None and err_rank >= 0
+                      else self.rank) if error is not None else -1)
         if source.kind == "ringback":
             # Responses on the ring keep travelling forward to the origin.
             self._send(self.session.ring.next_rank(self.rank),
@@ -297,29 +353,39 @@ class Broker:
         else:
             self._send_response(source, resp)
 
-    def rpc_up(self, topic: str, payload: dict) -> Event:
+    def rpc_up(self, topic: str, payload: dict,
+               deadline: Optional[float] = None) -> Event:
         """Module/local RPC routed upstream; returns a result event."""
         ev = self.sim.event(name=f"rpc:{topic}")
         msg = Message(topic=topic, payload=payload, src_rank=self.rank)
+        msg.ensure_context(origin_rank=self.rank, deadline=deadline)
         self._route_request(msg, _Source("local", ev))
         return ev
 
     def rpc_up_cb(self, topic: str, payload: dict,
-                  callback: Callable[[Message], None]) -> None:
+                  callback: Callable[[Message], None],
+                  ctx: Optional[RequestContext] = None) -> None:
         """Like :meth:`rpc_up` but delivers the raw response to a
         callback — used by modules aggregating many child requests."""
-        msg = Message(topic=topic, payload=payload, src_rank=self.rank)
+        msg = Message(topic=topic, payload=payload, src_rank=self.rank,
+                      ctx=ctx)
+        msg.ensure_context(origin_rank=self.rank)
         self._route_request(msg, _Source("callback", callback))
 
     def rpc_parent_cb(self, topic: str, payload: dict,
-                      callback: Callable[[Message], None]) -> None:
+                      callback: Callable[[Message], None],
+                      ctx: Optional[RequestContext] = None) -> None:
         """Send a request directly to the tree parent, bypassing the
         local module match — how instances of the same comms module
         talk upstream to each other (cache fault-in, flush/fence
-        forwarding).  The raw response is handed to ``callback``."""
+        forwarding).  The raw response is handed to ``callback``;
+        ``ctx`` propagates an in-flight request's context upstream."""
         if self.parent is None:
-            raise RpcError(topic, "root has no parent")
-        msg = Message(topic=topic, payload=payload, src_rank=self.rank)
+            raise RpcError(topic, "root has no parent",
+                           code=EHOSTUNREACH, rank=self.rank)
+        msg = Message(topic=topic, payload=payload, src_rank=self.rank,
+                      ctx=ctx)
+        msg.ensure_context(origin_rank=self.rank)
         self._pending[msg.msgid] = _Source("callback", callback)
         self._send(self.parent, PLANE_TREE, msg)
 
@@ -331,11 +397,13 @@ class Broker:
         msg = Message(topic=topic, payload=payload, src_rank=self.rank)
         self._send(self.parent, PLANE_TREE, msg)
 
-    def rpc_rank(self, dst_rank: int, topic: str, payload: dict) -> Event:
+    def rpc_rank(self, dst_rank: int, topic: str, payload: dict,
+                 deadline: Optional[float] = None) -> Event:
         """Rank-addressed RPC over the ring overlay."""
         ev = self.sim.event(name=f"ring:{topic}@{dst_rank}")
         msg = Message(topic=topic, mtype=MessageType.RING, payload=payload,
                       src_rank=self.rank, dst_rank=dst_rank)
+        msg.ensure_context(origin_rank=self.rank, deadline=deadline)
         if dst_rank == self.rank:
             self._route_request(msg, _Source("local", ev))
         else:

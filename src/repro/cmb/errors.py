@@ -1,0 +1,87 @@
+"""Structured RPC errors — the CMB's errnum-coded failure channel.
+
+Real Flux responds to a failed request with a POSIX ``errnum`` in the
+response envelope rather than a free-form string; tools and services
+branch on the code while humans read the text.  This module is the
+reproduction's equivalent: a small, closed set of symbolic error codes
+that ride the response's *header frame* (so they never change payload
+wire sizes), plus the :class:`RpcError` exception every client-facing
+API raises.
+
+The code set (loosely the errno subset Flux actually uses):
+
+========== ====================================================
+code        meaning
+========== ====================================================
+ENOSYS      no service/handler matches the request topic
+ENOENT      named thing (key, job, object, sampler) not found
+EEXIST      thing already exists (duplicate allocation, …)
+EINVAL      malformed request payload (missing/bad fields)
+EOVERFLOW   request exceeds available capacity
+ETIMEDOUT   request deadline expired (client- or broker-side)
+EHOSTUNREACH  no route to the target rank/parent
+EPROTO      unclassified protocol-level failure (the default)
+EIO         data lost or corrupted in transit
+========== ====================================================
+
+Multi-hop relays (:meth:`repro.cmb.module.CommsModule.proxy_upstream`)
+propagate ``(code, text, failing rank)`` losslessly, so an ``ENOSYS``
+raised three hops up the tree surfaces at the originating client as
+``RpcError(code="ENOSYS", rank=<failing rank>)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "ENOSYS", "ENOENT", "EEXIST", "EINVAL", "EOVERFLOW", "ETIMEDOUT",
+    "EHOSTUNREACH", "EPROTO", "EIO", "ERROR_CODES", "RpcError",
+]
+
+ENOSYS = "ENOSYS"
+ENOENT = "ENOENT"
+EEXIST = "EEXIST"
+EINVAL = "EINVAL"
+EOVERFLOW = "EOVERFLOW"
+ETIMEDOUT = "ETIMEDOUT"
+EHOSTUNREACH = "EHOSTUNREACH"
+EPROTO = "EPROTO"
+EIO = "EIO"
+
+#: Every code a response may carry.
+ERROR_CODES = frozenset({
+    ENOSYS, ENOENT, EEXIST, EINVAL, EOVERFLOW, ETIMEDOUT,
+    EHOSTUNREACH, EPROTO, EIO,
+})
+
+
+class RpcError(Exception):
+    """An RPC completed with an error response.
+
+    Attributes
+    ----------
+    topic:
+        The request topic that failed.
+    error:
+        Human-readable error text from the responder.
+    code:
+        Symbolic errnum-style code (one of :data:`ERROR_CODES`);
+        defaults to :data:`EPROTO` when the responder supplied none.
+    rank:
+        Session rank where the error originated, or ``-1`` when the
+        failure happened client-side (e.g. a local timeout) or the
+        responder did not record it.
+    """
+
+    def __init__(self, topic: str, error: str,
+                 code: Optional[str] = None, rank: int = -1):
+        super().__init__(f"{topic}: {error}")
+        self.topic = topic
+        self.error = error
+        self.code = code if code is not None else EPROTO
+        self.rank = rank
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"RpcError(topic={self.topic!r}, code={self.code!r}, "
+                f"rank={self.rank}, error={self.error!r})")

@@ -19,13 +19,49 @@ from enum import Enum
 from typing import Any, Optional
 
 from ..jsonutil import canonical_size
+from .errors import EPROTO
 
-__all__ = ["MessageType", "Message", "HEADER_BYTES", "split_topic"]
+__all__ = ["MessageType", "Message", "RequestContext", "HEADER_BYTES",
+           "split_topic"]
 
-#: Fixed header-frame cost: routing envelope, message id, flags.
+#: Fixed header-frame cost: routing envelope, message id, flags, and the
+#: request context (request id / origin rank / hop count / deadline) —
+#: all small fixed-width fields, so carrying a context never changes a
+#: message's wire size.
 HEADER_BYTES = 64
 
 _msg_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """Request-scoped metadata carried in the header frame.
+
+    A context is attached where a request *originates* (a client
+    :class:`~repro.cmb.api.Handle` or a broker RPC primitive) and rides
+    the header frame unchanged through every forward hop and module
+    relay, so mid-tree brokers can act on it without parsing payloads:
+
+    - ``reqid`` correlates all hops of one logical request, across
+      module-level re-issues (a proxy relay creates a fresh ``msgid``
+      per hop but preserves the ``reqid``).
+    - ``origin_rank`` is the rank whose client/service started it.
+    - ``deadline`` is an *absolute simulated time*; brokers check it on
+      every forward hop and answer ``ETIMEDOUT`` instead of forwarding
+      a request that can no longer meet it.
+
+    The per-message hop count lives in :attr:`Message.hops` (it is a
+    property of the message's path, not of the logical request) but is
+    part of the same fixed-size header frame.
+    """
+
+    reqid: int
+    origin_rank: int = -1
+    deadline: Optional[float] = None
+
+    def expired(self, now: float) -> bool:
+        """True once ``now`` has passed the deadline (if any)."""
+        return self.deadline is not None and now > self.deadline
 
 
 class MessageType(Enum):
@@ -68,8 +104,18 @@ class Message:
         Target rank for RING messages (ignored otherwise).
     error:
         Error string on failed RESPONSEs (``None`` on success).
+    errnum:
+        Symbolic error code (see :mod:`repro.cmb.errors`) on failed
+        RESPONSEs; rides the header frame next to ``error``.
+    err_rank:
+        Session rank where the error originated (``-1`` if none).
     hops:
-        Number of broker hops taken so far (observability only).
+        Number of broker hops taken so far (header-frame field).
+    ctx:
+        The :class:`RequestContext` of the logical request this message
+        belongs to (``None`` for legacy/one-way messages).  Carried in
+        the fixed-size header frame: attaching a context does not
+        change :meth:`size`.
     """
 
     topic: str
@@ -79,7 +125,10 @@ class Message:
     src_rank: int = -1
     dst_rank: int = -1
     error: Optional[str] = None
+    errnum: Optional[str] = None
+    err_rank: int = -1
     hops: int = 0
+    ctx: Optional[RequestContext] = None
     # Cached wire size: payloads are treated as immutable once a message
     # is built, and size() is evaluated on every forwarding hop —
     # re-serializing a multi-megabyte directory object per hop would
@@ -101,9 +150,31 @@ class Message:
         """The handler component of :attr:`topic` (``put`` of ``kvs.put``)."""
         return split_topic(self.topic)[1]
 
+    def ensure_context(self, origin_rank: int = -1,
+                       deadline: Optional[float] = None) -> RequestContext:
+        """Attach (or return the existing) request context.
+
+        Called at the request's origin; forward hops and proxy relays
+        then carry the same frozen context object untouched.
+        """
+        if self.ctx is None:
+            self.ctx = RequestContext(reqid=self.msgid,
+                                      origin_rank=origin_rank,
+                                      deadline=deadline)
+        return self.ctx
+
     def make_response(self, payload: Optional[dict] = None,
-                      error: Optional[str] = None) -> "Message":
-        """Build the RESPONSE correlated with this REQUEST/RING message."""
+                      error: Optional[str] = None,
+                      errnum: Optional[str] = None,
+                      err_rank: int = -1) -> "Message":
+        """Build the RESPONSE correlated with this REQUEST/RING message.
+
+        Failed responses should carry a symbolic ``errnum`` (see
+        :mod:`repro.cmb.errors`) and the failing rank; both propagate
+        losslessly through multi-hop relays back to the originator.
+        """
+        if error is not None and errnum is None:
+            errnum = EPROTO
         return Message(
             topic=self.topic,
             mtype=MessageType.RESPONSE,
@@ -112,6 +183,9 @@ class Message:
             src_rank=self.src_rank,
             dst_rank=self.dst_rank,
             error=error,
+            errnum=errnum if error is not None else None,
+            err_rank=err_rank if error is not None else -1,
+            ctx=self.ctx,
         )
 
     def copy(self, **changes: Any) -> "Message":

@@ -10,22 +10,62 @@ it, and the tree overlay lets instances of the same module aggregate
 Subclasses define request handlers as methods named ``req_<method>``
 (``kvs.put`` dispatches to the ``kvs`` module's ``req_put``) and may
 subscribe to event topics at :meth:`start` time.
+
+Two service-layer facilities sit on top of the bare ``req_`` discovery:
+
+- a **declarative handler registry** — decorating a handler with
+  :func:`request_handler` records its required payload fields; the
+  dispatcher validates them before the handler runs and auto-responds
+  with a structured ``EINVAL`` error on violation, so every module gets
+  uniform malformed-request handling for free;
+- the **upstream proxy** :meth:`CommsModule.proxy_upstream` — the one
+  canonical implementation of "forward this request toward the root and
+  relay whatever comes back", preserving the request context (deadline,
+  origin) on the way up and the structured error (code, failing rank)
+  on the way back.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
+from .errors import EINVAL, ENOSYS
 from .message import Message
 
 if TYPE_CHECKING:  # pragma: no cover
     from .broker import Broker
 
-__all__ = ["CommsModule", "NoHandlerError"]
+__all__ = ["CommsModule", "NoHandlerError", "request_handler"]
 
 
 class NoHandlerError(Exception):
-    """A module received a request for a method it does not implement."""
+    """A module received a request for a method it does not implement.
+
+    Surfaces to the originating client as ``RpcError(code="ENOSYS")``.
+    """
+
+    code = ENOSYS
+
+
+def request_handler(*, required: tuple[str, ...] = ()
+                    ) -> Callable[[Callable], Callable]:
+    """Declare payload requirements for a ``req_<method>`` handler.
+
+    ``required`` names payload fields that must be present; a request
+    missing any of them is answered with a structured ``EINVAL`` error
+    before the handler body runs::
+
+        @request_handler(required=("key", "value"))
+        def req_put(self, msg): ...
+
+    Undecorated handlers keep the permissive legacy behaviour.
+    """
+
+    def mark(fn: Callable) -> Callable:
+        fn.__rpc_required__ = tuple(required)
+        return fn
+
+    return mark
 
 
 class CommsModule:
@@ -43,6 +83,20 @@ class CommsModule:
 
     name: str = ""
 
+    #: Per-class handler registry: ``{method: required-field tuple}``,
+    #: built once per subclass from the ``req_`` methods it defines.
+    _handler_specs: dict[str, tuple[str, ...]] = {}
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        specs: dict[str, tuple[str, ...]] = {}
+        for klass in reversed(cls.__mro__):
+            for attr, fn in vars(klass).items():
+                if attr.startswith("req_") and callable(fn):
+                    specs[attr[len("req_"):]] = getattr(
+                        fn, "__rpc_required__", ())
+        cls._handler_specs = specs
+
     def __init__(self, broker: "Broker", **config: Any):
         if not self.name:
             raise ValueError(f"{type(self).__name__} must define a name")
@@ -57,8 +111,18 @@ class CommsModule:
         """Called when the session is being torn down."""
 
     # -- dispatch --------------------------------------------------------
+    @classmethod
+    def handlers(cls) -> dict[str, tuple[str, ...]]:
+        """The declarative handler registry: ``{method: required}``."""
+        return dict(cls._handler_specs)
+
     def dispatch_request(self, msg: Message) -> None:
-        """Route ``msg`` to ``req_<method>``; raise if unimplemented."""
+        """Route ``msg`` to ``req_<method>``; raise if unimplemented.
+
+        Requests that fail the handler's declared payload validation
+        are answered with a structured ``EINVAL`` error instead of
+        reaching the handler body.
+        """
         method = msg.method_name() or "default"
         handler: Optional[Callable[[Message], None]] = getattr(
             self, f"req_{method}", None)
@@ -66,6 +130,14 @@ class CommsModule:
             raise NoHandlerError(
                 f"module {self.name!r} has no handler for "
                 f"{msg.topic!r} at rank {self.broker.rank}")
+        missing = [f for f in self._handler_specs.get(method, ())
+                   if f not in msg.payload]
+        if missing:
+            self.respond(
+                msg, error=(f"{msg.topic}: missing required payload "
+                            f"field(s) {', '.join(missing)}"),
+                code=EINVAL)
+            return
         handler(msg)
 
     # -- convenience ---------------------------------------------------
@@ -80,9 +152,45 @@ class CommsModule:
         return self.broker.rank == 0
 
     def respond(self, msg: Message, payload: Optional[dict] = None,
-                error: Optional[str] = None) -> None:
-        """Answer a request this module received (possibly much later)."""
-        self.broker.respond(msg, payload, error=error)
+                error: Optional[str] = None, code: Optional[str] = None,
+                err_rank: Optional[int] = None) -> None:
+        """Answer a request this module received (possibly much later).
+
+        Error responses carry the structured ``code`` (defaulting to
+        ``EPROTO``) and the failing rank — this broker's, unless a
+        relayed upstream failure supplies its own ``err_rank``.
+        """
+        self.broker.respond(msg, payload, error=error, code=code,
+                            err_rank=err_rank)
+
+    def proxy_upstream(self, msg: Message, topic: Optional[str] = None,
+                       transform: Optional[Callable[[dict], dict]] = None
+                       ) -> None:
+        """Forward ``msg`` to the tree parent and relay the response.
+
+        The canonical "this instance is not authoritative — ask the
+        next one up" idiom: the request payload is re-sent under
+        ``topic`` (default: the original topic) with the original
+        request context (so deadlines and origin survive the hop), and
+        the eventual response — payload or structured error, including
+        the failing rank — is relayed back to ``msg``'s source.
+
+        ``transform`` optionally rewrites a *successful* response
+        payload before relaying (aggregating proxies).
+        """
+
+        def relay(resp: Message) -> None:
+            if resp.error is not None:
+                self.respond(msg, None, error=resp.error,
+                             code=resp.errnum, err_rank=resp.err_rank)
+                return
+            payload = dict(resp.payload)
+            if transform is not None:
+                payload = transform(payload)
+            self.respond(msg, payload)
+
+        self.broker.rpc_parent_cb(topic if topic is not None else msg.topic,
+                                  dict(msg.payload), relay, ctx=msg.ctx)
 
     def log(self, level: str, text: str) -> None:
         """Emit a log record through the session ``log`` module if

@@ -13,8 +13,9 @@ into one upstream message (the tree-reduction the paper describes).
 
 from __future__ import annotations
 
+from ..errors import EINVAL
 from ..message import Message
-from ..module import CommsModule
+from ..module import CommsModule, request_handler
 
 __all__ = ["BarrierModule"]
 
@@ -61,11 +62,16 @@ class BarrierModule(CommsModule):
             raise ValueError(f"barrier {name!r}: inconsistent nprocs")
         return st
 
+    @request_handler(required=("name", "nprocs"))
     def req_enter(self, msg: Message) -> None:
         name = msg.payload["name"]
         nprocs = msg.payload["nprocs"]
         count = msg.payload.get("count", 1)
-        st = self._state_for(name, nprocs)
+        try:
+            st = self._state_for(name, nprocs)
+        except ValueError as exc:
+            self.respond(msg, error=str(exc), code=EINVAL)
+            return
         if "count" not in msg.payload:
             # A real client entry: hold for release at exit time.
             st.held.append(msg)

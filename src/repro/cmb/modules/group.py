@@ -13,7 +13,7 @@ group uses the announced size as its ``nprocs``.
 from __future__ import annotations
 
 from ..message import Message
-from ..module import CommsModule
+from ..module import CommsModule, request_handler
 
 __all__ = ["GroupModule"]
 
@@ -37,6 +37,7 @@ class GroupModule(CommsModule):
         self.broker.subscribe("group.update", self._on_update)
 
     # ------------------------------------------------------------------
+    @request_handler(required=("name", "rank", "client"))
     def req_join(self, msg: Message) -> None:
         name = msg.payload["name"]
         member = [msg.payload["rank"], msg.payload["client"]]
@@ -47,6 +48,7 @@ class GroupModule(CommsModule):
                             {"name": name, "size": len(members)})
         self.respond(msg, {"name": name, "size": len(members)})
 
+    @request_handler(required=("name", "rank", "client"))
     def req_leave(self, msg: Message) -> None:
         name = msg.payload["name"]
         member = [msg.payload["rank"], msg.payload["client"]]
@@ -57,6 +59,7 @@ class GroupModule(CommsModule):
                             {"name": name, "size": len(members)})
         self.respond(msg, {"name": name, "size": len(members)})
 
+    @request_handler(required=("name",))
     def req_list(self, msg: Message) -> None:
         name = msg.payload["name"]
         members = self.groups.get(name, [])
@@ -64,6 +67,7 @@ class GroupModule(CommsModule):
                            "members": [list(m) for m in members],
                            "size": len(members)})
 
+    @request_handler(required=("name",))
     def req_size(self, msg: Message) -> None:
         name = msg.payload["name"]
         self.respond(msg, {"name": name,

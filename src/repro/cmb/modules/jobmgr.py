@@ -18,8 +18,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional
 
+from ..errors import EINVAL, ENOENT, ENOSYS
 from ..message import Message
-from ..module import CommsModule
+from ..module import CommsModule, request_handler
 
 if TYPE_CHECKING:  # pragma: no cover
     from ...core.job import Job
@@ -56,19 +57,15 @@ class JobManagerModule(CommsModule):
             # Not the root (or no instance attached): let the request
             # keep climbing by re-routing through the parent.
             if self.broker.parent is not None:
-                self.broker.rpc_parent_cb(
-                    "job.submit", dict(msg.payload),
-                    lambda resp: self.respond(
-                        msg,
-                        dict(resp.payload) if resp.error is None else None,
-                        error=resp.error))
+                self.proxy_upstream(msg)
                 return
-            self.respond(msg, error="no job manager bound at the root")
+            self.respond(msg, error="no job manager bound at the root",
+                         code=ENOSYS)
             return
         try:
             job = self._submit_hook(dict(msg.payload))
         except (ValueError, TypeError, RuntimeError) as exc:
-            self.respond(msg, error=f"rejected: {exc}")
+            self.respond(msg, error=f"rejected: {exc}", code=EINVAL)
             return
         self._jobs[job.jobid] = job
         self.broker.publish("job.state", {"jobid": job.jobid,
@@ -82,18 +79,17 @@ class JobManagerModule(CommsModule):
                                           "state": job.state.value,
                                           "name": job.spec.name})
 
+    @request_handler(required=("jobid",))
     def req_info(self, msg: Message) -> None:
         """Query one submitted job's current state (root)."""
         if self._submit_hook is None and self.broker.parent is not None:
-            self.broker.rpc_parent_cb(
-                "job.info", dict(msg.payload),
-                lambda resp: self.respond(
-                    msg, dict(resp.payload) if resp.error is None else None,
-                    error=resp.error))
+            self.proxy_upstream(msg)
             return
         job = self._jobs.get(msg.payload.get("jobid"))
         if job is None:
-            self.respond(msg, error=f"unknown job {msg.payload.get('jobid')}")
+            self.respond(msg,
+                         error=f"unknown job {msg.payload.get('jobid')}",
+                         code=ENOENT)
             return
         self.respond(msg, {
             "jobid": job.jobid,
@@ -109,11 +105,7 @@ class JobManagerModule(CommsModule):
     def req_list(self, msg: Message) -> None:
         """List jobs submitted through this module (root)."""
         if self._submit_hook is None and self.broker.parent is not None:
-            self.broker.rpc_parent_cb(
-                "job.list", dict(msg.payload),
-                lambda resp: self.respond(
-                    msg, dict(resp.payload) if resp.error is None else None,
-                    error=resp.error))
+            self.proxy_upstream(msg)
             return
         self.respond(msg, {"jobs": [
             {"jobid": j.jobid, "state": j.state.value,

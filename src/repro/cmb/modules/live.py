@@ -15,7 +15,7 @@ grandparent — the paper's "self-heal when interior nodes fail").
 from __future__ import annotations
 
 from ..message import Message
-from ..module import CommsModule
+from ..module import CommsModule, request_handler
 
 __all__ = ["LiveModule"]
 
@@ -61,6 +61,7 @@ class LiveModule(CommsModule):
                                      "epoch": self.epoch})
         self._check_children()
 
+    @request_handler(required=("rank", "epoch"))
     def req_hello(self, msg: Message) -> None:
         child = msg.payload["rank"]
         epoch = msg.payload["epoch"]

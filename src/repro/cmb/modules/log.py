@@ -17,7 +17,7 @@ from __future__ import annotations
 from collections import deque
 
 from ..message import Message
-from ..module import CommsModule
+from ..module import CommsModule, request_handler
 
 __all__ = ["LogModule", "LEVELS"]
 
@@ -90,6 +90,7 @@ class LogModule(CommsModule):
         self.broker.rpc_parent_cb("log.append", {"records": batch},
                                   lambda resp: None)
 
+    @request_handler(required=("records",))
     def req_append(self, msg: Message) -> None:
         """Records forwarded from a downstream instance."""
         self._enqueue(msg.payload["records"])

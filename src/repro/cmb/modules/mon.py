@@ -18,8 +18,9 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from ..errors import EINVAL, ENOENT
 from ..message import Message
-from ..module import CommsModule
+from ..module import CommsModule, request_handler
 
 __all__ = ["MonModule", "REDUCE_OPS"]
 
@@ -78,19 +79,23 @@ class MonModule(CommsModule):
     # ------------------------------------------------------------------
     # activation
     # ------------------------------------------------------------------
+    @request_handler(required=("name",))
     def req_activate(self, msg: Message) -> None:
         """Root RPC: start sampling ``{name, op}`` session-wide."""
         name = msg.payload["name"]
         op = msg.payload.get("op", "sum")
         if op not in REDUCE_OPS:
-            self.respond(msg, error=f"unknown reduce op {op!r}")
+            self.respond(msg, error=f"unknown reduce op {op!r}",
+                         code=EINVAL)
             return
         if name not in self.samplers:
-            self.respond(msg, error=f"unknown sampler {name!r}")
+            self.respond(msg, error=f"unknown sampler {name!r}",
+                         code=ENOENT)
             return
         self.broker.publish("mon.activate", {"name": name, "op": op})
         self.respond(msg, {"name": name, "op": op})
 
+    @request_handler(required=("name",))
     def req_deactivate(self, msg: Message) -> None:
         """Stop sampling a metric."""
         self.broker.publish("mon.deactivate", {"name": msg.payload["name"]})
@@ -121,6 +126,7 @@ class MonModule(CommsModule):
             value = float(fn(self.broker))
             self._contribute(metric, epoch, {"sum": value, "n": 1})
 
+    @request_handler(required=("name", "epoch", "acc", "contrib"))
     def req_sample(self, msg: Message) -> None:
         """A child's partial aggregate for (name, epoch)."""
         p = msg.payload
@@ -167,6 +173,7 @@ class MonModule(CommsModule):
         kvs._publish_setroot(res.version, res.root_sha)
 
     # ------------------------------------------------------------------
+    @request_handler(required=("name",))
     def req_results(self, msg: Message) -> None:
         """Root RPC: completed reductions for a metric."""
         name = msg.payload["name"]

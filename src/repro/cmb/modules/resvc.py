@@ -15,8 +15,9 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from ..errors import EEXIST, ENOENT, EOVERFLOW
 from ..message import Message
-from ..module import CommsModule
+from ..module import CommsModule, request_handler
 
 __all__ = ["ResvcModule"]
 
@@ -65,6 +66,7 @@ class ResvcModule(CommsModule):
         kvs.local_commit("resvc")
 
     # ------------------------------------------------------------------
+    @request_handler(required=("jobid", "cores"))
     def req_alloc(self, msg: Message) -> None:
         """Allocate {jobid, cores, ranks?}: ``cores`` total, optionally
         restricted to a candidate rank list; first-fit across ranks."""
@@ -73,7 +75,8 @@ class ResvcModule(CommsModule):
         want = p["cores"]
         candidates = p.get("ranks") or list(range(self.broker.session.size))
         if jobid in self.allocations:
-            self.respond(msg, error=f"job {jobid!r} already allocated")
+            self.respond(msg, error=f"job {jobid!r} already allocated",
+                         code=EEXIST)
             return
         plan: dict[int, int] = {}
         remaining = want
@@ -85,7 +88,8 @@ class ResvcModule(CommsModule):
                 plan[r] = take
                 remaining -= take
         if remaining > 0:
-            self.respond(msg, error=f"insufficient cores for {want}")
+            self.respond(msg, error=f"insufficient cores for {want}",
+                         code=EOVERFLOW)
             return
         for r, n in plan.items():
             self.free[r] -= n
@@ -93,12 +97,14 @@ class ResvcModule(CommsModule):
         self.respond(msg, {"jobid": jobid,
                            "alloc": {str(r): n for r, n in plan.items()}})
 
+    @request_handler(required=("jobid",))
     def req_free(self, msg: Message) -> None:
         """Release a job's allocation."""
         jobid = msg.payload["jobid"]
         plan = self.allocations.pop(jobid, None)
         if plan is None:
-            self.respond(msg, error=f"no allocation for job {jobid!r}")
+            self.respond(msg, error=f"no allocation for job {jobid!r}",
+                         code=ENOENT)
             return
         for r, n in plan.items():
             self.free[r] += n

@@ -27,8 +27,9 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from ...sim.kernel import Interrupt, Process
+from ..errors import EINVAL, ENOENT
 from ..message import Message
-from ..module import CommsModule
+from ..module import CommsModule, request_handler
 
 __all__ = ["WexecModule", "TaskContext"]
 
@@ -123,24 +124,21 @@ class WexecModule(CommsModule):
     # ------------------------------------------------------------------
     # launch path
     # ------------------------------------------------------------------
+    @request_handler(required=("jobid",))
     def req_run(self, msg: Message) -> None:
         """Client RPC: run {jobid, task, nprocs, ranks?, args?}."""
         if not self.is_root:
-            self.broker.rpc_parent_cb(
-                "wexec.run", dict(msg.payload),
-                lambda resp: self.respond(
-                    msg, dict(resp.payload) if resp.error is None else None,
-                    error=resp.error))
+            self.proxy_upstream(msg)
             return
         p = msg.payload
         task = p.get("task")
         nprocs = p.get("nprocs", 1)
         ranks = p.get("ranks") or list(range(self.broker.session.size))
         if task not in self.registry:
-            self.respond(msg, error=f"unknown task {task!r}")
+            self.respond(msg, error=f"unknown task {task!r}", code=ENOENT)
             return
         if nprocs < 1 or not ranks:
-            self.respond(msg, error="bad job shape")
+            self.respond(msg, error="bad job shape", code=EINVAL)
             return
         spec = {"jobid": p["jobid"], "task": task, "nprocs": nprocs,
                 "ranks": list(ranks), "args": p.get("args", {})}
@@ -221,6 +219,7 @@ class WexecModule(CommsModule):
     # ------------------------------------------------------------------
     # completion reduction
     # ------------------------------------------------------------------
+    @request_handler(required=("jobid", "count", "rcs"))
     def req_complete(self, msg: Message) -> None:
         """A child subtree's completion tally."""
         p = msg.payload
@@ -260,6 +259,7 @@ class WexecModule(CommsModule):
     # ------------------------------------------------------------------
     # tool access (Challenge 4: debugger/profiler attachment)
     # ------------------------------------------------------------------
+    @request_handler(required=("jobid",))
     def req_query(self, msg: Message) -> None:
         """Report this broker's live tasks for a job: rank-addressed
         tools (ring/tree overlays) call this on every broker to build a
@@ -282,14 +282,11 @@ class WexecModule(CommsModule):
     # ------------------------------------------------------------------
     # signals
     # ------------------------------------------------------------------
+    @request_handler(required=("jobid",))
     def req_signal(self, msg: Message) -> None:
         """Client RPC: deliver ``signum`` to every task of a job."""
         if not self.is_root:
-            self.broker.rpc_parent_cb(
-                "wexec.signal", dict(msg.payload),
-                lambda resp: self.respond(
-                    msg, dict(resp.payload) if resp.error is None else None,
-                    error=resp.error))
+            self.proxy_upstream(msg)
             return
         self.broker.publish("wexec.signal", dict(msg.payload))
         self.respond(msg, {})

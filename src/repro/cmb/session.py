@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Optional, Sequence, Type
 
 from ..sim.cluster import Cluster
+from ..sim.trace import Tracer
 from .api import Handle
 from .broker import Broker
 from .module import CommsModule
@@ -61,13 +62,21 @@ class CommsSession:
         experiments).
     modules:
         Comms modules to load at wire-up.
+    tracer:
+        Optional :class:`~repro.sim.trace.Tracer`; when set, the
+        session's per-module/per-plane message-count breakdown is
+        recorded into it at :meth:`stop` time (category
+        ``cmb.msgcounts``) so benchmark harnesses can report message
+        counts alongside latencies.
     """
 
     def __init__(self, cluster: Cluster,
                  node_ids: Optional[Sequence[int]] = None,
                  topology: Optional[TreeTopology] = None,
-                 modules: Iterable[ModuleSpec] = ()):
+                 modules: Iterable[ModuleSpec] = (),
+                 tracer: Optional[Tracer] = None):
         self.cluster = cluster
+        self.tracer = tracer
         self.sim = cluster.sim
         self.network = cluster.network
         self.node_ids = list(node_ids if node_ids is not None
@@ -140,11 +149,39 @@ class CommsSession:
         return self
 
     def stop(self) -> None:
-        """Tear the session down."""
+        """Tear the session down (recording message counts if traced)."""
+        if self.tracer is not None:
+            self.trace_message_counts(self.tracer)
         for broker in self.brokers:
             if broker.alive:
                 broker.stop()
         self._started = False
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def message_counts(self) -> dict[tuple[str, str, str], int]:
+        """Session-wide message counts keyed by (module, plane, kind).
+
+        Kinds are ``request`` / ``response`` / ``error`` / ``event`` /
+        ``ring``; planes are the fabric planes plus the ``ipc`` and
+        ``local`` pseudo-planes (client deliveries / in-broker
+        dispatches).  Each forwarding hop counts once — the per-hop
+        accounting behind the benchmarks' message-count breakdowns.
+        """
+        totals: dict[tuple[str, str, str], int] = {}
+        for broker in self.brokers:
+            for key, n in broker.msg_counts.items():
+                totals[key] = totals.get(key, 0) + n
+        return totals
+
+    def trace_message_counts(self, tracer: Tracer) -> None:
+        """Record the current message-count breakdown into ``tracer``
+        as one ``cmb.msgcounts`` record with a deterministic layout."""
+        counts = self.message_counts()
+        tracer.record(self.sim.now, "cmb.msgcounts", {
+            f"{mod}/{plane}/{kind}": counts[(mod, plane, kind)]
+            for mod, plane, kind in sorted(counts)})
 
     def fail_rank(self, rank: int) -> None:
         """Kill the broker at ``rank`` along with its node (fault

@@ -26,6 +26,7 @@ from ..cmb.session import CommsSession, ModuleSpec
 from ..cmb.topology import TreeTopology
 from ..kvs.module import KvsModule
 from ..sim.cluster import Cluster
+from ..sim.trace import Tracer
 
 __all__ = ["CommsConfig"]
 
@@ -51,6 +52,11 @@ class CommsConfig:
         Bring-up cost when a parent session assists: the parent's
         overlay broadcasts the wire-up in one tree sweep, so the cost
         scales with tree depth — the paper's "rapid creation".
+    tracer:
+        Optional :class:`~repro.sim.trace.Tracer` handed to every
+        session built from this config; each session records its
+        per-module/per-plane message-count breakdown into it at stop
+        time.
     """
 
     cluster: Cluster
@@ -61,6 +67,7 @@ class CommsConfig:
     assisted_boot_base: float = 5e-4
     assisted_boot_per_level: float = 1e-4
     extra_modules: Optional[Callable[[int], list[ModuleSpec]]] = None
+    tracer: Optional[Tracer] = None
 
     def bootstrap_delay(self, n_nodes: int, *, assisted: bool) -> float:
         """Simulated seconds to bring a session up over ``n_nodes``."""
@@ -88,4 +95,4 @@ class CommsConfig:
             self.cluster, node_ids=node_ids,
             topology=TreeTopology(size, arity=min(self.tree_arity,
                                                   max(1, size - 1))),
-            modules=modules)
+            modules=modules, tracer=self.tracer)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 
 from ..cmb.api import Handle
+from ..cmb.errors import ENOENT, RpcError
 from ..cmb.message import Message
 from ..sim.kernel import Event
 
@@ -86,6 +87,16 @@ class JobClient:
 
     def _check_info(self, jobid: int, resp_ev: Event) -> None:
         if not resp_ev.ok:
+            exc = resp_ev._exc
+            if isinstance(exc, RpcError) and exc.code == ENOENT:
+                # The job manager has never heard of this job: waiting
+                # on its state event would hang forever, so fail the
+                # waiters with the structured error instead of
+                # swallowing it.
+                for ev in self._waiters.pop(jobid, []):
+                    if not ev.triggered:
+                        ev.fail(RpcError(exc.topic, exc.error,
+                                         code=exc.code, rank=exc.rank))
             return
         state = resp_ev.value.get("state")
         if state in _TERMINAL:

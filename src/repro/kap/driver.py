@@ -103,5 +103,6 @@ def run_kap(config: KapConfig,
     result.total_time = sim.now
     result.events = sim.event_count
     result.bytes_sent = cluster.network.total_bytes_sent()
+    result.msg_counts = session.message_counts()
     session.stop()
     return result

@@ -28,6 +28,15 @@ class KapResult:
     total_time: float = 0.0
     events: int = 0
     bytes_sent: int = 0
+    #: Per-(module, plane, kind) message counts from the run's comms
+    #: session (see :meth:`repro.cmb.session.CommsSession.message_counts`).
+    msg_counts: dict = field(default_factory=dict)
+
+    def msg_total(self, kind: Optional[str] = None) -> int:
+        """Total messages counted, optionally filtered by kind
+        (``request`` / ``response`` / ``error`` / ``event`` / ``ring``)."""
+        return sum(n for (_, _, k), n in self.msg_counts.items()
+                   if kind is None or k == kind)
 
     # -- headline metrics ------------------------------------------------
     @property

@@ -95,44 +95,60 @@ class KvsClient:
     (:mod:`repro.kvs.sharding`).
     """
 
-    def __init__(self, handle: Handle, module: str = "kvs"):
+    def __init__(self, handle: Handle, module: str = "kvs",
+                 timeout: Optional[float] = None):
         self.handle = handle
         self.module = module
+        #: Default RPC timeout (simulated seconds) applied to every
+        #: call; ``None`` waits forever.  Per-call ``timeout=`` wins.
+        #: Timeouts ride the request context, so a mid-tree broker
+        #: drops an expired request with ``ETIMEDOUT`` instead of
+        #: forwarding it further.
+        self.timeout = timeout
         self._watchers: list[Watcher] = []
         self._subscribed = False
 
+    def _rpc(self, topic: str, payload: Optional[dict] = None,
+             timeout: Optional[float] = None) -> Event:
+        return self.handle.rpc(
+            topic, payload,
+            timeout=timeout if timeout is not None else self.timeout)
+
     # -- write path -------------------------------------------------------
-    def put(self, key: str, value: Any) -> Event:
+    def put(self, key: str, value: Any,
+            timeout: Optional[float] = None) -> Event:
         """``kvs_put``: write-back store of ``value`` under ``key``.
         Fires with ``{"sha": ...}`` once the local slave has buffered it."""
-        return self.handle.rpc(f"{self.module}.put", {
-            "key": key, "value": value, "sender": self.handle.client_id})
+        return self._rpc(f"{self.module}.put", {
+            "key": key, "value": value, "sender": self.handle.client_id},
+            timeout=timeout)
 
-    def unlink(self, key: str) -> Event:
+    def unlink(self, key: str, timeout: Optional[float] = None) -> Event:
         """Remove ``key`` at the next commit/fence."""
-        return self.handle.rpc(f"{self.module}.unlink", {
-            "key": key, "sender": self.handle.client_id})
+        return self._rpc(f"{self.module}.unlink", {
+            "key": key, "sender": self.handle.client_id}, timeout=timeout)
 
-    def commit(self) -> Event:
+    def commit(self, timeout: Optional[float] = None) -> Event:
         """``kvs_commit``: synchronously flush this client's dirty data
         to the master; fires with ``{"version", "rootref"}`` after the
         new root is applied locally (read-your-writes)."""
-        return self.handle.rpc(f"{self.module}.commit",
-                               {"sender": self.handle.client_id})
+        return self._rpc(f"{self.module}.commit",
+                         {"sender": self.handle.client_id}, timeout=timeout)
 
-    def fence(self, name: str, nprocs: int) -> Event:
+    def fence(self, name: str, nprocs: int,
+              timeout: Optional[float] = None) -> Event:
         """``kvs_fence``: collective commit across ``nprocs`` clients.
         Fires once every participant entered and the combined commit's
         root reference has been applied on this client's node."""
-        return self.handle.rpc(f"{self.module}.fence", {
+        return self._rpc(f"{self.module}.fence", {
             "name": name, "nprocs": nprocs,
-            "sender": self.handle.client_id})
+            "sender": self.handle.client_id}, timeout=timeout)
 
     # -- read path --------------------------------------------------------
-    def get(self, key: str) -> Event:
+    def get(self, key: str, timeout: Optional[float] = None) -> Event:
         """``kvs_get``: fires with the value (faulting objects in as
         needed), or fails with RpcError for a missing key."""
-        ev = self.handle.rpc(f"{self.module}.get", {"key": key})
+        ev = self._rpc(f"{self.module}.get", {"key": key}, timeout=timeout)
         out = self.handle.sim.event(name=f"kvs-get:{key}")
 
         def done(e: Event) -> None:
@@ -146,14 +162,15 @@ class KvsClient:
         ev.add_callback(done)
         return out
 
-    def get_ref(self, key: str) -> Event:
+    def get_ref(self, key: str, timeout: Optional[float] = None) -> Event:
         """Resolve ``key`` to its SHA1 reference without transferring
         the terminal object."""
-        return self.handle.rpc(f"{self.module}.get", {"key": key, "ref": True})
+        return self._rpc(f"{self.module}.get", {"key": key, "ref": True},
+                         timeout=timeout)
 
-    def get_dir(self, key: str) -> Event:
+    def get_dir(self, key: str, timeout: Optional[float] = None) -> Event:
         """Names under the directory at ``key``."""
-        ev = self.handle.rpc(f"{self.module}.get", {"key": key})
+        ev = self._rpc(f"{self.module}.get", {"key": key}, timeout=timeout)
         out = self.handle.sim.event(name=f"kvs-dir:{key}")
 
         def done(e: Event) -> None:
@@ -168,14 +185,16 @@ class KvsClient:
         return out
 
     # -- consistency ------------------------------------------------------
-    def get_version(self) -> Event:
+    def get_version(self, timeout: Optional[float] = None) -> Event:
         """``kvs_get_version``: the root version applied on this node."""
-        return self.handle.rpc(f"{self.module}.getversion")
+        return self._rpc(f"{self.module}.getversion", timeout=timeout)
 
-    def wait_version(self, version: int) -> Event:
+    def wait_version(self, version: int,
+                     timeout: Optional[float] = None) -> Event:
         """``kvs_wait_version``: fires once the local slave has applied
         root version >= ``version`` (the causal-consistency wait)."""
-        return self.handle.rpc(f"{self.module}.waitversion", {"version": version})
+        return self._rpc(f"{self.module}.waitversion",
+                         {"version": version}, timeout=timeout)
 
     # -- watch --------------------------------------------------------------
     def watch(self, key: str,

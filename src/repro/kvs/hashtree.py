@@ -26,7 +26,17 @@ __all__ = ["KvsPathError", "split_key", "lookup_ref", "lookup",
 
 class KvsPathError(KeyError):
     """A key path could not be resolved (missing component or a value
-    object where a directory was expected)."""
+    object where a directory was expected).
+
+    ``code`` carries the errnum-style RPC error code the KVS service
+    reports for this failure (default ``EINVAL``; lookups that walk off
+    the tree use ``ENOENT``, lost objects ``EIO``).
+    """
+
+    def __init__(self, message: str, code: Optional[str] = None):
+        super().__init__(message)
+        from ..cmb.errors import EINVAL
+        self.code = code if code is not None else EINVAL
 
 
 def split_key(key: str) -> list[str]:
@@ -61,7 +71,8 @@ def lookup_ref(store: ObjectStore, root_sha: str, key: str,
                 f"{'.'.join(parts[:i])!r} is not a directory")
         entries = dir_entries(obj)
         if part not in entries:
-            raise KvsPathError(f"key {key!r}: component {part!r} missing")
+            raise KvsPathError(f"key {key!r}: component {part!r} missing",
+                               code="ENOENT")
         sha = entries[part]
     return sha
 

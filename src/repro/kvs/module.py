@@ -33,8 +33,9 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from ..cmb.message import Message
-from ..cmb.module import CommsModule
+from ..cmb.errors import EIO, ENOENT
+from ..cmb.message import Message, RequestContext
+from ..cmb.module import CommsModule, request_handler
 from ..jsonutil import sha1_of
 from .cache import SlaveCache
 from .master import KvsMaster
@@ -137,7 +138,8 @@ class KvsModule(CommsModule):
         if self.expiry is not None:
             self.broker.subscribe("hb.pulse", self._on_pulse)
 
-    def _toward_master_cb(self, topic: str, payload: dict, callback) -> None:
+    def _toward_master_cb(self, topic: str, payload: dict, callback,
+                          ctx: Optional[RequestContext] = None) -> None:
         """Forward a module-chain request one hop toward the master.
 
         With the master at the root (the paper's layout) this follows
@@ -146,13 +148,17 @@ class KvsModule(CommsModule):
         shard masters (the distributed-master extension) route on the
         static topology; healing around failures on those paths is out
         of scope, as root-path fault tolerance was in the paper.
+
+        ``ctx`` (when forwarding on behalf of a client request) keeps
+        the originating request's id/origin/deadline attached to every
+        hop of the module chain.
         """
         if self.master_rank == 0:
-            self.broker.rpc_parent_cb(topic, payload, callback)
+            self.broker.rpc_parent_cb(topic, payload, callback, ctx=ctx)
             return
         hop = self.broker.session.topology.next_hop_toward(
             self.rank, self.master_rank)
-        self.broker.rpc_hop_cb(hop, topic, payload, callback)
+        self.broker.rpc_hop_cb(hop, topic, payload, callback, ctx=ctx)
 
     def _on_pulse(self, _msg: Message) -> None:
         self.cache.expire(self.expiry)
@@ -207,6 +213,7 @@ class KvsModule(CommsModule):
     # ------------------------------------------------------------------
     # put / unlink (write-back)
     # ------------------------------------------------------------------
+    @request_handler(required=("key", "value"))
     def req_put(self, msg: Message) -> None:
         key = msg.payload["key"]
         value = msg.payload["value"]
@@ -214,7 +221,7 @@ class KvsModule(CommsModule):
         try:
             split_key(key)
         except KvsPathError as exc:
-            self.respond(msg, error=str(exc))
+            self.respond(msg, error=str(exc), code=exc.code)
             return
         obj = make_val_obj(value)
         sha = sha1_of(obj)
@@ -224,6 +231,7 @@ class KvsModule(CommsModule):
         d.objs[sha] = obj
         self.respond(msg, {"sha": sha})
 
+    @request_handler(required=("key",))
     def req_unlink(self, msg: Message) -> None:
         key = msg.payload["key"]
         sender = msg.payload.get("sender", 0)
@@ -293,21 +301,26 @@ class KvsModule(CommsModule):
             self._master_run(len(ops), apply)
             return
         self._forward_flush(ops, objs,
-                            lambda resp: self._finish_commit(msg, resp))
+                            lambda resp: self._finish_commit(msg, resp),
+                            ctx=msg.ctx)
 
     def _finish_commit(self, msg: Message, resp: Message) -> None:
         if resp.error is not None:
-            self.respond(msg, error=resp.error)
+            self.respond(msg, error=resp.error, code=resp.errnum,
+                         err_rank=resp.err_rank)
             return
         # Read-your-writes: apply the commit's root before answering.
         self._apply_root(resp.payload["version"], resp.payload["rootref"])
         self.respond(msg, dict(resp.payload))
 
     def _forward_flush(self, ops: list, objs: dict,
-                       callback: Callable[[Message], None]) -> None:
+                       callback: Callable[[Message], None],
+                       ctx: Optional[RequestContext] = None) -> None:
         self._toward_master_cb(
-            f"{self.name}.flush", {"ops": ops, "objs": objs}, callback)
+            f"{self.name}.flush", {"ops": ops, "objs": objs}, callback,
+            ctx=ctx)
 
+    @request_handler(required=("ops", "objs"))
     def req_flush(self, msg: Message) -> None:
         """A commit passing through from a downstream slave."""
         ops = msg.payload["ops"]
@@ -324,11 +337,13 @@ class KvsModule(CommsModule):
             self._master_run(len(ops), apply)
             return
         self._forward_flush(ops, objs,
-                            lambda resp: self._relay_flush(msg, resp))
+                            lambda resp: self._relay_flush(msg, resp),
+                            ctx=msg.ctx)
 
     def _relay_flush(self, msg: Message, resp: Message) -> None:
         if resp.error is not None:
-            self.respond(msg, error=resp.error)
+            self.respond(msg, error=resp.error, code=resp.errnum,
+                         err_rank=resp.err_rank)
             return
         self._apply_root(resp.payload["version"], resp.payload["rootref"])
         self.respond(msg, dict(resp.payload))
@@ -342,6 +357,7 @@ class KvsModule(CommsModule):
             agg = self._fences[name] = _FenceAgg(name, nprocs)
         return agg
 
+    @request_handler(required=("name", "nprocs"))
     def req_fence(self, msg: Message) -> None:
         """A local client entering a fence (carries its dirty state)."""
         name = msg.payload["name"]
@@ -358,6 +374,7 @@ class KvsModule(CommsModule):
         agg.total_seen += 1
         self._maybe_flush_fence(agg)
 
+    @request_handler(required=("name", "nprocs", "count", "ops", "objs"))
     def req_fencedata(self, msg: Message) -> None:
         """A child subtree's aggregated fence contribution."""
         p = msg.payload
@@ -463,6 +480,7 @@ class KvsModule(CommsModule):
     def req_getversion(self, msg: Message) -> None:
         self.respond(msg, {"version": self.version})
 
+    @request_handler(required=("version",))
     def req_waitversion(self, msg: Message) -> None:
         wanted = msg.payload["version"]
         if self.version >= wanted:
@@ -477,6 +495,7 @@ class KvsModule(CommsModule):
     # ------------------------------------------------------------------
     # get (with fault-in through the slave-cache chain)
     # ------------------------------------------------------------------
+    @request_handler(required=("key",))
     def req_get(self, msg: Message) -> None:
         self.broker.sim.spawn(self._get_proc(msg),
                               name=f"kvs-get[{self.rank}]")
@@ -488,7 +507,7 @@ class KvsModule(CommsModule):
         try:
             parts = split_key(key)
         except KvsPathError as exc:
-            self.respond(msg, error=str(exc))
+            self.respond(msg, error=str(exc), code=exc.code)
             return
         sha = root
         obj = None
@@ -496,32 +515,35 @@ class KvsModule(CommsModule):
             for i, part in enumerate(parts):
                 obj = self._obj_get(sha)
                 if obj is None:
-                    obj = yield self._fault(sha)
+                    obj = yield self._fault(sha, ctx=msg.ctx)
                 if obj is None:
-                    raise KvsPathError(f"object {sha} lost in transit")
+                    raise KvsPathError(f"object {sha} lost in transit",
+                                       code=EIO)
                 if not is_dir_obj(obj):
                     raise KvsPathError(
                         f"{'.'.join(parts[:i])!r} is not a directory")
                 entries = dir_entries(obj)
                 if part not in entries:
-                    raise KvsPathError(f"key {key!r} not found")
+                    raise KvsPathError(f"key {key!r} not found",
+                                       code=ENOENT)
                 sha = entries[part]
             if want_ref:
                 self.respond(msg, {"ref": sha})
                 return
             obj = self._obj_get(sha)
             if obj is None:
-                obj = yield self._fault(sha)
+                obj = yield self._fault(sha, ctx=msg.ctx)
             if obj is None:
-                raise KvsPathError(f"object {sha} lost in transit")
+                raise KvsPathError(f"object {sha} lost in transit",
+                                   code=EIO)
             if is_dir_obj(obj):
                 self.respond(msg, {"dir": sorted(dir_entries(obj))})
             else:
                 self.respond(msg, {"value": val_of(obj)})
         except KvsPathError as exc:
-            self.respond(msg, error=str(exc))
+            self.respond(msg, error=str(exc), code=exc.code)
 
-    def _fault(self, sha: str):
+    def _fault(self, sha: str, ctx: Optional[RequestContext] = None):
         """Fault ``sha`` in from the tree parent; in-flight loads for
         the same object are coalesced.  Returns an event yielding the
         object (or None on failure)."""
@@ -533,7 +555,8 @@ class KvsModule(CommsModule):
         self._loads[sha] = [lambda obj: ev.succeed(obj)]
         self.cache.stats.faults += 1
         self._toward_master_cb(f"{self.name}.load", {"sha": sha},
-                               lambda resp: self._fault_done(sha, resp))
+                               lambda resp: self._fault_done(sha, resp),
+                               ctx=ctx)
         return ev
 
     def _fault_done(self, sha: str, resp: Message) -> None:
@@ -545,6 +568,7 @@ class KvsModule(CommsModule):
         for fn in self._loads.pop(sha, []):
             fn(obj)
 
+    @request_handler(required=("sha",))
     def req_load(self, msg: Message) -> None:
         """A downstream slave faulting an object through us."""
         sha = msg.payload["sha"]
@@ -553,19 +577,25 @@ class KvsModule(CommsModule):
             self.respond(msg, {"obj": obj})
             return
         if self.master is not None:
-            self.respond(msg, error=f"unknown object {sha}")
+            self.respond(msg, error=f"unknown object {sha}", code=ENOENT)
             return
         waiters = self._loads.get(sha)
-        relay = lambda obj: self.respond(
-            msg, {"obj": obj} if obj is not None else None,
-            error=None if obj is not None else f"unknown object {sha}")
+
+        def relay(obj):
+            if obj is not None:
+                self.respond(msg, {"obj": obj})
+            else:
+                self.respond(msg, error=f"unknown object {sha}",
+                             code=ENOENT)
+
         if waiters is not None:
             waiters.append(relay)
             return
         self._loads[sha] = [relay]
         self.cache.stats.faults += 1
         self._toward_master_cb(f"{self.name}.load", {"sha": sha},
-                               lambda resp: self._fault_done(sha, resp))
+                               lambda resp: self._fault_done(sha, resp),
+                               ctx=msg.ctx)
 
     # ------------------------------------------------------------------
     # debugging / administration

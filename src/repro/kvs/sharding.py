@@ -87,12 +87,15 @@ class ShardedKvsClient:
     """
 
     def __init__(self, handle: Handle, nshards: int, *,
-                 prefix: str = "kvs"):
+                 prefix: str = "kvs", timeout: Optional[float] = None):
         if nshards < 1:
             raise ValueError("need at least one shard")
         self.handle = handle
         self.nshards = nshards
-        self.clients = [KvsClient(handle, module=f"{prefix}{i}")
+        #: Default RPC timeout forwarded to every per-shard client.
+        self.timeout = timeout
+        self.clients = [KvsClient(handle, module=f"{prefix}{i}",
+                                  timeout=timeout)
                         for i in range(nshards)]
 
     # -- routing ----------------------------------------------------------
