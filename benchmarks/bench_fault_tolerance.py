@@ -12,15 +12,27 @@ multi-failure tolerance.  (Root failure is explicitly future work in
 the paper and out of scope here too.)
 """
 
+import os
+import pathlib
+import sys
+
 import pytest
 
 from conftest import write_table
 from repro import make_cluster, standard_session
 from repro.kvs import KvsClient
 
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "tests"))
+from chaos import run_chaos_workload  # noqa: E402
+
 N_NODES = 31  # depth-4 binary tree
 PERIODS = (0.02, 0.05, 0.1, 0.2)
 MISS_MAXES = (2, 3, 5)
+
+#: Per-link message loss rates swept by the chaos recovery bench.
+LOSS_RATES = (0.0, 0.001, 0.01, 0.05)
+#: ``CHAOS_SMOKE=1`` shrinks the chaos sweep for CI smoke runs.
+CHAOS_SMOKE = bool(os.environ.get("CHAOS_SMOKE"))
 
 
 def detection_time(period: float, missed_max: int,
@@ -128,3 +140,65 @@ def test_multiple_simultaneous_failures():
 def test_fault_benchmark_representative(benchmark, detection_grid):
     benchmark.pedantic(lambda: detection_time(0.05, 3), rounds=2,
                        iterations=1)
+
+
+# ----------------------------------------------------------------------
+# Chaos recovery sweep: seeded loss + one interior kill
+# ----------------------------------------------------------------------
+def chaos_run(loss_rate: float):
+    """One chaos workload at ``loss_rate`` with an interior broker
+    killed mid-run (see ``tests/chaos.run_chaos_workload``)."""
+    kwargs = dict(n_nodes=N_NODES, n_clients=16, drop_rate=loss_rate,
+                  kill_ranks=(5,), kill_at=0.25,
+                  n_iters=2, iter_gap=0.2, run_until=40.0)
+    if CHAOS_SMOKE:
+        kwargs.update(n_nodes=15, n_clients=8, n_iters=1,
+                      iter_gap=0.1, run_until=25.0)
+    return run_chaos_workload(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def chaos_grid():
+    grid = {loss: chaos_run(loss) for loss in LOSS_RATES}
+    nodes = 15 if CHAOS_SMOKE else N_NODES
+    lines = [f"Chaos recovery: {nodes}-node tree, one interior kill, "
+             f"seeded per-link loss",
+             f"{'loss':>6} {'converged':>9} {'detect(s)':>10} "
+             f"{'makespan(s)':>11} {'cli retries':>11} "
+             f"{'retransmits':>11} {'reroutes':>8} {'replays':>7} "
+             f"{'amplification':>13}"]
+    for loss, r in grid.items():
+        bs = r.broker_stats
+        lines.append(
+            f"{loss * 100:>5.1f}% {str(r.converged):>9} "
+            f"{r.detect_latency:>10.3f} {r.makespan:>11.3f} "
+            f"{r.client_retries:>11} {bs.get('retransmits', 0):>11} "
+            f"{bs.get('reroutes', 0):>8} {bs.get('replay_hits', 0):>7} "
+            f"{r.retry_amplification:>13.3f}")
+    write_table("chaos_recovery", "\n".join(lines))
+    return grid
+
+
+def test_chaos_sweep_converges(chaos_grid):
+    """Every loss rate converges: all acked writes durable, fences
+    released, zero hung waiters."""
+    for loss, r in chaos_grid.items():
+        assert r.converged, (loss, r.errors)
+        assert r.hung_waiters == 0
+        assert r.reads_failed == 0
+
+
+def test_chaos_amplification_bounded(chaos_grid):
+    """Retry amplification stays far from a retry storm even at 5%
+    loss (each logical RPC re-sent only a handful of times)."""
+    for loss, r in chaos_grid.items():
+        assert r.retry_amplification < 3.0, (loss, r.retry_amplification)
+
+
+def test_chaos_loss_costs_work(chaos_grid):
+    """Higher loss means more recovery traffic, never silent loss:
+    the 5% run does strictly more retries/retransmits than 0%."""
+    lo, hi = chaos_grid[0.0], chaos_grid[0.05]
+    extra = (lambda r: r.client_retries
+             + r.broker_stats.get("retransmits", 0))
+    assert extra(hi) > extra(lo)

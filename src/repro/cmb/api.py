@@ -13,7 +13,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 from ..sim.kernel import Event
 from .broker import _Source
 from .errors import ETIMEDOUT, RpcError
-from .message import Message, MessageType
+from .message import Message, MessageType, RequestContext
 
 if TYPE_CHECKING:  # pragma: no cover
     from .session import CommsSession
@@ -43,13 +43,17 @@ class Handle:
         session._next_client_id += 1
         self._waiters: dict[int, Event] = {}
         self._subs: list[tuple[str, Callable[[Message], None]]] = []
+        #: RPC attempts re-issued after a retryable failure (chaos
+        #: observability: client-side retry amplification).
+        self.retries = 0
 
     # ------------------------------------------------------------------
     # request / response
     # ------------------------------------------------------------------
     def rpc(self, topic: str, payload: Optional[dict] = None,
             timeout: Optional[float] = None,
-            deadline: Optional[float] = None) -> Event:
+            deadline: Optional[float] = None,
+            retries: int = 0, retry_backoff: float = 1e-3) -> Event:
         """Issue an RPC; the returned event fires with the response
         payload, or fails with :class:`RpcError` on an error response.
 
@@ -61,17 +65,85 @@ class Handle:
         rides the request's header-frame context, so brokers drop the
         request at the first forward hop past it instead of letting a
         doomed request keep consuming the fabric.
+
+        ``retries`` re-issues the request after a *retryable* failure
+        (:attr:`RpcError.retryable`: timeout, unreachable hop, data
+        lost in transit), sleeping an exponentially growing, jittered
+        backoff between attempts.  Every attempt reuses the original
+        ``msgid``/``reqid``, so broker-side idempotent replay absorbs
+        the duplicate if the first attempt actually got through: at
+        most one execution is observed.  Definitive service errors
+        (``ENOENT``, ``EINVAL``, ...) are never retried.  An explicit
+        absolute ``deadline`` bounds the whole retry loop; a relative
+        ``timeout`` bounds each attempt.
         """
+        if retries <= 0:
+            ev = self.sim.event(name=f"client-rpc:{topic}")
+            if deadline is None and timeout is not None:
+                deadline = self.sim.now + timeout
+            msg = Message(topic=topic, payload=payload or {},
+                          src_rank=self.rank)
+            msg.ensure_context(origin_rank=self.rank, deadline=deadline)
+            self._waiters[msg.msgid] = ev
+            self._ipc_deliver(msg)
+            if timeout is not None:
+                self._arm_timeout(msg.msgid, ev, topic, timeout)
+            return ev
+        return self._rpc_with_retries(topic, payload or {}, timeout,
+                                      deadline, retries, retry_backoff)
+
+    def _rpc_with_retries(self, topic: str, payload: dict,
+                          timeout: Optional[float],
+                          deadline: Optional[float], retries: int,
+                          retry_backoff: float) -> Event:
         ev = self.sim.event(name=f"client-rpc:{topic}")
-        if deadline is None and timeout is not None:
-            deadline = self.sim.now + timeout
-        msg = Message(topic=topic, payload=payload or {},
-                      src_rank=self.rank)
-        msg.ensure_context(origin_rank=self.rank, deadline=deadline)
-        self._waiters[msg.msgid] = ev
-        self._ipc_deliver(msg)
-        if timeout is not None:
-            self._arm_timeout(msg.msgid, ev, topic, timeout)
+        msg0 = Message(topic=topic, payload=payload, src_rank=self.rank)
+        attempt_no = 0
+
+        def attempt() -> None:
+            if ev.triggered:
+                return
+            att_deadline = deadline
+            if att_deadline is None and timeout is not None:
+                att_deadline = self.sim.now + timeout
+            # Same msgid (hence same reqid) on every attempt: the
+            # broker's replay cache keys on it, making retries
+            # idempotent end to end.  Only the deadline is refreshed.
+            msg = msg0.copy()
+            msg.ctx = RequestContext(reqid=msg0.msgid,
+                                     origin_rank=self.rank,
+                                     deadline=att_deadline)
+            inner = self.sim.event(name=f"client-rpc-try:{topic}")
+            self._waiters[msg.msgid] = inner
+            self._ipc_deliver(msg)
+            if timeout is not None:
+                self._arm_timeout(msg.msgid, inner, topic, timeout)
+            inner.add_callback(done)
+
+        def done(inner: Event) -> None:
+            nonlocal attempt_no
+            if ev.triggered:
+                return
+            exc = inner._exc
+            if exc is None:
+                ev.succeed(inner._value)
+                return
+            out_of_time = (deadline is not None
+                           and self.sim.now >= deadline)
+            if (not isinstance(exc, RpcError) or not exc.retryable
+                    or attempt_no >= retries or out_of_time):
+                ev.fail(exc)
+                return
+            # Exponential backoff with jitter: decorrelates the retry
+            # storms of many clients hammering the same healed route.
+            backoff = (retry_backoff * (2 ** attempt_no)
+                       * (0.5 + self.sim.rng.random()))
+            attempt_no += 1
+            self.retries += 1
+            t = self.sim.timeout(backoff)
+            t.add_callback(lambda _e: attempt())
+
+        attempt()
         return ev
 
     def _arm_timeout(self, msgid: int, ev: Event, topic: str,
@@ -180,9 +252,10 @@ class Handle:
         if msg.dst_rank == self.rank:
             self.broker._route_request(msg, _Source("client", self))
         else:
-            self.broker._pending[msg.msgid] = _Source("client", self)
-            self.broker._send(self.session.ring.next_rank(self.rank),
-                              "ring", msg)
+            nxt = self.session.ring.next_rank(self.rank)
+            self.broker._register_pending(_Source("client", self), msg,
+                                          "ring", nxt, "ring")
+            self.broker._send(nxt, "ring", msg)
 
     def _deliver_response(self, resp: Message) -> None:
         """Called by the broker; pays the IPC hop, then wakes the waiter."""

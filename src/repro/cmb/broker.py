@@ -21,10 +21,12 @@ socket client transport.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
-from ..sim.kernel import Event, Simulation
-from .errors import EHOSTUNREACH, ENOSYS, ETIMEDOUT, RpcError
+from ..sim.kernel import Event, Simulation, Timeout
+from .errors import (EHOSTUNREACH, ENOSYS, ETIMEDOUT, RETRYABLE_CODES,
+                     RpcError)
 from .message import Message, MessageType, RequestContext
 from .module import CommsModule, NoHandlerError
 
@@ -60,6 +62,35 @@ class _Source:
         self.target = target
 
 
+class _Pending:
+    """One forwarded request awaiting its response.
+
+    Remembers everything needed to act on the request while it is in
+    flight: the message itself (for retransmission and peer-down
+    re-routing), the plane and next hop it left on, and how the next
+    hop is chosen when the route must be recomputed (``hop_kind``):
+
+    - ``parent`` — follows the broker's *live* parent pointer, so the
+      request heals with the overlay;
+    - ``treerank`` — recomputed via the static-topology routing table;
+    - ``ring`` — the static ring successor;
+    - ``fixed`` — pinned to the original peer (direct neighbour RPCs).
+    """
+
+    __slots__ = ("source", "msg", "plane", "hop", "hop_kind", "attempts",
+                 "timer")
+
+    def __init__(self, source: _Source, msg: Message, plane: str,
+                 hop: int, hop_kind: str):
+        self.source = source
+        self.msg = msg
+        self.plane = plane
+        self.hop = hop
+        self.hop_kind = hop_kind
+        self.attempts = 0
+        self.timer: Optional[Timeout] = None
+
+
 class Broker:
     """One CMB daemon instance: routing, module hosting, client service."""
 
@@ -74,7 +105,19 @@ class Broker:
         self.children: list[int] = [
             r for r, p in session.parent_map.items() if p == rank]
         self.modules: dict[str, CommsModule] = {}
-        self._pending: dict[int, _Source] = {}
+        self._pending: dict[int, _Pending] = {}
+        # Idempotent-replay state (tentpole of the chaos work): per
+        # module, a bounded LRU of recently answered requests keyed by
+        # (ctx.reqid, msgid, topic) -> the response fields; duplicates
+        # of an answered request replay the cached response instead of
+        # re-executing the handler.  Duplicates of a *still unanswered*
+        # request park in ``_inflight`` and are answered alongside the
+        # original.  Keys include the msgid because a module chain may
+        # issue several sub-requests under one logical reqid (e.g. the
+        # kvs.load fan-out of a single get).
+        self._replay: dict[str, OrderedDict] = {}
+        self._inflight: dict[tuple, list[Message]] = {}
+        self.replay_cap = 256
         self._subs: list[tuple[str, Callable[[Message], None]]] = []
         self._inbox = session.network.open_port(
             self.node_id, session.port_key)
@@ -83,6 +126,14 @@ class Broker:
         # Observability.
         self.requests_handled = 0
         self.events_seen = 0
+        #: Chaos/recovery counters: broker-level retransmissions of
+        #: pending requests, requests re-routed around a dead hop,
+        #: cached-response replays served, and duplicates parked behind
+        #: an in-flight original.
+        self.retransmits = 0
+        self.reroutes = 0
+        self.replay_hits = 0
+        self.dups_parked = 0
         #: Per-(module, plane, kind) message counters; ``kind`` is
         #: ``request``/``response``/``error``/``event``/``ring``.  Each
         #: forwarding hop counts once, giving the per-hop accounting the
@@ -122,11 +173,15 @@ class Broker:
         self.network.close_port(self.node_id, self.session.port_key)
 
     def _main_loop(self):
-        while self.alive:
+        while True:
             item = yield self._inbox.get()
             plane, msg = item
             if not self.alive:
-                break
+                # A failed broker silently eats traffic (the network
+                # already drops fabric messages to it; this covers the
+                # loopback/IPC path) but keeps its loop parked so a
+                # later revive_rank() can bring it back.
+                continue
             self._dispatch(plane, msg)
 
     # ------------------------------------------------------------------
@@ -175,19 +230,34 @@ class Broker:
             self._route_request(msg, _Source("child", msg.src_rank))
 
     # -- request path ---------------------------------------------------
+    def _dedup_key(self, msg: Message) -> Optional[tuple]:
+        """Idempotency key of a context-carrying request: the logical
+        request id plus the msgid (stable across every retransmission,
+        re-route and client retry of the same message, distinct across
+        the sub-requests a module chain issues under one reqid)."""
+        if msg.ctx is None:
+            return None
+        return (msg.ctx.reqid, msg.msgid, msg.topic)
+
     def _route_request(self, msg: Message, source: _Source) -> None:
         """Deliver to a local module or forward upstream (paper: requests
         are routed upstream to the first matching comms module)."""
         mod = self.modules.get(msg.module_name())
         if mod is not None:
+            key = self._dedup_key(msg)
+            if key is not None and self._absorb_duplicate(mod.name, key,
+                                                          msg, source):
+                return
             self.requests_handled += 1
             self._count(PLANE_LOCAL, msg)
             msg._source = source  # type: ignore[attr-defined]
             msg._broker = self    # type: ignore[attr-defined]
+            if key is not None:
+                self._inflight[key] = []
             try:
                 mod.dispatch_request(msg)
             except NoHandlerError as exc:
-                self._send_response(source, msg.make_response(
+                self._finish_request(msg, msg.make_response(
                     error=str(exc), errnum=ENOSYS, err_rank=self.rank))
             return
         if self.parent is None:
@@ -200,15 +270,140 @@ class Broker:
         if self._expired(msg):
             self._send_response(source, self._expiry_response(msg))
             return
-        self._pending[msg.msgid] = source
         fwd = msg.copy(src_rank=self.rank)
+        self._register_pending(source, fwd, PLANE_TREE, self.parent,
+                               "parent")
         self._send(self.parent, PLANE_TREE, fwd)
 
+    def _absorb_duplicate(self, mod_name: str, key: tuple, msg: Message,
+                          source: _Source) -> bool:
+        """Serve a duplicate request from the replay cache, or park it
+        behind its still-in-flight original.  Returns True when ``msg``
+        was absorbed (the handler must not run again)."""
+        msg._source = source  # type: ignore[attr-defined]
+        msg._broker = self    # type: ignore[attr-defined]
+        cache = self._replay.get(mod_name)
+        if cache is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                cache.move_to_end(key)
+                self.replay_hits += 1
+                payload, error, errnum, err_rank = hit
+                self._emit_response(msg, msg.make_response(
+                    payload, error=error, errnum=errnum, err_rank=err_rank))
+                return True
+        parked = self._inflight.get(key)
+        if parked is not None:
+            self.dups_parked += 1
+            parked.append(msg)
+            return True
+        return False
+
+    def _finish_request(self, request: Message, resp: Message) -> None:
+        """Emit ``resp``, record it for idempotent replay, and answer
+        any duplicates parked behind the original.
+
+        Transient (retryable-coded) error responses are deliberately
+        NOT recorded: a client retry after ETIMEDOUT/EHOSTUNREACH must
+        re-execute the request on the healed overlay, not have the old
+        transient failure replayed back at it forever.
+        """
+        key = self._dedup_key(request)
+        if key is not None:
+            transient = (resp.error is not None
+                         and resp.errnum in RETRYABLE_CODES)
+            if not transient:
+                mod_name = request.module_name()
+                cache = self._replay.get(mod_name)
+                if cache is None:
+                    cache = self._replay[mod_name] = OrderedDict()
+                cache[key] = (resp.payload, resp.error, resp.errnum,
+                              resp.err_rank)
+                cache.move_to_end(key)
+                while len(cache) > self.replay_cap:
+                    cache.popitem(last=False)
+            for dup in self._inflight.pop(key, ()):
+                self._emit_response(dup, dup.make_response(
+                    resp.payload, error=resp.error, errnum=resp.errnum,
+                    err_rank=resp.err_rank))
+        self._emit_response(request, resp)
+
+    def _emit_response(self, request: Message, resp: Message) -> None:
+        source: _Source = request._source  # type: ignore[attr-defined]
+        if source.kind == "ringback":
+            # Responses on the ring keep travelling forward to the origin.
+            self._send(self.session.ring.next_rank(self.rank),
+                       PLANE_RING, resp)
+        else:
+            self._send_response(source, resp)
+
     def _dispatch_response(self, msg: Message) -> None:
-        source = self._pending.pop(msg.msgid, None)
-        if source is None:
+        entry = self._pending.pop(msg.msgid, None)
+        if entry is None:
             return  # response for a forgotten/failed request: drop
-        self._send_response(source, msg)
+        self._cancel_retransmit(entry)
+        self._send_response(entry.source, msg)
+
+    # -- pending-request bookkeeping (retransmission / fail-over) --------
+    def _register_pending(self, source: _Source, msg: Message, plane: str,
+                          hop: int, hop_kind: str) -> _Pending:
+        """Track a forwarded request; under an active fault plan, arm
+        the per-hop retransmission timer that repairs lost messages.
+        The timer only exists when chaos is enabled, so fault-free runs
+        schedule exactly the same events as before."""
+        entry = _Pending(source, msg, plane, hop, hop_kind)
+        self._pending[msg.msgid] = entry
+        if (msg.ctx is not None
+                and self.network.fault_plan is not None
+                and self.session.retransmit_max > 0):
+            self._arm_retransmit(entry)
+        return entry
+
+    def _arm_retransmit(self, entry: _Pending) -> None:
+        rto = self.session.retransmit_timeout * (
+            2 ** min(entry.attempts, 6))
+        timer = self.sim.timeout(rto)
+        entry.timer = timer
+        timer.add_callback(
+            lambda _e, e=entry, t=timer: self._retransmit(e, t))
+
+    def _cancel_retransmit(self, entry: _Pending) -> None:
+        timer, entry.timer = entry.timer, None
+        if timer is not None and not timer.processed:
+            timer.abandon()
+
+    def _retransmit(self, entry: _Pending, timer: Timeout) -> None:
+        if entry.timer is not timer or not self.alive:
+            return
+        entry.timer = None
+        if self._pending.get(entry.msg.msgid) is not entry:
+            return  # answered/failed while the timer was in flight
+        if entry.attempts >= self.session.retransmit_max:
+            return  # give up quietly: the request may be legitimately
+            # held upstream (barrier/fence); deadlines and client-level
+            # retries are the backstop for genuinely lost ones.
+        if self._expired(entry.msg):
+            return
+        hop = self._resolve_hop(entry)
+        if hop is None:
+            return
+        entry.attempts += 1
+        entry.hop = hop
+        self.retransmits += 1
+        self._send(hop, entry.plane, entry.msg)
+        self._arm_retransmit(entry)
+
+    def _resolve_hop(self, entry: _Pending) -> Optional[int]:
+        """Recompute the next hop for a pending request (the route may
+        have healed since the original send)."""
+        if entry.hop_kind == "parent":
+            return self.parent
+        if entry.hop_kind == "treerank":
+            return self.session.topology.next_hop_toward(
+                self.rank, entry.msg.dst_rank)
+        if entry.hop_kind == "ring":
+            return self.session.ring.next_rank(self.rank)
+        return entry.hop  # fixed neighbour
 
     def _send_response(self, source: _Source, resp: Message) -> None:
         if source.kind == "child":
@@ -274,8 +469,9 @@ class Broker:
                        self._expiry_response(msg))
             return
         hop = self.session.topology.next_hop_toward(self.rank, msg.dst_rank)
-        self._pending[msg.msgid] = _Source("child", msg.src_rank)
         fwd = msg.copy(src_rank=self.rank)
+        self._register_pending(_Source("child", msg.src_rank), fwd,
+                               PLANE_TREE_RANK, hop, "treerank")
         self._send(hop, PLANE_TREE_RANK, fwd)
 
     def rpc_rank_tree(self, dst_rank: int, topic: str,
@@ -290,8 +486,9 @@ class Broker:
         if dst_rank == self.rank:
             self._route_request(msg, _Source("local", ev))
             return ev
-        self._pending[msg.msgid] = _Source("local", ev)
         hop = self.session.topology.next_hop_toward(self.rank, dst_rank)
+        self._register_pending(_Source("local", ev), msg,
+                               PLANE_TREE_RANK, hop, "treerank")
         self._send(hop, PLANE_TREE_RANK, msg)
         return ev
 
@@ -307,7 +504,8 @@ class Broker:
         msg = Message(topic=topic, payload=payload, src_rank=self.rank,
                       ctx=ctx)
         msg.ensure_context(origin_rank=self.rank)
-        self._pending[msg.msgid] = _Source("callback", callback)
+        self._register_pending(_Source("callback", callback), msg,
+                               PLANE_TREE, peer_rank, "fixed")
         self._send(peer_rank, PLANE_TREE, msg)
 
     # -- ring path --------------------------------------------------------
@@ -341,17 +539,11 @@ class Broker:
         the caller supplied none) and the failing rank — this broker's
         unless a relay passes through an upstream ``err_rank``.
         """
-        source: _Source = request._source  # type: ignore[attr-defined]
         resp = request.make_response(
             payload, error=error, errnum=code,
             err_rank=(err_rank if err_rank is not None and err_rank >= 0
                       else self.rank) if error is not None else -1)
-        if source.kind == "ringback":
-            # Responses on the ring keep travelling forward to the origin.
-            self._send(self.session.ring.next_rank(self.rank),
-                       PLANE_RING, resp)
-        else:
-            self._send_response(source, resp)
+        self._finish_request(request, resp)
 
     def rpc_up(self, topic: str, payload: dict,
                deadline: Optional[float] = None) -> Event:
@@ -386,7 +578,8 @@ class Broker:
         msg = Message(topic=topic, payload=payload, src_rank=self.rank,
                       ctx=ctx)
         msg.ensure_context(origin_rank=self.rank)
-        self._pending[msg.msgid] = _Source("callback", callback)
+        self._register_pending(_Source("callback", callback), msg,
+                               PLANE_TREE, self.parent, "parent")
         self._send(self.parent, PLANE_TREE, msg)
 
     def send_parent(self, topic: str, payload: dict) -> None:
@@ -407,9 +600,10 @@ class Broker:
         if dst_rank == self.rank:
             self._route_request(msg, _Source("local", ev))
         else:
-            self._pending[msg.msgid] = _Source("local", ev)
-            self._send(self.session.ring.next_rank(self.rank),
-                       PLANE_RING, msg)
+            nxt = self.session.ring.next_rank(self.rank)
+            self._register_pending(_Source("local", ev), msg,
+                                   PLANE_RING, nxt, "ring")
+            self._send(nxt, PLANE_RING, msg)
         return ev
 
     def publish(self, topic: str, payload: dict) -> None:
@@ -445,20 +639,75 @@ class Broker:
     def handle_peer_down(self, dead_rank: int) -> None:
         """Rewire around a dead interior node (paper: planes self-heal).
 
-        If our parent died we attach to the grandparent; if a child
-        died we drop it (its own children will re-attach to us if we
-        are the grandparent).
+        Orphans re-attach to the dead node's *nearest live ancestor*
+        (the grandparent, unless it too is dead — cascading failures
+        walk further up), and that ancestor adopts every live broker
+        currently pointing at the corpse — including orphans it had
+        itself inherited from an earlier failure.  The live.down event
+        flood guarantees ancestors process the death before the orphans
+        do, so the current parent pointers this scan reads are still
+        the pre-rewire ones.
+
+        In-flight requests routed through the corpse are then failed
+        immediately with EHOSTUNREACH (no more waiting for a deadline
+        that may never come) or, for tree-plane requests that can
+        follow the healed parent pointer, re-sent along the new route.
         """
+        heal_target = self.session.nearest_live_ancestor(dead_rank)
         if self.parent == dead_rank:
-            new_parent = self.session.parent_of(dead_rank)
-            self.parent = new_parent
+            self.parent = heal_target
         if dead_rank in self.children:
             self.children.remove(dead_rank)
-        if (self.session.parent_of(dead_rank) == self.rank):
-            # Adopt the dead node's orphans.
-            for orphan in self.session.children_of(dead_rank):
-                if orphan != self.rank and orphan not in self.children:
-                    self.children.append(orphan)
+        if heal_target == self.rank:
+            for peer in self.session.brokers:
+                if (peer.alive and peer.rank != self.rank
+                        and peer.parent == dead_rank
+                        and peer.rank not in self.children):
+                    self.children.append(peer.rank)
+        self._fail_pending_via(dead_rank)
+
+    def handle_peer_up(self, rank: int) -> None:
+        """Re-wire for a revived peer announcing itself (live.reattach):
+        restore the original topology edges that involve ``rank`` and
+        hand any orphans we adopted on its behalf back to it."""
+        session = self.session
+        if rank == self.rank:
+            return
+        if session.parent_of(self.rank) == rank:
+            self.parent = rank
+        if session.parent_of(rank) == self.rank and rank not in self.children:
+            self.children.append(rank)
+        for orphan in session.children_of(rank):
+            if orphan != self.rank and orphan in self.children:
+                self.children.remove(orphan)
+
+    def _fail_pending_via(self, dead_rank: int) -> None:
+        """Resolve every pending request whose next hop just died:
+        re-send healable tree requests through the new parent, fail the
+        rest promptly with EHOSTUNREACH carrying the dead rank."""
+        for msgid, entry in list(self._pending.items()):
+            if entry.hop != dead_rank:
+                continue
+            if (entry.hop_kind == "parent" and self.parent is not None
+                    and not self._expired(entry.msg)):
+                # The tree plane healed under us: re-issue the request
+                # along the new route.  The receiving module's replay
+                # cache absorbs it if the original was already served.
+                self._cancel_retransmit(entry)
+                entry.hop = self.parent
+                entry.attempts = 0
+                self.reroutes += 1
+                self._send(self.parent, entry.plane, entry.msg)
+                if (self.network.fault_plan is not None
+                        and self.session.retransmit_max > 0):
+                    self._arm_retransmit(entry)
+                continue
+            del self._pending[msgid]
+            self._cancel_retransmit(entry)
+            resp = entry.msg.make_response(
+                error=f"next hop rank {dead_rank} declared down",
+                errnum=EHOSTUNREACH, err_rank=dead_rank)
+            self._send_response(entry.source, resp)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Broker rank={self.rank} node={self.node_id}>"

@@ -36,7 +36,8 @@ from typing import Optional
 
 __all__ = [
     "ENOSYS", "ENOENT", "EEXIST", "EINVAL", "EOVERFLOW", "ETIMEDOUT",
-    "EHOSTUNREACH", "EPROTO", "EIO", "ERROR_CODES", "RpcError",
+    "EHOSTUNREACH", "EPROTO", "EIO", "ERROR_CODES", "RETRYABLE_CODES",
+    "RpcError",
 ]
 
 ENOSYS = "ENOSYS"
@@ -54,6 +55,12 @@ ERROR_CODES = frozenset({
     ENOSYS, ENOENT, EEXIST, EINVAL, EOVERFLOW, ETIMEDOUT,
     EHOSTUNREACH, EPROTO, EIO,
 })
+
+#: Codes that describe a *transient transport* failure: the request may
+#: never have been served, so re-sending it can succeed.  Everything
+#: else (ENOENT, EINVAL, ...) is a definitive answer from the service —
+#: retrying would just repeat the same failure, so retry loops must not.
+RETRYABLE_CODES = frozenset({ETIMEDOUT, EHOSTUNREACH, EIO})
 
 
 class RpcError(Exception):
@@ -81,6 +88,14 @@ class RpcError(Exception):
         self.error = error
         self.code = code if code is not None else EPROTO
         self.rank = rank
+
+    @property
+    def retryable(self) -> bool:
+        """True when the failure is transient (timeout, unreachable
+        hop, data lost in transit) and re-issuing the request could
+        succeed; False for definitive service answers like ``ENOENT``
+        or ``EINVAL``, which retry loops must not repeat."""
+        return self.code in RETRYABLE_CODES
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"RpcError(topic={self.topic!r}, code={self.code!r}, "

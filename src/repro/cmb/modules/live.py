@@ -38,15 +38,101 @@ class LiveModule(CommsModule):
         self.last_heard: dict[int, int] = {}
         self.epoch = 0
         self.announced: set[int] = set()
+        self._last_pulse = 0.0
+        self._watchdog_armed = False
 
     def start(self) -> None:
         self.broker.subscribe("hb.pulse", self._on_pulse)
         self.broker.subscribe("live.down", self._on_down)
+        self.broker.subscribe("live.reattach", self._on_reattach)
         for child in self.broker.children:
             self.last_heard[child] = 0
+        self._last_pulse = self.broker.sim.now
+        self._arm_watchdog()
+
+    # ------------------------------------------------------------------
+    # pulse-starvation watchdog (orphan-side self-healing)
+    #
+    # Heartbeat pulses flood down the tree, so a broker whose parent
+    # died — or silently dropped it from its children — receives
+    # *nothing*: no pulses, hence no hello sends, no gossip, no chance
+    # to ever learn of the failure from the (equally cut off) event
+    # plane.  Detection cannot be left to inbound traffic alone; this
+    # local timer notices the starvation and re-attaches from below.
+    # ------------------------------------------------------------------
+    def _watchdog_interval(self) -> float:
+        hb = self.broker.modules.get("hb")
+        if hb is None:
+            return 0.0
+        return hb.period * (self.missed_max + 2)
+
+    def _arm_watchdog(self) -> None:
+        # Armed only while a fault plan is installed: on a loss-free
+        # fabric the live.down flood (plus mid-flood adoption) reaches
+        # every orphan reliably, and a perpetually re-arming timer
+        # would keep an otherwise drained simulation alive — changing
+        # end times of fault-free runs that must stay byte-identical.
+        if self.broker.network.fault_plan is None:
+            return
+        interval = self._watchdog_interval()
+        if interval <= 0.0 or self._watchdog_armed:
+            return
+        hb = self.broker.modules.get("hb")
+        if (hb is not None and hb.max_epochs is not None
+                and self.epoch >= hb.max_epochs):
+            return                  # heartbeat has finished for good
+        self._watchdog_armed = True
+        self.broker.after(interval, self._watchdog_fire)
+
+    def _watchdog_fire(self) -> None:
+        self._watchdog_armed = False
+        if not self.broker.alive:
+            return
+        interval = self._watchdog_interval()
+        now = self.broker.sim.now
+        parent = self.broker.parent
+        if now - self._last_pulse > interval and parent is not None:
+            if not self.broker.session.brokers[parent].alive:
+                self._reattach_upward(parent)
+            else:
+                # The parent is alive but nothing flows down: it has
+                # likely declared *us* dead and pruned us from its
+                # children.  Nudge it — req_hello on the other side
+                # reattaches a falsely-buried child.
+                self.broker.send_parent("live.hello",
+                                        {"rank": self.rank,
+                                         "epoch": self.epoch})
+        self._arm_watchdog()
+
+    def _reattach_upward(self, dead_parent: int) -> None:
+        """Our parent is dead and no live.down flood ever reached us
+        (it would have had to route through the corpse).  Climb to the
+        nearest live ancestor ourselves and register with it."""
+        session = self.broker.session
+        target = session.nearest_live_ancestor(self.rank)
+        if target is None:
+            return
+        self.log("err", f"parent {dead_parent} silent and dead; "
+                        f"re-attaching to {target}")
+        self.announced.add(dead_parent)
+        self.broker.parent = target
+        adopter = session.brokers[target]
+        if self.rank not in adopter.children:
+            adopter.children.append(self.rank)
+        adopter_live = adopter.modules.get("live")
+        if adopter_live is not None:
+            # Fresh hello grace at the adopter for its new child.
+            adopter_live.last_heard[self.rank] = adopter_live.epoch
+        session._subtree_procs_cache = None
+        # Re-route or fail anything we still had in flight via the corpse.
+        self.broker._fail_pending_via(dead_parent)
+        self.broker.send_parent("live.hello", {"rank": self.rank,
+                                               "epoch": self.epoch})
 
     # ------------------------------------------------------------------
     def _on_pulse(self, msg: Message) -> None:
+        self._last_pulse = self.broker.sim.now
+        self._arm_watchdog()
         epoch = msg.payload["epoch"]
         if epoch > self.epoch + 1:
             # We were partitioned from the root (e.g. our parent died and
@@ -67,6 +153,15 @@ class LiveModule(CommsModule):
         epoch = msg.payload["epoch"]
         prev = self.last_heard.get(child, 0)
         self.last_heard[child] = max(prev, epoch)
+        if (child in self.announced
+                and self.broker.session.brokers[child].alive):
+            # A child we declared dead is talking again: on a lossy
+            # fabric consecutive hello drops cause false positives, and
+            # without this the "corpse" would stay partitioned from
+            # downward floods forever.  (The alive check rejects
+            # delayed hellos from a rank that really died since.)
+            self.log("err", f"child {child} resumed hellos; reattaching")
+            self.broker.publish("live.reattach", {"rank": child})
 
     def _check_children(self) -> None:
         for child in list(self.broker.children):
@@ -92,6 +187,21 @@ class LiveModule(CommsModule):
         self.broker.session._subtree_procs_cache = None
         # Children may have been unreachable while the overlay was broken;
         # give every surviving child a fresh grace period.
+        for child in self.broker.children:
+            self.last_heard[child] = max(self.last_heard.get(child, 0),
+                                         self.epoch)
+
+    def _on_reattach(self, msg: Message) -> None:
+        """A previously dead rank rejoined (``live.reattach``): prune it
+        from the dead-set so a later death is re-announced, restore the
+        original topology edges around it, and restart hello clocks —
+        both for the returnee and for children whose hellos may have
+        been lost while the overlay re-converged."""
+        rank = msg.payload["rank"]
+        self.announced.discard(rank)
+        self.broker.handle_peer_up(rank)
+        self.broker.session._subtree_procs_cache = None
+        self.last_heard.pop(rank, None)
         for child in self.broker.children:
             self.last_heard[child] = max(self.last_heard.get(child, 0),
                                          self.epoch)

@@ -95,6 +95,13 @@ class CommsSession:
         self.port_key = f"cmb{next(_session_counter)}"
         self.parent_map = self.topology.parent_map()
         self.local_procs: dict[int, int] = {r: 0 for r in range(self.size)}
+        #: Per-hop retransmission policy for pending requests, active
+        #: only while a :class:`~repro.sim.faults.FaultPlan` is
+        #: installed on the network (lossy-fabric recovery); base
+        #: timeout doubles per attempt.  ``retransmit_max = 0``
+        #: disables broker-level retransmission entirely.
+        self.retransmit_timeout = 5e-3
+        self.retransmit_max = 4
         self._next_client_id = 1
         self._subtree_procs_cache: Optional[list[int]] = None
         self.brokers: list[Broker] = [Broker(self, r)
@@ -117,6 +124,15 @@ class CommsSession:
     def children_of(self, rank: int) -> list[int]:
         """Original-topology children of ``rank``."""
         return self.topology.children(rank)
+
+    def nearest_live_ancestor(self, rank: int) -> Optional[int]:
+        """First *live* broker on ``rank``'s original ancestor chain —
+        where orphans re-attach when ``rank`` dies (walks past earlier
+        corpses, so cascading failures still heal toward the root)."""
+        p = self.parent_of(rank)
+        while p is not None and not self.brokers[p].alive:
+            p = self.parent_of(p)
+        return p
 
     # ------------------------------------------------------------------
     # module management
@@ -152,6 +168,10 @@ class CommsSession:
         """Tear the session down (recording message counts if traced)."""
         if self.tracer is not None:
             self.trace_message_counts(self.tracer)
+            plan = self.network.fault_plan
+            if plan is not None:
+                self.tracer.record(self.sim.now, "net.faults",
+                                   plan.stats())
         for broker in self.brokers:
             if broker.alive:
                 broker.stop()
@@ -197,6 +217,40 @@ class CommsSession:
             if broker.alive and broker.rank != dead_rank:
                 broker.handle_peer_down(dead_rank)
         self._subtree_procs_cache = None
+
+    def revive_rank(self, rank: int) -> None:
+        """Bring a previously failed broker back into the session.
+
+        Restores the node on the fabric, re-wires the revived broker
+        from the original topology (parent = nearest live original
+        ancestor; children = its live original children), and publishes
+        ``live.reattach`` so every peer prunes the rank from its
+        dead-set and hands back adopted orphans.
+        """
+        broker = self.brokers[rank]
+        if broker.alive:
+            return
+        self.cluster.revive_node(self.node_of_rank(rank))
+        broker.alive = True
+        broker.parent = self.nearest_live_ancestor(rank) \
+            if self.parent_of(rank) is not None else None
+        broker.children = [c for c in self.children_of(rank)
+                           if self.brokers[c].alive]
+        self._subtree_procs_cache = None
+        broker.publish("live.reattach", {"rank": rank})
+
+    def retry_stats(self) -> dict[str, int]:
+        """Aggregate chaos-recovery counters across every broker:
+        retransmissions, reroutes around dead hops, replay-cache hits,
+        and duplicates parked behind in-flight originals."""
+        out = {"retransmits": 0, "reroutes": 0, "replay_hits": 0,
+               "dups_parked": 0}
+        for broker in self.brokers:
+            out["retransmits"] += broker.retransmits
+            out["reroutes"] += broker.reroutes
+            out["replay_hits"] += broker.replay_hits
+            out["dups_parked"] += broker.dups_parked
+        return out
 
     # ------------------------------------------------------------------
     # client service

@@ -96,7 +96,7 @@ class KvsClient:
     """
 
     def __init__(self, handle: Handle, module: str = "kvs",
-                 timeout: Optional[float] = None):
+                 timeout: Optional[float] = None, retries: int = 0):
         self.handle = handle
         self.module = module
         #: Default RPC timeout (simulated seconds) applied to every
@@ -105,6 +105,11 @@ class KvsClient:
         #: drops an expired request with ``ETIMEDOUT`` instead of
         #: forwarding it further.
         self.timeout = timeout
+        #: Re-issue attempts after retryable failures (see
+        #: :meth:`repro.cmb.api.Handle.rpc`); safe because every retry
+        #: reuses the original request identity and the brokers replay
+        #: cached responses instead of re-executing.
+        self.retries = retries
         self._watchers: list[Watcher] = []
         self._subscribed = False
 
@@ -112,7 +117,8 @@ class KvsClient:
              timeout: Optional[float] = None) -> Event:
         return self.handle.rpc(
             topic, payload,
-            timeout=timeout if timeout is not None else self.timeout)
+            timeout=timeout if timeout is not None else self.timeout,
+            retries=self.retries)
 
     # -- write path -------------------------------------------------------
     def put(self, key: str, value: Any,

@@ -105,3 +105,17 @@ class KvsMaster:
     def pending_fences(self) -> list[str]:
         """Names of fences still waiting for contributions."""
         return list(self._fences)
+
+    def reset_incomplete_fences(self) -> None:
+        """Forget partial fence contributions (chaos recovery).
+
+        After an overlay failure every live rank re-contributes its
+        *cumulative* local fence state under a new fence epoch, so the
+        master must restart incomplete counts from zero or the
+        re-contributions would double-count.  The fence entries stay
+        (preserving the nprocs consistency check); ingested content
+        objects stay too — re-ingest is idempotent by SHA1.
+        """
+        for st in self._fences.values():
+            st.count = 0
+            st.ops = []

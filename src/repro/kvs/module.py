@@ -31,10 +31,11 @@ Implements the full Section IV-B protocol:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Callable, Optional
 
-from ..cmb.errors import EIO, ENOENT
-from ..cmb.message import Message, RequestContext
+from ..cmb.errors import EIO, ENOENT, RETRYABLE_CODES
+from ..cmb.message import Message, MessageType, RequestContext
 from ..cmb.module import CommsModule, request_handler
 from ..jsonutil import sha1_of
 from .cache import SlaveCache
@@ -65,12 +66,30 @@ class _FenceAgg:
     contributed).  When only a subset of the subtree participates in a
     fence (e.g. two jobs sharing a session), a window timer flushes
     partial aggregates so the root can still complete the fence.
+
+    ``local_count``/``local_ops``/``local_objs`` additionally keep the
+    *cumulative* contributions of this rank's own clients (never
+    cleared by upstream flushes): after an overlay failure resets the
+    fence epoch, every rank re-emits exactly its local share, and the
+    re-aggregation sums to the true total because local shares are
+    disjoint.  ``created_version`` guards against a stale completion
+    notice for a previous fence of the same name releasing this one.
+
+    ``shares`` drives the *idempotent* wire mode used while a fault
+    plan is installed (lossy fabric): ``shares[origin]`` is the
+    ``[count, ops]`` cumulative contribution of rank ``origin``'s own
+    clients, merged monotonically (larger count wins) like a G-counter.
+    Re-emitting the full merged map is always safe — duplicates and
+    arbitrary re-orderings cannot double-count — so lost messages are
+    repaired by simply re-sending on every heartbeat pulse, with no
+    epoch bookkeeping that could itself be lost.
     """
 
     __slots__ = ("name", "nprocs", "count", "ops", "objs", "held",
-                 "total_seen", "timer_armed")
+                 "total_seen", "timer_armed", "local_count", "local_ops",
+                 "local_objs", "created_version", "shares", "completing")
 
-    def __init__(self, name: str, nprocs: int):
+    def __init__(self, name: str, nprocs: int, created_version: int = 0):
         self.name = name
         self.nprocs = nprocs
         self.count = 0
@@ -79,6 +98,12 @@ class _FenceAgg:
         self.held: list[Message] = []       # local client fence requests
         self.total_seen = 0
         self.timer_armed = False
+        self.local_count = 0
+        self.local_ops: list[list] = []
+        self.local_objs: dict[str, dict] = {}
+        self.created_version = created_version
+        self.shares: dict[int, list] = {}
+        self.completing = False
 
 
 class KvsModule(CommsModule):
@@ -131,12 +156,27 @@ class KvsModule(CommsModule):
         self._fences: dict[str, _FenceAgg] = {}
         self._loads: dict[str, list[Callable[[Optional[dict]], None]]] = {}
         self._version_waiters: list[tuple[int, Message]] = []
+        #: Fence epoch: bumped on every ``live.down`` event.  The event
+        #: plane's total order makes the count identical at every live
+        #: rank, so tagging re-emitted fence contributions with the
+        #: epoch lets receivers drop stale in-flight duplicates from
+        #: before the failure (double-count prevention).  Stays 0 in a
+        #: failure-free run, in which case it is omitted from payloads
+        #: entirely (wire sizes unchanged).
+        self.fence_epoch = 0
+        #: Recently completed fences (name -> (version, root sha)),
+        #: a bounded LRU gossiped to children so a fence-completion
+        #: setroot event lost in transit cannot strand held waiters.
+        self._completed: "OrderedDict[str, tuple[int, str]]" = OrderedDict()
+        self.completed_cap = 64
+        self._sync_busy = False
+        self._sync_at = -1.0
 
     # ------------------------------------------------------------------
     def start(self) -> None:
         self.broker.subscribe(f"{self.name}.setroot", self._on_setroot_event)
-        if self.expiry is not None:
-            self.broker.subscribe("hb.pulse", self._on_pulse)
+        self.broker.subscribe("live.down", self._on_live_down)
+        self.broker.subscribe("hb.pulse", self._on_pulse)
 
     def _toward_master_cb(self, topic: str, payload: dict, callback,
                           ctx: Optional[RequestContext] = None) -> None:
@@ -161,7 +201,25 @@ class KvsModule(CommsModule):
         self.broker.rpc_hop_cb(hop, topic, payload, callback, ctx=ctx)
 
     def _on_pulse(self, _msg: Message) -> None:
-        self.cache.expire(self.expiry)
+        if self.expiry is not None:
+            self.cache.expire(self.expiry)
+        # Anti-entropy gossip, active only under a chaos fault plan: a
+        # lossy fabric can lose setroot events outright (the event
+        # plane is fire-and-forget), so each heartbeat a slave pulls
+        # its parent's root version and completed-fence digest.  Stale
+        # roots and stranded fence waiters heal one tree level per
+        # pulse.  Without a fault plan the fabric only drops traffic
+        # addressed to dead nodes, and the live.down resync covers
+        # that — no gossip traffic is generated.
+        if (self.master is None and self.master_rank == 0
+                and self.broker.network.fault_plan is not None
+                and self.broker.parent is not None):
+            self._resync_root()
+            # Anti-entropy for in-progress fences too: re-emitting the
+            # cumulative shares map is idempotent, so a pulse-period
+            # re-send repairs any contribution lost on a lossy link.
+            for name in list(self._fences):
+                self._flush_fence(name)
 
     # ------------------------------------------------------------------
     # master service-time queue
@@ -279,6 +337,13 @@ class KvsModule(CommsModule):
                 if callback is not None:
                     callback(resp.payload["version"],
                              resp.payload["rootref"])
+            elif resp.errnum in RETRYABLE_CODES and (ops or objs):
+                # Transient upstream failure: the data must not vanish
+                # with the lost flush.  Re-stash and retry once the
+                # overlay has had a heartbeat to heal.
+                self._restash(sender, ops, objs)
+                self.broker.after(5e-3,
+                                  lambda: self.local_commit(sender, callback))
 
         self._forward_flush(ops, objs, done)
 
@@ -300,12 +365,28 @@ class KvsModule(CommsModule):
                                    "rootref": res.root_sha})
             self._master_run(len(ops), apply)
             return
-        self._forward_flush(ops, objs,
-                            lambda resp: self._finish_commit(msg, resp),
-                            ctx=msg.ctx)
+        self._forward_flush(
+            ops, objs,
+            lambda resp: self._finish_commit(msg, resp, sender, ops, objs),
+            ctx=msg.ctx)
 
-    def _finish_commit(self, msg: Message, resp: Message) -> None:
+    def _restash(self, sender: Any, ops: list, objs: dict) -> None:
+        """Return a failed flush's data to the dirty cache (ahead of any
+        newer writes, preserving order) so the next commit re-sends it."""
+        d = self._dirty_for(sender)
+        d.ops[:0] = ops
+        for sha, obj in objs.items():
+            d.objs.setdefault(sha, obj)
+
+    def _finish_commit(self, msg: Message, resp: Message,
+                       sender: Any = None, ops: Optional[list] = None,
+                       objs: Optional[dict] = None) -> None:
         if resp.error is not None:
+            # A transiently failed flush took the popped dirty data with
+            # it; re-stash so the client's retry commit re-flushes it
+            # through the healed route instead of committing nothing.
+            if resp.errnum in RETRYABLE_CODES and (ops or objs):
+                self._restash(sender, ops, objs)
             self.respond(msg, error=resp.error, code=resp.errnum,
                          err_rank=resp.err_rank)
             return
@@ -354,7 +435,8 @@ class KvsModule(CommsModule):
     def _fence_for(self, name: str, nprocs: int) -> _FenceAgg:
         agg = self._fences.get(name)
         if agg is None:
-            agg = self._fences[name] = _FenceAgg(name, nprocs)
+            agg = self._fences[name] = _FenceAgg(
+                name, nprocs, created_version=self.version)
         return agg
 
     @request_handler(required=("name", "nprocs"))
@@ -368,16 +450,34 @@ class KvsModule(CommsModule):
         agg.held.append(msg)
         if d is not None:
             agg.ops.extend(d.ops)
+            agg.local_ops.extend(d.ops)
             for sha, obj in d.objs.items():
                 agg.objs[sha] = obj
+                agg.local_objs[sha] = obj
         agg.count += 1
         agg.total_seen += 1
+        agg.local_count += 1
         self._maybe_flush_fence(agg)
 
-    @request_handler(required=("name", "nprocs", "count", "ops", "objs"))
+    @request_handler(required=("name", "nprocs"))
     def req_fencedata(self, msg: Message) -> None:
-        """A child subtree's aggregated fence contribution."""
+        """A child subtree's aggregated fence contribution.
+
+        Two wire formats share this topic: the legacy *incremental*
+        one (``count``/``ops`` deltas, used on a loss-free fabric) and
+        the idempotent *shares* one (full per-origin cumulative map,
+        used while a fault plan is installed — see ``_FenceAgg``).
+        """
         p = msg.payload
+        if "shares" in p:
+            self._merge_fence_shares(msg, p)
+            return
+        if p.get("fepoch", 0) < self.fence_epoch:
+            # Contribution from before the last failure: the sender
+            # will re-emit its cumulative local state under the new
+            # epoch, so folding this one in would double-count.
+            self.respond(msg, {})
+            return
         agg = self._fence_for(p["name"], p["nprocs"])
         agg.count += p["count"]
         agg.total_seen += p["count"]
@@ -388,11 +488,47 @@ class KvsModule(CommsModule):
         self.respond(msg, {})
         self._maybe_flush_fence(agg)
 
+    def _merge_fence_shares(self, msg: Message, p: dict) -> None:
+        """Fold a shares-mode contribution in (idempotent merge)."""
+        name = p["name"]
+        if name in self._completed:
+            # Late re-emission for a fence already committed: the
+            # sender learns the outcome via setroot/gossip; folding it
+            # back in could re-create (and re-commit) the fence.
+            self.respond(msg, {})
+            return
+        agg = self._fence_for(name, p["nprocs"])
+        changed = False
+        for origin_s, share in p["shares"].items():
+            origin = int(origin_s)
+            if origin == self.rank:
+                continue            # our own share is authoritative here
+            cur = agg.shares.get(origin)
+            if cur is None or share[0] > cur[0]:
+                agg.shares[origin] = [share[0], list(share[1])]
+                changed = True
+        for sha, obj in p["objs"].items():
+            agg.objs[sha] = obj
+            self._obj_put(sha, obj)
+        self.respond(msg, {})
+        if changed:
+            self._flush_fence(agg.name)
+
+    def _shared_mode(self) -> bool:
+        """True while a fault plan is installed: fence traffic then
+        uses the idempotent shares protocol (safe under loss and
+        duplication) instead of the legacy incremental one, whose wire
+        payloads stay byte-identical for fault-free runs."""
+        return self.broker.network.fault_plan is not None
+
     def _maybe_flush_fence(self, agg: _FenceAgg) -> None:
         """Flush the aggregate upstream when complete — or after the
         aggregation window, so fences joined by only a subset of the
         subtree's clients (e.g. two jobs sharing a session) still make
         progress."""
+        if self._shared_mode():
+            self._flush_fence(agg.name)
+            return
         expected = self.broker.session.subtree_procs(self.rank)
         if self.master_rank == 0 and agg.total_seen >= min(expected,
                                                            agg.nprocs):
@@ -413,7 +549,12 @@ class KvsModule(CommsModule):
 
     def _flush_fence(self, name: str) -> None:
         agg = self._fences.get(name)
-        if agg is None or agg.count == 0:
+        if agg is None:
+            return
+        if self._shared_mode():
+            self._flush_fence_shared(agg)
+            return
+        if agg.count == 0:
             return
         count, agg.count = agg.count, 0
         ops, agg.ops = agg.ops, []
@@ -423,24 +564,182 @@ class KvsModule(CommsModule):
                 res = self.master.fence_add(agg.name, agg.nprocs, count,
                                             [(k, s) for k, s in ops], objs)
                 if res is not None:
+                    self._record_completed(agg.name, res.version,
+                                           res.root_sha)
                     self._apply_root(res.version, res.root_sha)
                     self._publish_setroot(res.version, res.root_sha,
                                           fence=agg.name)
                     self._release_fence(agg)
             self._master_run(len(ops), apply)
             return
-        self._toward_master_cb(
-            f"{self.name}.fencedata",
-            {"name": agg.name, "nprocs": agg.nprocs, "count": count,
-             "ops": ops, "objs": objs},
-            lambda resp: None)
+        payload = {"name": agg.name, "nprocs": agg.nprocs, "count": count,
+                   "ops": ops, "objs": objs}
+        if self.fence_epoch > 0:
+            # Tag only after a failure: fault-free payloads (and hence
+            # wire sizes/latencies) stay byte-identical.
+            payload["fepoch"] = self.fence_epoch
+        self._toward_master_cb(f"{self.name}.fencedata", payload,
+                               lambda resp: None)
         # Held client fences answer when the fence's setroot arrives.
+
+    def _flush_fence_shared(self, agg: _FenceAgg) -> None:
+        """Shares-mode flush: send (or, at the master, evaluate) the
+        full merged per-origin map.  Nothing is cleared — the map is
+        cumulative, so this is safe to call arbitrarily often."""
+        if agg.local_count > 0:
+            agg.shares[self.rank] = [agg.local_count,
+                                     list(agg.local_ops)]
+        if not agg.shares:
+            return
+        if self.master is not None:
+            self._maybe_complete_shared(agg)
+            return
+        payload = {"name": agg.name, "nprocs": agg.nprocs,
+                   "shares": {str(o): [s[0], s[1]]
+                              for o, s in agg.shares.items()},
+                   "objs": {**agg.objs, **agg.local_objs}}
+        self._toward_master_cb(f"{self.name}.fencedata", payload,
+                               lambda resp: None)
+
+    def _maybe_complete_shared(self, agg: _FenceAgg) -> None:
+        """Commit a shares-mode fence once every participant's share
+        has arrived (counts are disjoint per origin, so the sum is
+        exact no matter how often shares were re-sent)."""
+        if agg.completing:
+            return
+        if sum(s[0] for s in agg.shares.values()) < agg.nprocs:
+            return
+        agg.completing = True
+        ops = []
+        for origin in sorted(agg.shares):
+            ops.extend((k, s) for k, s in agg.shares[origin][1])
+
+        def apply():
+            if agg.name in self._completed:
+                return
+            self.master.ingest_objects({**agg.objs, **agg.local_objs})
+            res = self.master.commit(ops)
+            self._record_completed(agg.name, res.version, res.root_sha)
+            self._apply_root(res.version, res.root_sha)
+            self._publish_setroot(res.version, res.root_sha,
+                                  fence=agg.name)
+            self._release_fence(agg)
+
+        self._master_run(len(ops), apply)
 
     def _release_fence(self, agg: _FenceAgg) -> None:
         self._fences.pop(agg.name, None)
         for held in agg.held:
             self.respond(held, {"version": self.version,
                                 "rootref": self.root_sha})
+
+    def _record_completed(self, name: str, version: int,
+                          root_sha: str) -> None:
+        self._completed[name] = (version, root_sha)
+        self._completed.move_to_end(name)
+        while len(self._completed) > self.completed_cap:
+            self._completed.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # failure recovery (chaos tentpole)
+    # ------------------------------------------------------------------
+    def _on_live_down(self, msg: Message) -> None:
+        """A broker died.  Bump the fence epoch *now* (event total
+        order ⇒ every live rank lands on the same epoch, and ancestors
+        bump before their descendants' re-emissions can arrive), but
+        defer the state recovery one tick: this module subscribed to
+        ``live.down`` before the live module did, so the broker has not
+        re-wired around the corpse yet when we run.
+
+        In shares mode (fault plan installed) there is nothing to
+        reset: the merged per-origin map is idempotent, so recovery is
+        simply "re-send everything over the healed route".
+        """
+        if self._shared_mode():
+            self.broker.after(0.0, self._recover_shared)
+            return
+        self.fence_epoch += 1
+        self.broker.after(0.0, self._recover_after_down)
+
+    def _recover_shared(self) -> None:
+        for name in list(self._fences):
+            self._flush_fence(name)
+        if self.master is None and self.master_rank == 0:
+            self._resync_root()
+
+    def _recover_after_down(self) -> None:
+        """Re-establish KVS invariants on the healed overlay.
+
+        - The master resets incomplete fence accumulators; every rank
+          then re-contributes its *cumulative local* fence state under
+          the new epoch.  Local shares are disjoint, so the re-reduction
+          sums exactly; in-flight pre-failure aggregates are discarded
+          by the receivers' epoch check.
+        - Slaves pull their (possibly new) parent's root version and
+          completed-fence digest: setroot events flooding through the
+          corpse at the moment of death are lost for its whole former
+          subtree, and a lost fence-completion notice would strand held
+          waiters forever.
+        """
+        if self.master is not None:
+            self.master.reset_incomplete_fences()
+        for name, agg in list(self._fences.items()):
+            agg.count = agg.local_count
+            agg.ops = list(agg.local_ops)
+            agg.objs = dict(agg.local_objs)
+            agg.total_seen = agg.local_count
+            if agg.count > 0:
+                self._flush_fence(name)
+        if self.master is None and self.master_rank == 0:
+            self._resync_root()
+
+    def _resync_root(self) -> None:
+        """Pull the parent's root + completed-fence digest (one level
+        of anti-entropy; chained pulses converge the whole tree)."""
+        now = self.broker.sim.now
+        if self.master is not None or self.broker.parent is None:
+            return
+        if self._sync_busy and now - self._sync_at < 0.25:
+            # A sync is outstanding — but never trust the busy flag
+            # forever: if the request or its response was lost after
+            # the broker gave up retransmitting, the callback never
+            # fires, and a stuck flag would silence gossip for good.
+            return
+        self._sync_busy = True
+        self._sync_at = now
+
+        def done(resp: Message) -> None:
+            self._sync_busy = False
+            if resp.error is None:
+                self._ingest_sync(resp.payload)
+
+        self._toward_master_cb(f"{self.name}.getroot", {"fences": True},
+                               done)
+
+    def _ingest_sync(self, p: dict) -> None:
+        self.fence_epoch = max(self.fence_epoch, p.get("fepoch", 0))
+        if p.get("version", 0) > self.version:
+            self._local_setroot_event(p["version"], p["rootref"])
+        for name in sorted(p.get("completed", {})):
+            ver, root = p["completed"][name]
+            self._record_completed(name, ver, root)
+            agg = self._fences.get(name)
+            if agg is not None and ver > agg.created_version:
+                # We missed this fence's completion notice: replay it.
+                self._local_setroot_event(ver, root, fence=name)
+
+    def _local_setroot_event(self, version: int, root_sha: str,
+                             fence: Optional[str] = None) -> None:
+        """Synthesize a local ``setroot`` delivery for state learned by
+        resync instead of the event plane, so every local subscriber —
+        including client watchers — observes the same transition it
+        would have seen had the flooded event not been lost."""
+        payload: dict[str, Any] = {"version": version, "rootref": root_sha}
+        if fence is not None:
+            payload["fence"] = fence
+        self.broker._deliver_event(
+            Message(topic=f"{self.name}.setroot", mtype=MessageType.EVENT,
+                    payload=payload, src_rank=self.rank))
 
     # ------------------------------------------------------------------
     # root-version protocol
@@ -471,10 +770,14 @@ class KvsModule(CommsModule):
         self._apply_root(p["version"], p["rootref"])
         fence = p.get("fence")
         if fence is not None:
+            self._record_completed(fence, p["version"], p["rootref"])
             agg = self._fences.get(fence)
-            if agg is not None:
+            if agg is not None and p["version"] > agg.created_version:
                 # The master completed the fence: every contribution
                 # (including any this node held) was accounted for.
+                # The version guard keeps a late/replayed completion
+                # notice for a *previous* fence of the same name (KAP
+                # re-fences every iteration) from releasing this one.
                 self._release_fence(agg)
 
     def req_getversion(self, msg: Message) -> None:
@@ -489,8 +792,16 @@ class KvsModule(CommsModule):
             self._version_waiters.append((wanted, msg))
 
     def req_getroot(self, msg: Message) -> None:
-        self.respond(msg, {"version": self.version,
-                           "rootref": self.root_sha})
+        out: dict[str, Any] = {"version": self.version,
+                               "rootref": self.root_sha}
+        if msg.payload.get("fences"):
+            # Anti-entropy digest for a resyncing child: which fences
+            # completed recently (and at what version), plus our fence
+            # epoch so a revived rank can catch its epoch counter up.
+            out["completed"] = {n: [v, r]
+                                for n, (v, r) in self._completed.items()}
+            out["fepoch"] = self.fence_epoch
+        self.respond(msg, out)
 
     # ------------------------------------------------------------------
     # get (with fault-in through the slave-cache chain)

@@ -6,6 +6,7 @@ model (:mod:`.network`), node/cluster construction (:mod:`.node`,
 :mod:`.cluster`) and statistics collection (:mod:`.trace`).
 """
 
+from .faults import FaultPlan, LinkFaults
 from .kernel import (AllOf, AnyOf, Channel, Event, Interrupt, Process,
                      Simulation, SimulationError, Timeout)
 from .network import Network, NetworkParams, Nic
@@ -18,6 +19,7 @@ from .trace import StatSeries, Summary, Tracer
 __all__ = [
     "AllOf", "AnyOf", "Channel", "Event", "Interrupt", "Process",
     "Simulation", "SimulationError", "Timeout",
+    "FaultPlan", "LinkFaults",
     "Network", "NetworkParams", "Nic",
     "Node", "NodeSpec",
     "Cluster", "make_cluster", "zin_like_params",

@@ -1,0 +1,173 @@
+"""Seeded fault injection for the simulated fabric.
+
+A :class:`FaultPlan` attaches to a :class:`~repro.sim.network.Network`
+(``network.fault_plan = plan``) and perturbs every inter-node send:
+
+- **drop** — the message is lost on the wire (the sender's NIC is still
+  charged: the bytes left the host before the fabric ate them);
+- **duplicate** — the message is delivered twice, modelling ambiguous
+  retransmission at a lower layer;
+- **delay** — extra latency is added before delivery.
+
+Faults are *per-link* (``(src node, dst node)``): global default rates
+can be overridden for individual links with :meth:`set_link`, and
+targeted one-shot faults (:meth:`drop_next`) deterministically kill the
+next ``count`` messages on a link — the tool chaos tests use to break a
+specific protocol exchange.
+
+Two properties keep chaos runs reproducible and honest:
+
+- the plan owns a *private* ``random.Random(seed)``, so installing a
+  plan never perturbs the simulation's own RNG stream — a run with all
+  rates at zero is bit-identical to a run with no plan at all;
+- injected delays are FIFO-clamped per link: a delayed message never
+  overtakes a later message on the same link, preserving the fabric's
+  in-order-per-link contract that the event plane's total-order
+  property relies on.  (Drops and duplicates do break the reliable
+  half of the contract — that is the point.)
+
+Injected drops are reported through the network's ``drop_hook`` and
+counted both in :attr:`Network.dropped` and in the plan's own
+:meth:`stats` (which sessions record into traces as ``net.faults``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["FaultPlan", "LinkFaults"]
+
+
+@dataclass
+class LinkFaults:
+    """Fault rates for one directed link (or the global defaults).
+
+    Attributes
+    ----------
+    drop_rate:
+        Probability a message is lost in transit.
+    dup_rate:
+        Probability a message is delivered twice.
+    delay_rate:
+        Probability a message is held back ``delay_extra`` seconds.
+    delay_extra:
+        Extra latency applied to delayed messages (seconds).
+    """
+
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_extra: float = 1e-4
+
+
+class FaultPlan:
+    """A seeded schedule of message-level faults for chaos testing.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the plan's private RNG; same seed + same traffic =
+        same faults.
+    drop_rate / dup_rate / delay_rate / delay_extra:
+        Default per-message fault rates applied to every inter-node
+        link (loopback/IPC traffic is never faulted).
+    """
+
+    def __init__(self, seed: int = 0, *, drop_rate: float = 0.0,
+                 dup_rate: float = 0.0, delay_rate: float = 0.0,
+                 delay_extra: float = 1e-4):
+        self.rng = random.Random(seed)
+        self.default = LinkFaults(drop_rate, dup_rate, delay_rate,
+                                  delay_extra)
+        self._links: dict[tuple[int, int], LinkFaults] = {}
+        self._one_shot_drops: dict[tuple[int, int], int] = {}
+        # Per-link FIFO clamp: latest scheduled delivery time.
+        self._last_delivery: dict[tuple[int, int], float] = {}
+        # Statistics.
+        self.drops = 0
+        self.forced_drops = 0
+        self.dups = 0
+        self.delays = 0
+        self.messages_seen = 0
+
+    # -- configuration --------------------------------------------------
+    def set_link(self, src: int, dst: int, *,
+                 drop_rate: Optional[float] = None,
+                 dup_rate: Optional[float] = None,
+                 delay_rate: Optional[float] = None,
+                 delay_extra: Optional[float] = None) -> None:
+        """Override fault rates on the directed link ``src -> dst``
+        (node ids); unspecified rates keep the plan defaults."""
+        base = self._links.get((src, dst), self.default)
+        self._links[(src, dst)] = LinkFaults(
+            base.drop_rate if drop_rate is None else drop_rate,
+            base.dup_rate if dup_rate is None else dup_rate,
+            base.delay_rate if delay_rate is None else delay_rate,
+            base.delay_extra if delay_extra is None else delay_extra)
+
+    def drop_next(self, src: int, dst: int, count: int = 1) -> None:
+        """Deterministically drop the next ``count`` messages sent on
+        the link ``src -> dst`` (targeted one-shot faults)."""
+        self._one_shot_drops[(src, dst)] = (
+            self._one_shot_drops.get((src, dst), 0) + count)
+
+    # -- decision -------------------------------------------------------
+    def decide(self, src: int, dst: int) -> tuple[bool, int, float]:
+        """Roll this message's fate: ``(dropped, duplicates, extra_delay)``.
+
+        Called once per inter-node send by :meth:`Network.send`.  The
+        private RNG is always advanced the same number of times per
+        message regardless of outcome, keeping fault schedules stable
+        when unrelated rates change.
+        """
+        self.messages_seen += 1
+        link = self._links.get((src, dst), self.default)
+        remaining = self._one_shot_drops.get((src, dst), 0)
+        if remaining > 0:
+            if remaining == 1:
+                del self._one_shot_drops[(src, dst)]
+            else:
+                self._one_shot_drops[(src, dst)] = remaining - 1
+            self.forced_drops += 1
+            self.drops += 1
+            return True, 0, 0.0
+        roll_drop = self.rng.random()
+        roll_dup = self.rng.random()
+        roll_delay = self.rng.random()
+        if link.drop_rate > 0.0 and roll_drop < link.drop_rate:
+            self.drops += 1
+            return True, 0, 0.0
+        dups = 1 if (link.dup_rate > 0.0 and roll_dup < link.dup_rate) else 0
+        extra = 0.0
+        if link.delay_rate > 0.0 and roll_delay < link.delay_rate:
+            extra = link.delay_extra
+            self.delays += 1
+        if dups:
+            self.dups += 1
+        return False, dups, extra
+
+    def fifo_clamp(self, src: int, dst: int, deliver_at: float) -> float:
+        """Clamp a delivery time so it never precedes an already
+        scheduled delivery on the same link (per-link FIFO)."""
+        last = self._last_delivery.get((src, dst), 0.0)
+        deliver_at = max(deliver_at, last)
+        self._last_delivery[(src, dst)] = deliver_at
+        return deliver_at
+
+    # -- stats ----------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Counters of every fault injected so far."""
+        return {
+            "messages_seen": self.messages_seen,
+            "drops": self.drops,
+            "forced_drops": self.forced_drops,
+            "dups": self.dups,
+            "delays": self.delays,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        d = self.default
+        return (f"<FaultPlan drop={d.drop_rate} dup={d.dup_rate} "
+                f"delay={d.delay_rate} stats={self.stats()}>")

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Any, Callable, Optional
 from .kernel import Channel, Simulation
 
 if TYPE_CHECKING:  # pragma: no cover
+    from .faults import FaultPlan
     from .node import Node
 
 __all__ = ["NetworkParams", "Nic", "IpcLink", "Network", "DeliveryError"]
@@ -140,6 +141,10 @@ class Network:
         self.dropped: int = 0
         self.delivered: int = 0
         self.drop_hook: Optional[Callable[[int, int, Any], None]] = None
+        #: Optional :class:`~repro.sim.faults.FaultPlan` perturbing
+        #: inter-node traffic (chaos testing).  ``None`` — the default —
+        #: leaves the delivery path bit-identical to a plan-free build.
+        self.fault_plan: Optional["FaultPlan"] = None
 
     # -- membership -----------------------------------------------------
     def register(self, node_id: int) -> Channel:
@@ -209,6 +214,22 @@ class Network:
                 self._drop(src, dst, payload)
                 return
             delay = self._nics[src].send_delay(size)
+            plan = self.fault_plan
+            if plan is not None:
+                # Chaos path: the NIC was charged (bytes left the host)
+                # before the fabric drops/duplicates/delays the message.
+                dropped, dups, extra = plan.decide(src, dst)
+                if dropped:
+                    self._drop(src, dst, payload)
+                    return
+                deliver_at = plan.fifo_clamp(src, dst,
+                                             self.sim.now + delay + extra)
+                for _ in range(1 + dups):
+                    at = plan.fifo_clamp(src, dst, deliver_at)
+                    ev = self.sim.timeout(at - self.sim.now)
+                    ev.add_callback(
+                        lambda _ev: self._deliver(src, dst, port, payload))
+                return
         ev = self.sim.timeout(delay)
         ev.add_callback(lambda _ev: self._deliver(src, dst, port, payload))
 

@@ -1,0 +1,213 @@
+"""Chaos harness: a KAP-style KVS workload under seeded faults.
+
+The entry point :func:`run_chaos_workload` builds a session on a
+binary tree, installs a seeded :class:`~repro.sim.faults.FaultPlan`
+(probabilistic drop/duplication/extra delay per link), optionally
+kills interior brokers mid-run, and drives a fence-synchronized
+put/get workload with client-level retries enabled.
+
+After the workload drains it verifies *convergence*:
+
+- every put/commit/fence a client saw acknowledged is readable at
+  rank 0 over a clean fabric (the fault plan is removed for the
+  verification pass);
+- no hung waiters remain anywhere (held fences, version waiters,
+  outstanding client RPCs on live brokers);
+- every process finished without error.
+
+The returned :class:`ChaosReport` also carries the recovery/retry
+telemetry the chaos benchmarks tabulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import make_cluster, standard_session
+from repro.kvs import KvsClient
+from repro.sim import FaultPlan
+
+__all__ = ["ChaosReport", "run_chaos_workload"]
+
+
+@dataclass
+class ChaosReport:
+    """Outcome + telemetry of one chaos run."""
+
+    converged: bool                 # procs ok + reads verified + no hangs
+    procs_ok: bool                  # every workload process finished clean
+    reads_verified: int             # acked writes re-read successfully
+    reads_failed: int               # acked writes missing/mismatched
+    hung_waiters: int               # leftover held fences/version waiters
+    client_retries: int             # RPC attempts re-issued by clients
+    client_rpcs: int                # logical client RPCs issued
+    broker_stats: dict = field(default_factory=dict)
+    fault_stats: dict = field(default_factory=dict)
+    detect_latency: float = 0.0     # kill -> last live.down at rank 0
+    makespan: float = 0.0           # last workload process completion
+    errors: list = field(default_factory=list)
+
+    @property
+    def retry_amplification(self) -> float:
+        """Extra sends per logical client RPC: client re-attempts plus
+        broker-level retransmissions/reroutes, normalized by the
+        number of logical RPCs (0.0 in a fault-free run)."""
+        extra = (self.client_retries
+                 + self.broker_stats.get("retransmits", 0)
+                 + self.broker_stats.get("reroutes", 0))
+        return extra / max(1, self.client_rpcs)
+
+
+def run_chaos_workload(n_nodes: int = 31, n_clients: int = 16,
+                       seed: int = 7, fault_seed: int = 11,
+                       drop_rate: float = 0.01, dup_rate: float = 0.0,
+                       delay_rate: float = 0.0,
+                       kill_ranks: tuple = (), kill_at: float = 0.25,
+                       kill_stagger: float = 0.5,
+                       hb_period: float = 0.05, n_iters: int = 2,
+                       iter_gap: float = 0.0,
+                       timeout: float = 0.5, retries: int = 8,
+                       run_until: float = 60.0) -> ChaosReport:
+    """Run the chaos workload; see module docstring.
+
+    ``kill_ranks`` are failed one by one starting at ``kill_at``
+    (``kill_stagger`` apart), so cascades like "kill a parent, then
+    its replacement" are expressible.  Clients are placed round-robin
+    on ranks that are never killed.
+
+    ``iter_gap`` inserts a per-client think time between iterations
+    (skewed per client, so fence contributions trickle in over the
+    gap): without it a small workload finishes in milliseconds and a
+    mid-run kill would land after the last fence instead of across it.
+    """
+    cluster = make_cluster(n_nodes, seed=seed)
+    plan = FaultPlan(seed=fault_seed, drop_rate=drop_rate,
+                     dup_rate=dup_rate, delay_rate=delay_rate)
+    cluster.network.fault_plan = plan
+    session = standard_session(
+        cluster, with_heartbeat=True, hb_period=hb_period,
+        hb_max_epochs=max(64, int(run_until / hb_period)))
+    session.start()
+    sim = cluster.sim
+
+    # Detection telemetry: when rank 0 hears each live.down.
+    detect_times: dict[int, float] = {}
+    session.brokers[0].subscribe(
+        "live.down",
+        lambda msg: detect_times.setdefault(msg.payload["rank"], sim.now))
+
+    for i, victim in enumerate(kill_ranks):
+        ev = sim.timeout(kill_at + i * kill_stagger)
+        ev.add_callback(lambda _e, v=victim: session.fail_rank(v))
+
+    client_ranks = [r for r in range(n_nodes) if r not in set(kill_ranks)]
+    acked: list[tuple[str, object]] = []
+    finish_times: list[float] = []
+    handles = []
+    errors: list[str] = []
+
+    def client_proc(idx: int, rank: int):
+        # Failures are recorded, not raised: an unhandled process
+        # exception would abort sim.run() and take the whole harness
+        # down with it instead of producing a non-converged report.
+        try:
+            handle = session.connect(rank)
+            handles.append(handle)
+            kvs = KvsClient(handle, timeout=timeout, retries=retries)
+            for it in range(n_iters):
+                key = f"chaos.k{it}.{idx}"
+                yield kvs.put(key, [idx, it])
+                yield kvs.fence(f"chaos.f{it}", n_clients)
+                acked.append((key, [idx, it]))
+                peer = (idx + 1) % n_clients
+                got = yield kvs.get(f"chaos.k{it}.{peer}")
+                if got != [peer, it]:
+                    raise AssertionError(
+                        f"client {idx} iter {it}: read {got!r}, "
+                        f"expected {[peer, it]!r}")
+                if iter_gap > 0.0:
+                    yield sim.timeout(iter_gap * (1 + idx / n_clients))
+            yield kvs.put(f"chaos.c.{idx}", idx)
+            yield kvs.commit()
+            acked.append((f"chaos.c.{idx}", idx))
+        except Exception as exc:  # noqa: BLE001 - tallied in the report
+            errors.append(f"client {idx} (t={sim.now:.3f}): {exc}")
+            return
+        finish_times.append(sim.now)
+
+    procs = [sim.spawn(client_proc(i, client_ranks[i % len(client_ranks)]),
+                       name=f"chaos-client-{i}")
+             for i in range(n_clients)]
+    # Poll in slices so the run stops shortly after the workload drains
+    # instead of simulating every remaining heartbeat epoch.
+    while sim.now < run_until and not all(p.triggered for p in procs):
+        sim.run(until=min(run_until, sim.now + 0.5))
+    sim.run(until=sim.now + 1.0)  # settle in-flight bookkeeping
+
+    for i, p in enumerate(procs):
+        if not p.triggered:
+            errors.append(f"client {i}: hung")
+        elif not p.ok:
+            try:
+                p.value
+            except Exception as exc:  # noqa: BLE001 - reporting
+                errors.append(f"client {i}: {exc}")
+    procs_ok = not errors
+    makespan = max(finish_times) if finish_times else sim.now
+    detect_latency = (max(detect_times.get(v, sim.now)
+                          for v in kill_ranks) - kill_at
+                      if kill_ranks else 0.0)
+
+    # Hung-waiter census on live brokers: a converged run leaves no
+    # held fence requests, no version waiters, and no outstanding
+    # client RPCs behind.
+    hung = 0
+    for broker in session.brokers:
+        if not broker.alive:
+            continue
+        kvs_mod = broker.modules.get("kvs")
+        if kvs_mod is not None:
+            hung += len(kvs_mod._version_waiters)
+            hung += sum(len(agg.held) for agg in kvs_mod._fences.values())
+    for handle in handles:
+        hung += len(handle._waiters)
+
+    client_retries = sum(h.retries for h in handles)
+    client_rpcs = n_clients * (n_iters * 3 + 2)
+    broker_stats = session.retry_stats()
+    fault_stats = plan.stats()
+
+    # Verification pass over a clean fabric: everything the clients saw
+    # acknowledged must be durable and readable at the root.
+    cluster.network.fault_plan = None
+    verified = [0, 0]
+
+    def verifier():
+        kvs = KvsClient(session.connect(0, collective=False), timeout=10.0)
+        for key, want in acked:
+            try:
+                got = yield kvs.get(key)
+            except Exception:  # noqa: BLE001 - tallied below
+                got = None
+            if got == want:
+                verified[0] += 1
+            else:
+                verified[1] += 1
+                errors.append(f"verify {key!r}: read {got!r}, "
+                              f"expected {want!r}")
+
+    vproc = sim.spawn(verifier(), name="chaos-verifier")
+    sim.run(until=sim.now + 20.0)
+    if not vproc.triggered or not vproc.ok:
+        errors.append("verifier did not complete")
+
+    session.stop()
+    converged = (procs_ok and verified[1] == 0 and hung == 0
+                 and vproc.triggered and vproc.ok)
+    return ChaosReport(
+        converged=converged, procs_ok=procs_ok,
+        reads_verified=verified[0], reads_failed=verified[1],
+        hung_waiters=hung, client_retries=client_retries,
+        client_rpcs=client_rpcs, broker_stats=broker_stats,
+        fault_stats=fault_stats, detect_latency=detect_latency,
+        makespan=makespan, errors=errors)
