@@ -97,7 +97,7 @@ def shape_results():
         lines.append(f"{shape:>10} {r['makespan']:>12.2f} "
                      f"{r['burst_wait']:>14.2f} "
                      f"{r['long_wait']:>13.2f} {r['util']:>12.2%}")
-    write_table("ablation_elasticity", "\n".join(lines))
+    write_table("ablation_elasticity", "\n".join(lines), data=results)
     return results
 
 

@@ -64,7 +64,7 @@ def fanout_results():
     for k, r in results.items():
         lines.append(f"{k:>9} {r['makespan']:>12.2f} "
                      f"{r['throughput']:>8.1f} {r['util']:>12.2%}")
-    write_table("ablation_hierarchy", "\n".join(lines))
+    write_table("ablation_hierarchy", "\n".join(lines), data=results)
     return results
 
 

@@ -67,7 +67,7 @@ def shard_results():
         lines.append(f"{k:>8} {r['time'] * 1e3:>10.3f} "
                      f"{r['commits_per_s']:>11.0f} "
                      f"{r['bytes'] / 1e6:>9.2f}")
-    write_table("ablation_sharding", "\n".join(lines))
+    write_table("ablation_sharding", "\n".join(lines), data=results)
     return results
 
 

@@ -37,9 +37,11 @@ def arity_series(scale):
         fence_cols[label] = fence
         get_cols[label] = get
     write_table("ablation_topology_fence", format_series_table(
-        "Ablation: fence latency vs tree arity", "producers", fence_cols))
+        "Ablation: fence latency vs tree arity", "producers", fence_cols),
+        data=fence_cols)
     write_table("ablation_topology_get", format_series_table(
-        "Ablation: consumer latency vs tree arity", "consumers", get_cols))
+        "Ablation: consumer latency vs tree arity", "consumers", get_cols),
+        data=get_cols)
     return fence_cols, get_cols
 
 

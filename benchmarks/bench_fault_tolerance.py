@@ -86,7 +86,8 @@ def detection_grid():
     for (p, m), r in grid.items():
         lines.append(f"{p:>13.2f} {m:>11} {r['t_detect']:>10.3f} "
                      f"{str(r['healed']):>7}")
-    write_table("fault_tolerance", "\n".join(lines))
+    write_table("fault_tolerance", "\n".join(lines),
+                data={f"p{p}-m{m}": r for (p, m), r in grid.items()})
     return grid
 
 
@@ -175,7 +176,15 @@ def chaos_grid():
             f"{r.client_retries:>11} {bs.get('retransmits', 0):>11} "
             f"{bs.get('reroutes', 0):>8} {bs.get('replay_hits', 0):>7} "
             f"{r.retry_amplification:>13.3f}")
-    write_table("chaos_recovery", "\n".join(lines))
+    write_table("chaos_recovery", "\n".join(lines),
+                data={str(loss): {
+                    "converged": r.converged,
+                    "detect_latency": r.detect_latency,
+                    "makespan": r.makespan,
+                    "client_retries": r.client_retries,
+                    "broker_stats": r.broker_stats,
+                    "retry_amplification": r.retry_amplification,
+                } for loss, r in grid.items()})
     return grid
 
 

@@ -29,7 +29,7 @@ def fig2_series(scale):
         cols[f"vsize-{vsize}"] = series
     write_table("fig2_producer", format_series_table(
         "Figure 2: max producer (kvs_put) latency vs producer count",
-        "producers", cols))
+        "producers", cols), data=cols)
     return cols
 
 

@@ -33,7 +33,7 @@ def fig3_series(scale):
             cols[label] = series
     write_table("fig3_fence", format_series_table(
         "Figure 3: max sync (kvs_fence) latency, unique vs redundant",
-        "producers", cols))
+        "producers", cols), data=cols)
     return cols
 
 

@@ -41,10 +41,10 @@ def fig4_series(scale):
         out[dir_width] = cols
     write_table("fig4a_consumer_single_dir", format_series_table(
         "Figure 4(a): max consumer (kvs_get) latency, single directory",
-        "consumers", out[None]))
+        "consumers", out[None]), data=out[None])
     write_table("fig4b_consumer_multi_dir", format_series_table(
         "Figure 4(b): max consumer (kvs_get) latency, <=128-entry dirs",
-        "consumers", out[128]))
+        "consumers", out[128]), data=out[128])
     return out
 
 

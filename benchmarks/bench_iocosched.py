@@ -104,7 +104,7 @@ def io_results():
                      f"{r['ckpt_stretch']:>12.1f}x "
                      f"{r['victim_stretch']:>10.1f}x "
                      f"{r['victim_mean_stretch']:>11.1f}x")
-    write_table("iocosched", "\n".join(lines))
+    write_table("iocosched", "\n".join(lines), data=results)
     return results
 
 

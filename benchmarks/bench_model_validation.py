@@ -40,7 +40,7 @@ def model_rows(scale):
         ratio = row["measured"] / row["model"]
         lines.append(f"{row['consumers']:>10} {row['model']*1e3:>10.3f} "
                      f"{row['measured']*1e3:>10.3f} {ratio:>6.2f}")
-    write_table("model_validation", "\n".join(lines))
+    write_table("model_validation", "\n".join(lines), data=rows)
     return rows
 
 

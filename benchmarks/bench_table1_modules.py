@@ -229,5 +229,7 @@ def test_zz_write_table1_summary(benchmark):
             lines.append(f"{module:>8}  {op:<26} {latency * 1e6:>18.1f}")
         return "\n".join(lines)
 
-    write_table("table1_modules", benchmark(render))
+    write_table("table1_modules", benchmark(render),
+                data=[{"module": m, "operation": op, "latency_s": lat}
+                      for m, op, lat in _rows])
     assert len(_rows) == 9  # every Table I module measured

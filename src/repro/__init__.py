@@ -33,7 +33,7 @@ from .sim import Cluster, Simulation, make_cluster
 from .cmb import CommsSession, Handle, ModuleSpec, TreeTopology
 from .cmb.modules import (BarrierModule, GroupModule, HeartbeatModule,
                           LiveModule, LogModule, MonModule, ResvcModule,
-                          WexecModule)
+                          StatsModule, WexecModule, registry_samplers)
 from .kvs import KvsClient, KvsModule
 
 __version__ = "1.0.0"
@@ -67,7 +67,10 @@ def standard_session(cluster: Cluster,
         ModuleSpec(GroupModule),
         ModuleSpec(ResvcModule),
         ModuleSpec(WexecModule, registry=task_registry or {}),
-        ModuleSpec(MonModule),
+        # Registry-backed samplers are registered but inactive: they
+        # generate no traffic until a client activates them.
+        ModuleSpec(MonModule, samplers=registry_samplers()),
+        ModuleSpec(StatsModule),
     ]
     if with_heartbeat:
         modules.append(ModuleSpec(HeartbeatModule, period=hb_period,

@@ -84,6 +84,7 @@ class Handle:
             msg = Message(topic=topic, payload=payload or {},
                           src_rank=self.rank)
             msg.ensure_context(origin_rank=self.rank, deadline=deadline)
+            self._trace_root(f"rpc:{topic}", msg, ev)
             self._waiters[msg.msgid] = ev
             self._ipc_deliver(msg)
             if timeout is not None:
@@ -92,12 +93,36 @@ class Handle:
         return self._rpc_with_retries(topic, payload or {}, timeout,
                                       deadline, retries, retry_backoff)
 
+    def _trace_root(self, name: str, msg: Message, ev: Event):
+        """Open the root span of a new trace for one client call,
+        attach its context to ``msg``, and close it when ``ev``
+        resolves (success, error, or timeout).  Returns the span
+        (``None`` when tracing is off)."""
+        tr = self.session.span_tracer
+        if tr is None:
+            return None
+        root = tr.start_trace(name, self.rank, client=self.client_id)
+        msg.span = (root.trace_id, root.span_id)
+
+        def close(done_ev: Event) -> None:
+            exc = done_ev._exc
+            if exc is not None:
+                tr.finish(root, error=getattr(exc, "code", None)
+                          or type(exc).__name__)
+            else:
+                tr.finish(root)
+
+        ev.add_callback(close)
+        return root
+
     def _rpc_with_retries(self, topic: str, payload: dict,
                           timeout: Optional[float],
                           deadline: Optional[float], retries: int,
                           retry_backoff: float) -> Event:
         ev = self.sim.event(name=f"client-rpc:{topic}")
         msg0 = Message(topic=topic, payload=payload, src_rank=self.rank)
+        tr = self.session.span_tracer
+        root = self._trace_root(f"rpc:{topic}", msg0, ev)
         attempt_no = 0
 
         def attempt() -> None:
@@ -114,6 +139,19 @@ class Handle:
                                      origin_rank=self.rank,
                                      deadline=att_deadline)
             inner = self.sim.event(name=f"client-rpc-try:{topic}")
+            if root is not None:
+                # One child span per attempt under the logical call's
+                # root, so retries are visible in the trace tree.
+                aspan = tr.start_span((root.trace_id, root.span_id),
+                                      f"attempt:{topic}", "client",
+                                      self.rank, attempt=attempt_no)
+                msg.span = (aspan.trace_id, aspan.span_id)
+                inner.add_callback(
+                    lambda done_ev, s=aspan: tr.finish(
+                        s, **({"error": getattr(done_ev._exc, "code",
+                                                None)
+                               or type(done_ev._exc).__name__}
+                              if done_ev._exc is not None else {})))
             self._waiters[msg.msgid] = inner
             self._ipc_deliver(msg)
             if timeout is not None:
@@ -140,6 +178,10 @@ class Handle:
                        * (0.5 + self.sim.rng.random()))
             attempt_no += 1
             self.retries += 1
+            if root is not None:
+                tr.instant((root.trace_id, root.span_id),
+                           f"retry:{topic}", "retry", self.rank,
+                           attempt=attempt_no, backoff=backoff)
             t = self.sim.timeout(backoff)
             t.add_callback(lambda _e: attempt())
 
@@ -173,6 +215,7 @@ class Handle:
         msg.ensure_context(
             origin_rank=self.rank,
             deadline=self.sim.now + timeout if timeout is not None else None)
+        self._trace_root(f"ring:{topic}", msg, ev)
         self._waiters[msg.msgid] = ev
         delay = self._ipc_delay(msg.size())
         t = self.sim.timeout(delay)
@@ -183,11 +226,19 @@ class Handle:
 
     def publish(self, topic: str, payload: Optional[dict] = None) -> None:
         """Publish an event session-wide (pays the IPC hop first)."""
+        tr = self.session.span_tracer
+        span = None
+        if tr is not None:
+            root = tr.start_trace(f"publish:{topic}", self.rank,
+                                  client=self.client_id)
+            span = (root.trace_id, root.span_id)
+            tr.finish(root)  # fire-and-forget: deliveries are children
         delay = self._ipc_delay(
             Message(topic=topic, payload=payload or {}).size())
         t = self.sim.timeout(delay)
         t.add_callback(
-            lambda _e: self.broker.publish(topic, payload or {}))
+            lambda _e: self.broker.publish(topic, payload or {},
+                                           span=span))
 
     # ------------------------------------------------------------------
     # events

@@ -24,10 +24,11 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
+from ..obs import DEFAULT_SIZE_LADDER, MetricsRegistry
 from ..sim.kernel import Event, Simulation, Timeout
 from .errors import (EHOSTUNREACH, ENOSYS, ETIMEDOUT, RETRYABLE_CODES,
                      RpcError)
-from .message import Message, MessageType, RequestContext
+from .message import Message, MessageType, RequestContext, split_topic
 from .module import CommsModule, NoHandlerError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -78,7 +79,7 @@ class _Pending:
     """
 
     __slots__ = ("source", "msg", "plane", "hop", "hop_kind", "attempts",
-                 "timer")
+                 "timer", "span")
 
     def __init__(self, source: _Source, msg: Message, plane: str,
                  hop: int, hop_kind: str):
@@ -89,6 +90,7 @@ class _Pending:
         self.hop_kind = hop_kind
         self.attempts = 0
         self.timer: Optional[Timeout] = None
+        self.span = None  # forwarding span, closed when the reply lands
 
 
 class Broker:
@@ -123,22 +125,82 @@ class Broker:
             self.node_id, session.port_key)
         self._proc = None
         self.alive = True
-        # Observability.
-        self.requests_handled = 0
-        self.events_seen = 0
+        # Observability: every broker-level stat lives in a per-broker
+        # MetricsRegistry so the `stats` comms module can snapshot and
+        # tree-merge it.  The legacy int attributes (requests_handled,
+        # retransmits, ...) remain readable via properties below, and
+        # `msg_counts` stays a plain dict (the registry's CounterVec
+        # cell store) so the hot per-send path is one dict update.
+        reg = self.registry = MetricsRegistry(rank=rank)
+        self._c_requests = reg.counter("broker_requests_handled_total")
+        self._c_events = reg.counter("broker_events_seen_total")
         #: Chaos/recovery counters: broker-level retransmissions of
         #: pending requests, requests re-routed around a dead hop,
         #: cached-response replays served, and duplicates parked behind
         #: an in-flight original.
-        self.retransmits = 0
-        self.reroutes = 0
-        self.replay_hits = 0
-        self.dups_parked = 0
+        self._c_retransmits = reg.counter("broker_retransmits_total")
+        self._c_reroutes = reg.counter("broker_reroutes_total")
+        self._c_replay_hits = reg.counter("broker_replay_hits_total")
+        self._c_dups_parked = reg.counter("broker_dups_parked_total")
         #: Per-(module, plane, kind) message counters; ``kind`` is
         #: ``request``/``response``/``error``/``event``/``ring``.  Each
         #: forwarding hop counts once, giving the per-hop accounting the
         #: benchmarks aggregate via ``CommsSession.message_counts()``.
-        self.msg_counts: dict[tuple[str, str, str], int] = {}
+        self.msg_counts: dict[tuple[str, str, str], int] = reg.counter_vec(
+            "cmb_messages_total", ("module", "plane", "kind")).data
+        #: Inbox backlog observed at each dispatch (per-hop queue depth).
+        self._h_inbox = reg.histogram("broker_inbox_depth",
+                                      bounds=DEFAULT_SIZE_LADDER)
+        #: Service-time histograms keyed by topic (lazy; labels are
+        #: (module, method) in the registry).
+        self._svc_hist: dict[str, Any] = {}
+
+    # -- int-compat views over the registry counters -----------------------
+    @property
+    def requests_handled(self) -> int:
+        return self._c_requests.value
+
+    @property
+    def events_seen(self) -> int:
+        return self._c_events.value
+
+    @property
+    def retransmits(self) -> int:
+        return self._c_retransmits.value
+
+    @property
+    def reroutes(self) -> int:
+        return self._c_reroutes.value
+
+    @property
+    def replay_hits(self) -> int:
+        return self._c_replay_hits.value
+
+    @property
+    def dups_parked(self) -> int:
+        return self._c_dups_parked.value
+
+    @property
+    def span_tracer(self):
+        """The session's span tracer (``None`` = tracing off)."""
+        return self.session.span_tracer
+
+    def metrics_snapshot(self) -> dict:
+        """Snapshot this broker's metrics registry, after giving every
+        loaded module the chance to sync its internal counters in."""
+        for mod in list(self.modules.values()):
+            mod.sync_metrics()
+        return self.registry.snapshot()
+
+    def _observe_service(self, topic: str, dt: float) -> None:
+        """Record one RPC service time into the (module, method)
+        histogram (covers queueing/holding inside the module too)."""
+        h = self._svc_hist.get(topic)
+        if h is None:
+            mod, method = split_topic(topic)
+            h = self._svc_hist[topic] = self.registry.histogram(
+                "rpc_service_seconds", module=mod, method=method)
+        h.observe(dt)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -176,6 +238,7 @@ class Broker:
         while True:
             item = yield self._inbox.get()
             plane, msg = item
+            self._h_inbox.observe(float(len(self._inbox)))
             if not self.alive:
                 # A failed broker silently eats traffic (the network
                 # already drops fabric messages to it; this covers the
@@ -248,10 +311,20 @@ class Broker:
             if key is not None and self._absorb_duplicate(mod.name, key,
                                                           msg, source):
                 return
-            self.requests_handled += 1
+            self._c_requests.inc()
             self._count(PLANE_LOCAL, msg)
             msg._source = source  # type: ignore[attr-defined]
             msg._broker = self    # type: ignore[attr-defined]
+            msg._obs_t0 = self.sim.now  # type: ignore[attr-defined]
+            tr = self.session.span_tracer
+            if tr is not None and msg.span is not None:
+                # Open the dispatch span and re-point the message's
+                # span context at it, so sub-requests the module issues
+                # (carrying span=msg.span) become its children.
+                span = tr.start_span(msg.span, f"dispatch:{msg.topic}",
+                                     "dispatch", self.rank)
+                msg._obs_span = span  # type: ignore[attr-defined]
+                msg.span = (span.trace_id, span.span_id)
             if key is not None:
                 self._inflight[key] = []
             try:
@@ -287,14 +360,22 @@ class Broker:
             hit = cache.get(key)
             if hit is not None:
                 cache.move_to_end(key)
-                self.replay_hits += 1
+                self._c_replay_hits.inc()
+                tr = self.session.span_tracer
+                if tr is not None:
+                    tr.instant(msg.span, f"replay:{msg.topic}", "retry",
+                               self.rank)
                 payload, error, errnum, err_rank = hit
                 self._emit_response(msg, msg.make_response(
                     payload, error=error, errnum=errnum, err_rank=err_rank))
                 return True
         parked = self._inflight.get(key)
         if parked is not None:
-            self.dups_parked += 1
+            self._c_dups_parked.inc()
+            tr = self.session.span_tracer
+            if tr is not None:
+                tr.instant(msg.span, f"dup_parked:{msg.topic}", "retry",
+                           self.rank)
             parked.append(msg)
             return True
         return False
@@ -308,6 +389,17 @@ class Broker:
         re-execute the request on the healed overlay, not have the old
         transient failure replayed back at it forever.
         """
+        t0 = getattr(request, "_obs_t0", None)
+        if t0 is not None:
+            self._observe_service(request.topic, self.sim.now - t0)
+        tr = self.session.span_tracer
+        if tr is not None:
+            span = getattr(request, "_obs_span", None)
+            if span is not None:
+                if resp.error is not None:
+                    tr.finish(span, error=resp.errnum)
+                else:
+                    tr.finish(span)
         key = self._dedup_key(request)
         if key is not None:
             transient = (resp.error is not None
@@ -342,6 +434,13 @@ class Broker:
         if entry is None:
             return  # response for a forgotten/failed request: drop
         self._cancel_retransmit(entry)
+        if entry.span is not None:
+            tr = self.session.span_tracer
+            if tr is not None:
+                if msg.error is not None:
+                    tr.finish(entry.span, error=msg.errnum)
+                else:
+                    tr.finish(entry.span)
         self._send_response(entry.source, msg)
 
     # -- pending-request bookkeeping (retransmission / fail-over) --------
@@ -353,6 +452,16 @@ class Broker:
         schedule exactly the same events as before."""
         entry = _Pending(source, msg, plane, hop, hop_kind)
         self._pending[msg.msgid] = entry
+        tr = self.session.span_tracer
+        if tr is not None and msg.span is not None:
+            # Per-hop forwarding span: opened when the request leaves
+            # this broker, closed when its response retraces the hop
+            # (or the hop is failed/re-routed).  Re-pointing msg.span
+            # chains the next hop's span under this one.
+            span = tr.start_span(msg.span, f"fwd:{msg.topic}", "net",
+                                 self.rank, hop=hop, plane=plane)
+            entry.span = span
+            msg.span = (span.trace_id, span.span_id)
         if (msg.ctx is not None
                 and self.network.fault_plan is not None
                 and self.session.retransmit_max > 0):
@@ -389,7 +498,11 @@ class Broker:
             return
         entry.attempts += 1
         entry.hop = hop
-        self.retransmits += 1
+        self._c_retransmits.inc()
+        tr = self.session.span_tracer
+        if tr is not None:
+            tr.instant(entry.msg.span, f"retransmit:{entry.msg.topic}",
+                       "retry", self.rank, attempt=entry.attempts)
         self._send(hop, entry.plane, entry.msg)
         self._arm_retransmit(entry)
 
@@ -446,7 +559,12 @@ class Broker:
             self._send(child, PLANE_EVENT_DOWN, msg)
 
     def _deliver_event(self, msg: Message) -> None:
-        self.events_seen += 1
+        self._c_events.inc()
+        if msg.span is not None:
+            tr = self.session.span_tracer
+            if tr is not None:
+                tr.instant(msg.span, f"event:{msg.topic}", "event",
+                           self.rank)
         for prefix, fn in list(self._subs):
             if msg.topic.startswith(prefix):
                 fn(msg)
@@ -476,12 +594,13 @@ class Broker:
 
     def rpc_rank_tree(self, dst_rank: int, topic: str,
                       payload: dict,
-                      deadline: Optional[float] = None) -> Event:
+                      deadline: Optional[float] = None,
+                      span: Optional[tuple] = None) -> Event:
         """Rank-addressed RPC routed over the tree instead of the ring:
         O(log n) hops at the cost of routing knowledge at each hop."""
         ev = self.sim.event(name=f"treerank:{topic}@{dst_rank}")
         msg = Message(topic=topic, mtype=MessageType.RING, payload=payload,
-                      src_rank=self.rank, dst_rank=dst_rank)
+                      src_rank=self.rank, dst_rank=dst_rank, span=span)
         msg.ensure_context(origin_rank=self.rank, deadline=deadline)
         if dst_rank == self.rank:
             self._route_request(msg, _Source("local", ev))
@@ -494,15 +613,17 @@ class Broker:
 
     def rpc_hop_cb(self, peer_rank: int, topic: str, payload: dict,
                    callback: Callable[[Message], None],
-                   ctx: Optional[RequestContext] = None) -> None:
+                   ctx: Optional[RequestContext] = None,
+                   span: Optional[tuple] = None) -> None:
         """Send a request directly to an adjacent tree neighbour
         (parent OR child), bypassing the local module match — the
         generalization of :meth:`rpc_parent_cb` that lets comms-module
         chains run toward an arbitrary rank (e.g. a non-root KVS
         master).  ``ctx`` propagates an in-flight request's context
-        (deadline, origin) across the module-level hop."""
+        (deadline, origin) across the module-level hop; ``span`` the
+        tracing context, so the hop appears in the caller's trace."""
         msg = Message(topic=topic, payload=payload, src_rank=self.rank,
-                      ctx=ctx)
+                      ctx=ctx, span=span)
         msg.ensure_context(origin_rank=self.rank)
         self._register_pending(_Source("callback", callback), msg,
                                PLANE_TREE, peer_rank, "fixed")
@@ -525,6 +646,11 @@ class Broker:
             self._send(self.session.ring.next_rank(self.rank),
                        PLANE_RING, self._expiry_response(msg))
             return
+        if msg.span is not None:
+            tr = self.session.span_tracer
+            if tr is not None:
+                tr.instant(msg.span, f"ring_hop:{msg.topic}", "net",
+                           self.rank)
         self._send(self.session.ring.next_rank(self.rank), PLANE_RING, msg)
 
     # ------------------------------------------------------------------
@@ -546,37 +672,42 @@ class Broker:
         self._finish_request(request, resp)
 
     def rpc_up(self, topic: str, payload: dict,
-               deadline: Optional[float] = None) -> Event:
+               deadline: Optional[float] = None,
+               span: Optional[tuple] = None) -> Event:
         """Module/local RPC routed upstream; returns a result event."""
         ev = self.sim.event(name=f"rpc:{topic}")
-        msg = Message(topic=topic, payload=payload, src_rank=self.rank)
+        msg = Message(topic=topic, payload=payload, src_rank=self.rank,
+                      span=span)
         msg.ensure_context(origin_rank=self.rank, deadline=deadline)
         self._route_request(msg, _Source("local", ev))
         return ev
 
     def rpc_up_cb(self, topic: str, payload: dict,
                   callback: Callable[[Message], None],
-                  ctx: Optional[RequestContext] = None) -> None:
+                  ctx: Optional[RequestContext] = None,
+                  span: Optional[tuple] = None) -> None:
         """Like :meth:`rpc_up` but delivers the raw response to a
         callback — used by modules aggregating many child requests."""
         msg = Message(topic=topic, payload=payload, src_rank=self.rank,
-                      ctx=ctx)
+                      ctx=ctx, span=span)
         msg.ensure_context(origin_rank=self.rank)
         self._route_request(msg, _Source("callback", callback))
 
     def rpc_parent_cb(self, topic: str, payload: dict,
                       callback: Callable[[Message], None],
-                      ctx: Optional[RequestContext] = None) -> None:
+                      ctx: Optional[RequestContext] = None,
+                      span: Optional[tuple] = None) -> None:
         """Send a request directly to the tree parent, bypassing the
         local module match — how instances of the same comms module
         talk upstream to each other (cache fault-in, flush/fence
         forwarding).  The raw response is handed to ``callback``;
-        ``ctx`` propagates an in-flight request's context upstream."""
+        ``ctx`` propagates an in-flight request's context upstream and
+        ``span`` its tracing context."""
         if self.parent is None:
             raise RpcError(topic, "root has no parent",
                            code=EHOSTUNREACH, rank=self.rank)
         msg = Message(topic=topic, payload=payload, src_rank=self.rank,
-                      ctx=ctx)
+                      ctx=ctx, span=span)
         msg.ensure_context(origin_rank=self.rank)
         self._register_pending(_Source("callback", callback), msg,
                                PLANE_TREE, self.parent, "parent")
@@ -591,11 +722,12 @@ class Broker:
         self._send(self.parent, PLANE_TREE, msg)
 
     def rpc_rank(self, dst_rank: int, topic: str, payload: dict,
-                 deadline: Optional[float] = None) -> Event:
+                 deadline: Optional[float] = None,
+                 span: Optional[tuple] = None) -> Event:
         """Rank-addressed RPC over the ring overlay."""
         ev = self.sim.event(name=f"ring:{topic}@{dst_rank}")
         msg = Message(topic=topic, mtype=MessageType.RING, payload=payload,
-                      src_rank=self.rank, dst_rank=dst_rank)
+                      src_rank=self.rank, dst_rank=dst_rank, span=span)
         msg.ensure_context(origin_rank=self.rank, deadline=deadline)
         if dst_rank == self.rank:
             self._route_request(msg, _Source("local", ev))
@@ -606,10 +738,14 @@ class Broker:
             self._send(nxt, PLANE_RING, msg)
         return ev
 
-    def publish(self, topic: str, payload: dict) -> None:
-        """Publish an event session-wide via the event plane."""
+    def publish(self, topic: str, payload: dict,
+                span: Optional[tuple] = None) -> None:
+        """Publish an event session-wide via the event plane.
+
+        ``span`` attaches a tracing context: every broker's delivery
+        of the event then shows up in that trace."""
         msg = Message(topic=topic, mtype=MessageType.EVENT,
-                      payload=payload, src_rank=self.rank)
+                      payload=payload, src_rank=self.rank, span=span)
         if self.parent is None:
             self._flood_event(msg)
         else:
@@ -696,7 +832,12 @@ class Broker:
                 self._cancel_retransmit(entry)
                 entry.hop = self.parent
                 entry.attempts = 0
-                self.reroutes += 1
+                self._c_reroutes.inc()
+                tr = self.session.span_tracer
+                if tr is not None:
+                    tr.instant(entry.msg.span,
+                               f"reroute:{entry.msg.topic}", "retry",
+                               self.rank, dead=dead_rank, hop=self.parent)
                 self._send(self.parent, entry.plane, entry.msg)
                 if (self.network.fault_plan is not None
                         and self.session.retransmit_max > 0):
@@ -704,6 +845,11 @@ class Broker:
                 continue
             del self._pending[msgid]
             self._cancel_retransmit(entry)
+            if entry.span is not None:
+                tr = self.session.span_tracer
+                if tr is not None:
+                    tr.finish(entry.span, error=EHOSTUNREACH,
+                              dead=dead_rank)
             resp = entry.msg.make_response(
                 error=f"next hop rank {dead_rank} declared down",
                 errnum=EHOSTUNREACH, err_rank=dead_rank)

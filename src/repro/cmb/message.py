@@ -116,6 +116,11 @@ class Message:
         belongs to (``None`` for legacy/one-way messages).  Carried in
         the fixed-size header frame: attaching a context does not
         change :meth:`size`.
+    span:
+        Tracing context ``(trace_id, span_id)`` of the span that sent
+        this message (``None`` when tracing is off).  Two small
+        fixed-width ids in the header frame, so — like ``ctx`` — a
+        span never changes :meth:`size`.
     """
 
     topic: str
@@ -129,6 +134,7 @@ class Message:
     err_rank: int = -1
     hops: int = 0
     ctx: Optional[RequestContext] = None
+    span: Optional[tuple] = None
     # Cached wire size: payloads are treated as immutable once a message
     # is built, and size() is evaluated on every forwarding hop —
     # re-serializing a multi-megabyte directory object per hop would
@@ -186,6 +192,7 @@ class Message:
             errnum=errnum if error is not None else None,
             err_rank=err_rank if error is not None else -1,
             ctx=self.ctx,
+            span=self.span,
         )
 
     def copy(self, **changes: Any) -> "Message":

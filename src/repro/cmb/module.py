@@ -110,6 +110,13 @@ class CommsModule:
     def shutdown(self) -> None:
         """Called when the session is being torn down."""
 
+    def sync_metrics(self) -> None:
+        """Push module-internal counters into the broker's metrics
+        registry.  Called right before a registry snapshot is taken
+        (``stats`` RPCs, ``mon`` samplers), so modules that keep their
+        own hot-path counters (e.g. the KVS slave cache) need not pay
+        registry bookkeeping per operation."""
+
     # -- dispatch --------------------------------------------------------
     @classmethod
     def handlers(cls) -> dict[str, tuple[str, ...]]:
@@ -190,7 +197,8 @@ class CommsModule:
             self.respond(msg, payload)
 
         self.broker.rpc_parent_cb(topic if topic is not None else msg.topic,
-                                  dict(msg.payload), relay, ctx=msg.ctx)
+                                  dict(msg.payload), relay, ctx=msg.ctx,
+                                  span=msg.span)
 
     def log(self, level: str, text: str) -> None:
         """Emit a log record through the session ``log`` module if

@@ -15,10 +15,12 @@ from .live import LiveModule
 from .log import LogModule
 from .mon import MonModule
 from .resvc import ResvcModule
+from .stats import StatsModule, registry_samplers
 from .wexec import TaskContext, WexecModule
 
 __all__ = [
     "BarrierModule", "GroupModule", "HeartbeatModule",
     "JobManagerModule", "LiveModule",
-    "LogModule", "MonModule", "ResvcModule", "TaskContext", "WexecModule",
+    "LogModule", "MonModule", "ResvcModule", "StatsModule",
+    "TaskContext", "WexecModule", "registry_samplers",
 ]

@@ -63,6 +63,11 @@ class MonModule(CommsModule):
 
     name = "mon"
 
+    #: Pending epochs older than this many pulses are dropped: their
+    #: missing contributions are never coming (lost to a crash that
+    #: predates ``live.down``, or to a deactivate racing the pulse).
+    STALE_EPOCHS = 8
+
     def __init__(self, broker, *,
                  samplers: Optional[dict[str, Callable]] = None):
         super().__init__(broker, samplers=samplers)
@@ -70,11 +75,14 @@ class MonModule(CommsModule):
         self.active: dict[str, _Metric] = {}
         # Root only: completed reductions {(name, epoch): value}.
         self.results: dict[tuple[str, int], float] = {}
+        self._c_stale = broker.registry.counter(
+            "mon_stale_epochs_dropped_total")
 
     def start(self) -> None:
         self.broker.subscribe("hb.pulse", self._on_pulse)
         self.broker.subscribe("mon.activate", self._on_activate)
         self.broker.subscribe("mon.deactivate", self._on_deactivate)
+        self.broker.subscribe("live.down", self._on_down)
 
     # ------------------------------------------------------------------
     # activation
@@ -121,10 +129,27 @@ class MonModule(CommsModule):
         epoch = msg.payload["epoch"]
         for metric in self.active.values():
             fn = self.samplers.get(metric.name)
-            if fn is None:
-                continue
-            value = float(fn(self.broker))
-            self._contribute(metric, epoch, {"sum": value, "n": 1})
+            if fn is not None:
+                value = float(fn(self.broker))
+                self._contribute(metric, epoch, {"sum": value, "n": 1})
+            # GC epochs whose stragglers can no longer arrive; without
+            # this, one crashed-before-detection child leaks a pending
+            # slot per metric per pulse forever.
+            for old in [e for e in metric.pending
+                        if e <= epoch - self.STALE_EPOCHS]:
+                del metric.pending[old]
+                self._c_stale.inc()
+
+    def _on_down(self, msg: Message) -> None:
+        # A child died: every pending epoch that was only waiting for
+        # its contribution is now complete.  Deferred one tick so the
+        # liveness fanout (and any in-flight samples already queued
+        # locally) settle before we re-evaluate.
+        def recheck() -> None:
+            for metric in list(self.active.values()):
+                for epoch in list(metric.pending):
+                    self._maybe_complete(metric, epoch)
+        self.broker.after(0.0, recheck)
 
     @request_handler(required=("name", "epoch", "acc", "contrib"))
     def req_sample(self, msg: Message) -> None:
@@ -138,17 +163,22 @@ class MonModule(CommsModule):
 
     def _contribute(self, metric: _Metric, epoch: int, acc: dict,
                     count: int = 1) -> None:
-        merge, finalize = REDUCE_OPS[metric.op]
+        merge, _ = REDUCE_OPS[metric.op]
         slot = metric.pending.get(epoch)
         if slot is None:
-            slot = metric.pending[epoch] = {"acc": acc, "contrib": count}
+            metric.pending[epoch] = {"acc": acc, "contrib": count}
         else:
             slot["acc"] = merge(slot["acc"], acc)
             slot["contrib"] += count
-        if slot["contrib"] < self._expected():
+        self._maybe_complete(metric, epoch)
+
+    def _maybe_complete(self, metric: _Metric, epoch: int) -> None:
+        slot = metric.pending.get(epoch)
+        if slot is None or slot["contrib"] < self._expected():
             return
         del metric.pending[epoch]
         if self.is_root:
+            _, finalize = REDUCE_OPS[metric.op]
             value = finalize(slot["acc"])
             self.results[(metric.name, epoch)] = value
             self._store_kvs(metric.name, epoch, value)

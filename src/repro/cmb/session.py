@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Optional, Sequence, Type
 
+from ..obs import SpanTracer, merge_snapshots
 from ..sim.cluster import Cluster
 from ..sim.trace import Tracer
 from .api import Handle
@@ -104,6 +105,11 @@ class CommsSession:
         self.retransmit_max = 4
         self._next_client_id = 1
         self._subtree_procs_cache: Optional[list[int]] = None
+        #: Distributed-tracing collector (``None`` = tracing off, the
+        #: default; see :meth:`enable_tracing`).  Pure bookkeeping —
+        #: it schedules no events and draws no randomness, so enabling
+        #: it cannot change simulated behavior.
+        self.span_tracer: Optional[SpanTracer] = None
         self.brokers: list[Broker] = [Broker(self, r)
                                       for r in range(self.size)]
         self._started = False
@@ -166,6 +172,8 @@ class CommsSession:
 
     def stop(self) -> None:
         """Tear the session down (recording message counts if traced)."""
+        if self.span_tracer is not None:
+            self.span_tracer.close_open()
         if self.tracer is not None:
             self.trace_message_counts(self.tracer)
             plan = self.network.fault_plan
@@ -180,6 +188,29 @@ class CommsSession:
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
+    def enable_tracing(self) -> SpanTracer:
+        """Turn on distributed tracing; returns the session tracer.
+
+        Every client API call then becomes one trace whose spans cover
+        each forwarding hop, module dispatch, retry, and KVS protocol
+        step.  Export with
+        ``session.span_tracer.to_chrome_trace()`` (Perfetto-loadable).
+        """
+        if self.span_tracer is None:
+            self.span_tracer = SpanTracer(lambda: self.sim.now)
+        return self.span_tracer
+
+    def metrics_snapshot(self, rank: int) -> dict:
+        """The metrics-registry snapshot of the broker at ``rank``."""
+        return self.brokers[rank].metrics_snapshot()
+
+    def metrics_aggregate(self) -> dict:
+        """Session-wide aggregate of every broker's registry, merged
+        in-process (the ``stats`` comms module computes the same thing
+        over the wire via tree reduction)."""
+        return merge_snapshots(b.metrics_snapshot()
+                               for b in self.brokers)
+
     def message_counts(self) -> dict[tuple[str, str, str], int]:
         """Session-wide message counts keyed by (module, plane, kind).
 

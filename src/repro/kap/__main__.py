@@ -53,6 +53,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comms tree fan-out (default 2 = binary)")
     p.add_argument("--seed", type=int, default=0,
                    help="simulation seed (default 0)")
+    p.add_argument("--trace-out", metavar="FILE", default=None,
+                   help="write a Chrome/Perfetto trace-event JSON of "
+                        "the run's span trees")
+    p.add_argument("--stats-out", metavar="FILE", default=None,
+                   help="write per-broker metrics registries plus the "
+                        "session aggregate as JSON")
     return p
 
 
@@ -74,7 +80,8 @@ def main(argv: list[str] | None = None) -> int:
           f"{'redundant' if config.redundant_values else 'unique'} values, "
           f"dir_width={config.dir_width}, sync={config.sync}, "
           f"arity={config.tree_arity}")
-    result = run_kap(config)
+    result = run_kap(config, trace_out=args.trace_out,
+                     stats_out=args.stats_out)
 
     print(f"\n{'phase':<10} {'count':>7} {'max(ms)':>9} {'mean(ms)':>9} "
           f"{'p99(ms)':>9}")
@@ -88,6 +95,10 @@ def main(argv: list[str] | None = None) -> int:
     print(f"\ntotal simulated time : {result.total_time * 1e3:.3f} ms")
     print(f"simulation events    : {result.events}")
     print(f"fabric bytes moved   : {result.bytes_sent / 1e6:.2f} MB")
+    if args.trace_out:
+        print(f"trace written        : {args.trace_out}")
+    if args.stats_out:
+        print(f"stats written        : {args.stats_out}")
     return 0
 
 

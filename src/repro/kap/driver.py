@@ -11,10 +11,18 @@ configurable access pattern).
 :func:`run_kap` builds the simulated cluster and comms session, runs
 every tester process to completion, and returns per-phase latency
 distributions whose maxima are the quantities plotted in Figures 2-4.
+
+Observability hooks: ``trace_out`` writes a Chrome trace-event JSON
+(load it in Perfetto / ``chrome://tracing``) of every client call's
+span tree; ``stats_out`` writes the per-broker metrics registries plus
+their session-wide merge.  Both are pure exports — tracing schedules
+no simulation events and draws no randomness, and with both left
+``None`` the run is untouched.
 """
 
 from __future__ import annotations
 
+import json
 from typing import Optional
 
 from ..cmb.modules.barrier import BarrierModule
@@ -31,11 +39,17 @@ __all__ = ["run_kap"]
 
 
 def run_kap(config: KapConfig,
-            max_events: Optional[int] = None) -> KapResult:
+            max_events: Optional[int] = None,
+            *,
+            tracing: bool = False,
+            trace_out: Optional[str] = None,
+            stats_out: Optional[str] = None) -> KapResult:
     """Execute one KAP run and return its measured latencies.
 
     ``max_events`` optionally bounds the simulation (guards against
-    accidental huge configurations in tests).
+    accidental huge configurations in tests).  ``trace_out`` /
+    ``stats_out`` export the causal trace and the metrics registries
+    as JSON; passing ``trace_out`` implies ``tracing``.
     """
     cluster = make_cluster(config.nnodes, seed=config.seed)
     sim = cluster.sim
@@ -44,6 +58,8 @@ def run_kap(config: KapConfig,
         topology=TreeTopology(config.nnodes, arity=config.tree_arity),
         modules=[ModuleSpec(KvsModule), ModuleSpec(BarrierModule)],
     ).start()
+    if tracing or trace_out:
+        session.enable_tracing()
 
     result = KapResult(config)
     nprocs = config.nprocs
@@ -105,4 +121,25 @@ def run_kap(config: KapConfig,
     result.bytes_sent = cluster.network.total_bytes_sent()
     result.msg_counts = session.message_counts()
     session.stop()
+
+    if trace_out:
+        session.span_tracer.write_chrome_trace(trace_out)
+    if stats_out:
+        doc = {
+            "meta": {
+                "kind": "kap",
+                "nnodes": config.nnodes,
+                "nprocs": config.nprocs,
+                "sync": config.sync,
+                "seed": config.seed,
+                "sim_time": result.total_time,
+                "sim_events": result.events,
+            },
+            "aggregate": session.metrics_aggregate(),
+            "per_rank": [session.metrics_snapshot(r)
+                         for r in range(config.nnodes)],
+        }
+        with open(stats_out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
     return result

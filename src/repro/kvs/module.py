@@ -37,6 +37,7 @@ from typing import Any, Callable, Optional
 from ..cmb.errors import EIO, ENOENT, RETRYABLE_CODES
 from ..cmb.message import Message, MessageType, RequestContext
 from ..cmb.module import CommsModule, request_handler
+from ..obs import DEFAULT_SIZE_LADDER
 from ..jsonutil import sha1_of
 from .cache import SlaveCache
 from .master import KvsMaster
@@ -87,7 +88,8 @@ class _FenceAgg:
 
     __slots__ = ("name", "nprocs", "count", "ops", "objs", "held",
                  "total_seen", "timer_armed", "local_count", "local_ops",
-                 "local_objs", "created_version", "shares", "completing")
+                 "local_objs", "created_version", "shares", "completing",
+                 "span")
 
     def __init__(self, name: str, nprocs: int, created_version: int = 0):
         self.name = name
@@ -104,6 +106,10 @@ class _FenceAgg:
         self.created_version = created_version
         self.shares: dict[int, list] = {}
         self.completing = False
+        #: Tracing context of the latest contribution folded in: the
+        #: upstream flush (and the completing setroot publish) parent
+        #: under it, keeping the whole fence inside one span tree.
+        self.span = None
 
 
 class KvsModule(CommsModule):
@@ -171,6 +177,36 @@ class KvsModule(CommsModule):
         self.completed_cap = 64
         self._sync_busy = False
         self._sync_at = -1.0
+        # Registry instruments (broker-owned registry; `ns` label keeps
+        # sharded namespaces apart).  Cache hit/miss stay in the
+        # SlaveCache's own hot-path counters and are synced into the
+        # registry at snapshot time (see sync_metrics).
+        reg = broker.registry
+        self._c_cache_hits = reg.counter("kvs_cache_hits_total",
+                                         ns=self.name)
+        self._c_cache_misses = reg.counter("kvs_cache_misses_total",
+                                           ns=self.name)
+        self._c_cache_evict = reg.counter("kvs_cache_evictions_total",
+                                          ns=self.name)
+        self._c_cache_faults = reg.counter("kvs_cache_faults_total",
+                                           ns=self.name)
+        self._g_cached_objects = reg.gauge("kvs_cached_objects",
+                                           ns=self.name)
+        self._g_version = reg.gauge("kvs_version", ns=self.name)
+        self._h_batch = reg.histogram("kvs_commit_batch_ops",
+                                      bounds=DEFAULT_SIZE_LADDER,
+                                      ns=self.name)
+        self._h_fence_wait = reg.histogram("kvs_fence_wait_seconds",
+                                           ns=self.name)
+
+    def sync_metrics(self) -> None:
+        st = self.cache.stats
+        self._c_cache_hits.value = st.hits
+        self._c_cache_misses.value = st.misses
+        self._c_cache_evict.value = st.evictions
+        self._c_cache_faults.value = st.faults
+        self._g_cached_objects.set(float(len(self.cache)))
+        self._g_version.set(float(self.version))
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -179,7 +215,8 @@ class KvsModule(CommsModule):
         self.broker.subscribe("hb.pulse", self._on_pulse)
 
     def _toward_master_cb(self, topic: str, payload: dict, callback,
-                          ctx: Optional[RequestContext] = None) -> None:
+                          ctx: Optional[RequestContext] = None,
+                          span: Optional[tuple] = None) -> None:
         """Forward a module-chain request one hop toward the master.
 
         With the master at the root (the paper's layout) this follows
@@ -194,11 +231,13 @@ class KvsModule(CommsModule):
         hop of the module chain.
         """
         if self.master_rank == 0:
-            self.broker.rpc_parent_cb(topic, payload, callback, ctx=ctx)
+            self.broker.rpc_parent_cb(topic, payload, callback, ctx=ctx,
+                                      span=span)
             return
         hop = self.broker.session.topology.next_hop_toward(
             self.rank, self.master_rank)
-        self.broker.rpc_hop_cb(hop, topic, payload, callback, ctx=ctx)
+        self.broker.rpc_hop_cb(hop, topic, payload, callback, ctx=ctx,
+                               span=span)
 
     def _on_pulse(self, _msg: Message) -> None:
         if self.expiry is not None:
@@ -230,6 +269,7 @@ class KvsModule(CommsModule):
         With zero costs the function runs synchronously, preserving the
         communication-bound behaviour of the paper's evaluation.
         """
+        self._h_batch.observe(float(nops))
         cost = self.master_commit_cost + self.master_op_cost * nops
         if cost <= 0 and not self._master_busy:
             apply_fn()
@@ -360,7 +400,8 @@ class KvsModule(CommsModule):
                 self.master.ingest_objects(objs)
                 res = self.master.commit([(k, s) for k, s in ops])
                 self._apply_root(res.version, res.root_sha)
-                self._publish_setroot(res.version, res.root_sha)
+                self._publish_setroot(res.version, res.root_sha,
+                                      span=msg.span)
                 self.respond(msg, {"version": res.version,
                                    "rootref": res.root_sha})
             self._master_run(len(ops), apply)
@@ -368,7 +409,7 @@ class KvsModule(CommsModule):
         self._forward_flush(
             ops, objs,
             lambda resp: self._finish_commit(msg, resp, sender, ops, objs),
-            ctx=msg.ctx)
+            ctx=msg.ctx, span=msg.span)
 
     def _restash(self, sender: Any, ops: list, objs: dict) -> None:
         """Return a failed flush's data to the dirty cache (ahead of any
@@ -396,10 +437,11 @@ class KvsModule(CommsModule):
 
     def _forward_flush(self, ops: list, objs: dict,
                        callback: Callable[[Message], None],
-                       ctx: Optional[RequestContext] = None) -> None:
+                       ctx: Optional[RequestContext] = None,
+                       span: Optional[tuple] = None) -> None:
         self._toward_master_cb(
             f"{self.name}.flush", {"ops": ops, "objs": objs}, callback,
-            ctx=ctx)
+            ctx=ctx, span=span)
 
     @request_handler(required=("ops", "objs"))
     def req_flush(self, msg: Message) -> None:
@@ -412,14 +454,15 @@ class KvsModule(CommsModule):
             def apply():
                 res = self.master.commit([(k, s) for k, s in ops])
                 self._apply_root(res.version, res.root_sha)
-                self._publish_setroot(res.version, res.root_sha)
+                self._publish_setroot(res.version, res.root_sha,
+                                      span=msg.span)
                 self.respond(msg, {"version": res.version,
                                    "rootref": res.root_sha})
             self._master_run(len(ops), apply)
             return
         self._forward_flush(ops, objs,
                             lambda resp: self._relay_flush(msg, resp),
-                            ctx=msg.ctx)
+                            ctx=msg.ctx, span=msg.span)
 
     def _relay_flush(self, msg: Message, resp: Message) -> None:
         if resp.error is not None:
@@ -457,6 +500,8 @@ class KvsModule(CommsModule):
         agg.count += 1
         agg.total_seen += 1
         agg.local_count += 1
+        if msg.span is not None:
+            agg.span = msg.span
         self._maybe_flush_fence(agg)
 
     @request_handler(required=("name", "nprocs"))
@@ -481,6 +526,8 @@ class KvsModule(CommsModule):
         agg = self._fence_for(p["name"], p["nprocs"])
         agg.count += p["count"]
         agg.total_seen += p["count"]
+        if msg.span is not None:
+            agg.span = msg.span
         agg.ops.extend(p["ops"])
         for sha, obj in p["objs"].items():
             agg.objs[sha] = obj      # union by SHA1: redundancy reduces
@@ -498,6 +545,8 @@ class KvsModule(CommsModule):
             self.respond(msg, {})
             return
         agg = self._fence_for(name, p["nprocs"])
+        if msg.span is not None:
+            agg.span = msg.span
         changed = False
         for origin_s, share in p["shares"].items():
             origin = int(origin_s)
@@ -568,7 +617,7 @@ class KvsModule(CommsModule):
                                            res.root_sha)
                     self._apply_root(res.version, res.root_sha)
                     self._publish_setroot(res.version, res.root_sha,
-                                          fence=agg.name)
+                                          fence=agg.name, span=agg.span)
                     self._release_fence(agg)
             self._master_run(len(ops), apply)
             return
@@ -579,7 +628,7 @@ class KvsModule(CommsModule):
             # wire sizes/latencies) stay byte-identical.
             payload["fepoch"] = self.fence_epoch
         self._toward_master_cb(f"{self.name}.fencedata", payload,
-                               lambda resp: None)
+                               lambda resp: None, span=agg.span)
         # Held client fences answer when the fence's setroot arrives.
 
     def _flush_fence_shared(self, agg: _FenceAgg) -> None:
@@ -599,7 +648,7 @@ class KvsModule(CommsModule):
                               for o, s in agg.shares.items()},
                    "objs": {**agg.objs, **agg.local_objs}}
         self._toward_master_cb(f"{self.name}.fencedata", payload,
-                               lambda resp: None)
+                               lambda resp: None, span=agg.span)
 
     def _maybe_complete_shared(self, agg: _FenceAgg) -> None:
         """Commit a shares-mode fence once every participant's share
@@ -622,14 +671,18 @@ class KvsModule(CommsModule):
             self._record_completed(agg.name, res.version, res.root_sha)
             self._apply_root(res.version, res.root_sha)
             self._publish_setroot(res.version, res.root_sha,
-                                  fence=agg.name)
+                                  fence=agg.name, span=agg.span)
             self._release_fence(agg)
 
         self._master_run(len(ops), apply)
 
     def _release_fence(self, agg: _FenceAgg) -> None:
         self._fences.pop(agg.name, None)
+        now = self.broker.sim.now
         for held in agg.held:
+            t0 = getattr(held, "_obs_t0", None)
+            if t0 is not None:
+                self._h_fence_wait.observe(now - t0)
             self.respond(held, {"version": self.version,
                                 "rootref": self.root_sha})
 
@@ -745,11 +798,12 @@ class KvsModule(CommsModule):
     # root-version protocol
     # ------------------------------------------------------------------
     def _publish_setroot(self, version: int, root_sha: str,
-                         fence: Optional[str] = None) -> None:
+                         fence: Optional[str] = None,
+                         span: Optional[tuple] = None) -> None:
         payload = {"version": version, "rootref": root_sha}
         if fence is not None:
             payload["fence"] = fence
-        self.broker.publish(f"{self.name}.setroot", payload)
+        self.broker.publish(f"{self.name}.setroot", payload, span=span)
 
     def _apply_root(self, version: int, root_sha: str) -> None:
         """Monotonic root switch: never apply an older version."""
@@ -826,7 +880,8 @@ class KvsModule(CommsModule):
             for i, part in enumerate(parts):
                 obj = self._obj_get(sha)
                 if obj is None:
-                    obj = yield self._fault(sha, ctx=msg.ctx)
+                    obj = yield self._fault(sha, ctx=msg.ctx,
+                                            span=msg.span)
                 if obj is None:
                     raise KvsPathError(f"object {sha} lost in transit",
                                        code=EIO)
@@ -843,7 +898,7 @@ class KvsModule(CommsModule):
                 return
             obj = self._obj_get(sha)
             if obj is None:
-                obj = yield self._fault(sha, ctx=msg.ctx)
+                obj = yield self._fault(sha, ctx=msg.ctx, span=msg.span)
             if obj is None:
                 raise KvsPathError(f"object {sha} lost in transit",
                                    code=EIO)
@@ -854,7 +909,8 @@ class KvsModule(CommsModule):
         except KvsPathError as exc:
             self.respond(msg, error=str(exc), code=exc.code)
 
-    def _fault(self, sha: str, ctx: Optional[RequestContext] = None):
+    def _fault(self, sha: str, ctx: Optional[RequestContext] = None,
+               span: Optional[tuple] = None):
         """Fault ``sha`` in from the tree parent; in-flight loads for
         the same object are coalesced.  Returns an event yielding the
         object (or None on failure)."""
@@ -867,7 +923,7 @@ class KvsModule(CommsModule):
         self.cache.stats.faults += 1
         self._toward_master_cb(f"{self.name}.load", {"sha": sha},
                                lambda resp: self._fault_done(sha, resp),
-                               ctx=ctx)
+                               ctx=ctx, span=span)
         return ev
 
     def _fault_done(self, sha: str, resp: Message) -> None:
@@ -906,7 +962,7 @@ class KvsModule(CommsModule):
         self.cache.stats.faults += 1
         self._toward_master_cb(f"{self.name}.load", {"sha": sha},
                                lambda resp: self._fault_done(sha, resp),
-                               ctx=msg.ctx)
+                               ctx=msg.ctx, span=msg.span)
 
     # ------------------------------------------------------------------
     # debugging / administration

@@ -1,0 +1,26 @@
+"""Observability: metrics registry, causal spans, exporters.
+
+See DESIGN.md "Observability" for the span model and wire format.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_SIZE_LADDER,
+    DEFAULT_TIME_LADDER,
+    Counter,
+    CounterVec,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    histogram_from_snapshot,
+    log_ladder,
+    merge_snapshots,
+    snapshot_to_prometheus,
+)
+from repro.obs.span import Span, SpanTracer
+
+__all__ = [
+    "Counter", "CounterVec", "Gauge", "Histogram", "MetricsRegistry",
+    "merge_snapshots", "snapshot_to_prometheus", "histogram_from_snapshot",
+    "log_ladder", "DEFAULT_TIME_LADDER", "DEFAULT_SIZE_LADDER",
+    "Span", "SpanTracer",
+]

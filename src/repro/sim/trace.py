@@ -9,6 +9,7 @@ and for determinism fingerprints in tests.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional
 
@@ -105,12 +106,17 @@ class Tracer:
             return list(self._records)
         return [r for r in self._records if r[1] == category]
 
-    def fingerprint(self) -> int:
-        """Order-sensitive hash of the trace — equal traces, equal hash."""
-        acc = 0
+    def fingerprint(self) -> str:
+        """Order-sensitive digest of the trace — equal traces, equal
+        digest.  Uses sha1 rather than the builtin ``hash()`` so the
+        value is stable across processes (``hash()`` of strings is
+        randomized per-interpreter by ``PYTHONHASHSEED``) and can be
+        recorded or compared between runs.
+        """
+        h = hashlib.sha1()
         for t, cat, payload in self._records:
-            acc = hash((acc, round(t, 12), cat, repr(payload)))
-        return acc
+            h.update(f"{round(t, 12)!r}|{cat}|{payload!r}\n".encode())
+        return h.hexdigest()
 
     def clear(self) -> None:
         """Drop all records."""

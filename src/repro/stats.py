@@ -1,0 +1,242 @@
+"""``python -m repro.stats`` — report/validate exported observability JSON.
+
+Two document kinds are produced by the KAP driver (``--stats-out`` /
+``--trace-out``) and the chaos harness:
+
+- **stats**: ``{"meta": {...}, "aggregate": <snapshot>,
+  "per_rank": [<snapshot>, ...]}`` where a *snapshot* is a
+  :meth:`repro.obs.MetricsRegistry.snapshot` dict;
+- **trace**: Chrome trace-event JSON (``{"traceEvents": [...]}``,
+  Perfetto-loadable) from :meth:`repro.obs.SpanTracer.to_chrome_trace`.
+
+Subcommands::
+
+    python -m repro.stats report  STATS.json          # human summary
+    python -m repro.stats report  --prometheus STATS.json
+    python -m repro.stats validate --kind stats STATS.json
+    python -m repro.stats validate --kind trace TRACE.json
+
+``validate`` exits non-zero listing every schema violation (and, for
+traces, any span whose parent does not resolve) — the CI stats-smoke
+job gates on it.  Validation is hand-rolled: no external schema
+library is required.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from .obs.metrics import histogram_from_snapshot, snapshot_to_prometheus
+
+__all__ = ["validate_stats", "validate_trace", "render_report", "main"]
+
+_METRIC_TYPES = ("counter", "gauge", "histogram")
+
+
+def _is_num(x: Any) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def _check_metric(m: Any, where: str, problems: list) -> None:
+    if not isinstance(m, dict):
+        problems.append(f"{where}: metric is not an object")
+        return
+    name = m.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append(f"{where}: missing/invalid metric name")
+        return
+    where = f"{where}:{name}"
+    mtype = m.get("type")
+    if mtype not in _METRIC_TYPES:
+        problems.append(f"{where}: type {mtype!r} not in {_METRIC_TYPES}")
+        return
+    if not isinstance(m.get("labels"), dict):
+        problems.append(f"{where}: labels must be an object")
+    if mtype in ("counter", "gauge"):
+        if not _is_num(m.get("value")):
+            problems.append(f"{where}: non-numeric value")
+        return
+    bounds = m.get("bounds")
+    buckets = m.get("buckets")
+    if (not isinstance(bounds, list) or not all(map(_is_num, bounds))
+            or any(b <= a for b, a in zip(bounds[1:], bounds))):
+        problems.append(f"{where}: bounds must be ascending numbers")
+        return
+    if (not isinstance(buckets, list) or len(buckets) != len(bounds) + 1
+            or not all(isinstance(b, int) and b >= 0 for b in buckets)):
+        problems.append(f"{where}: buckets must be len(bounds)+1 "
+                        f"non-negative ints")
+        return
+    if m.get("count") != sum(buckets):
+        problems.append(f"{where}: count {m.get('count')} != bucket sum "
+                        f"{sum(buckets)}")
+    if not _is_num(m.get("sum")):
+        problems.append(f"{where}: non-numeric sum")
+
+
+def _check_snapshot(snap: Any, where: str, problems: list) -> None:
+    if not isinstance(snap, dict):
+        problems.append(f"{where}: snapshot is not an object")
+        return
+    if not isinstance(snap.get("labels"), dict):
+        problems.append(f"{where}: missing labels object")
+    metrics = snap.get("metrics")
+    if not isinstance(metrics, list):
+        problems.append(f"{where}: missing metrics list")
+        return
+    for i, m in enumerate(metrics):
+        _check_metric(m, f"{where}.metrics[{i}]", problems)
+
+
+def validate_stats(doc: Any) -> list:
+    """Structural check of a stats document; returns problems found."""
+    problems: list = []
+    if not isinstance(doc, dict):
+        return ["top level: not an object"]
+    if not isinstance(doc.get("meta"), dict):
+        problems.append("meta: missing object")
+    _check_snapshot(doc.get("aggregate"), "aggregate", problems)
+    per_rank = doc.get("per_rank")
+    if per_rank is not None:
+        if not isinstance(per_rank, list):
+            problems.append("per_rank: not a list")
+        else:
+            for i, snap in enumerate(per_rank):
+                _check_snapshot(snap, f"per_rank[{i}]", problems)
+    return problems
+
+
+def validate_trace(doc: Any) -> list:
+    """Structural + causal check of a Chrome trace-event document.
+
+    Beyond field shapes, verifies the span forest: within each
+    ``trace_id``, exactly one root (``parent_id`` null) and every
+    non-null ``parent_id`` resolving to a span of the same trace.
+    """
+    problems: list = []
+    if not isinstance(doc, dict):
+        return ["top level: not an object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents: missing list"]
+    by_trace: dict = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ev.get("name"), str):
+            problems.append(f"{where}: missing name")
+        if ph == "M":
+            continue  # metadata record
+        if ph != "X":
+            problems.append(f"{where}: unexpected phase {ph!r}")
+            continue
+        for fld in ("ts", "dur"):
+            if not _is_num(ev.get(fld)):
+                problems.append(f"{where}: non-numeric {fld}")
+        if ev.get("dur", 0) < 0:
+            problems.append(f"{where}: negative dur")
+        args = ev.get("args")
+        if not isinstance(args, dict) or "span_id" not in args:
+            problems.append(f"{where}: missing args.span_id")
+            continue
+        tid = args.get("trace_id")
+        by_trace.setdefault(tid, []).append(args)
+    for tid, spans in sorted(by_trace.items(), key=lambda kv: str(kv[0])):
+        ids = {s["span_id"] for s in spans}
+        roots = [s for s in spans if s.get("parent_id") is None]
+        if len(roots) != 1:
+            problems.append(f"trace {tid}: {len(roots)} roots (expect 1)")
+        for s in spans:
+            parent = s.get("parent_id")
+            if parent is not None and parent not in ids:
+                problems.append(f"trace {tid}: span {s['span_id']} parent "
+                                f"{parent} unresolved")
+    return problems
+
+
+def render_report(doc: dict) -> str:
+    """Human-readable summary of a stats document's aggregate."""
+    lines: list = []
+    meta = doc.get("meta", {})
+    if meta:
+        lines.append("meta: " + ", ".join(f"{k}={meta[k]}"
+                                          for k in sorted(meta)))
+    agg = doc.get("aggregate", {})
+    counters: list = []
+    hists: list = []
+    for m in agg.get("metrics", ()):
+        labels = ",".join(f"{k}={v}" for k, v in
+                          sorted(m.get("labels", {}).items()))
+        label = m["name"] + (f"{{{labels}}}" if labels else "")
+        if m["type"] in ("counter", "gauge"):
+            counters.append((label, m["value"]))
+        else:
+            h = histogram_from_snapshot(m)
+            if h.count == 0:
+                continue
+            hists.append((label, h))
+    width = max((len(n) for n, _ in counters), default=0)
+    for name, value in counters:
+        v = f"{value:g}" if isinstance(value, float) else str(value)
+        lines.append(f"  {name:<{width}}  {v}")
+    for name, h in hists:
+        lines.append(f"  {name}: count={h.count} mean={h.mean:.3g} "
+                     f"p50={h.quantile(0.5):.3g} "
+                     f"p95={h.quantile(0.95):.3g} "
+                     f"p99={h.quantile(0.99):.3g} max={h.vmax:.3g}")
+    nranks = len(doc.get("per_rank") or ())
+    if nranks:
+        lines.append(f"  ({nranks} per-rank snapshots in document)")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.stats",
+        description="Report on / validate exported stats and trace JSON.")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    p_report = sub.add_parser("report", help="summarize a stats document")
+    p_report.add_argument("file")
+    p_report.add_argument("--prometheus", action="store_true",
+                          help="emit the aggregate in Prometheus text "
+                               "format instead of the summary table")
+    p_val = sub.add_parser("validate", help="schema-check a document")
+    p_val.add_argument("file")
+    p_val.add_argument("--kind", choices=("stats", "trace"),
+                       default="stats")
+    args = parser.parse_args(argv)
+
+    with open(args.file, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+
+    if args.cmd == "report":
+        problems = validate_stats(doc)
+        if problems:
+            for p in problems:
+                print(f"invalid stats document: {p}", file=sys.stderr)
+            return 1
+        if args.prometheus:
+            print(snapshot_to_prometheus(doc["aggregate"]), end="")
+        else:
+            print(render_report(doc))
+        return 0
+
+    problems = (validate_trace(doc) if args.kind == "trace"
+                else validate_stats(doc))
+    if problems:
+        for p in problems:
+            print(p, file=sys.stderr)
+        print(f"{args.file}: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"{args.file}: OK ({args.kind})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,9 @@ telemetry the chaos benchmarks tabulate.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro import make_cluster, standard_session
 from repro.kvs import KvsClient
@@ -67,8 +69,15 @@ def run_chaos_workload(n_nodes: int = 31, n_clients: int = 16,
                        hb_period: float = 0.05, n_iters: int = 2,
                        iter_gap: float = 0.0,
                        timeout: float = 0.5, retries: int = 8,
-                       run_until: float = 60.0) -> ChaosReport:
+                       run_until: float = 60.0,
+                       trace_out: Optional[str] = None,
+                       stats_out: Optional[str] = None) -> ChaosReport:
     """Run the chaos workload; see module docstring.
+
+    ``trace_out``/``stats_out`` export the causal span trees (Chrome
+    trace-event JSON — one tree per client RPC, including retries,
+    retransmissions and reroutes) and the merged per-broker metrics
+    registries.  Pure exports: leaving them ``None`` changes nothing.
 
     ``kill_ranks`` are failed one by one starting at ``kill_at``
     (``kill_stagger`` apart), so cascades like "kill a parent, then
@@ -88,6 +97,8 @@ def run_chaos_workload(n_nodes: int = 31, n_clients: int = 16,
         cluster, with_heartbeat=True, hb_period=hb_period,
         hb_max_epochs=max(64, int(run_until / hb_period)))
     session.start()
+    if trace_out:
+        session.enable_tracing()
     sim = cluster.sim
 
     # Detection telemetry: when rank 0 hears each live.down.
@@ -202,6 +213,23 @@ def run_chaos_workload(n_nodes: int = 31, n_clients: int = 16,
         errors.append("verifier did not complete")
 
     session.stop()
+    if trace_out:
+        session.span_tracer.write_chrome_trace(trace_out)
+    if stats_out:
+        doc = {
+            "meta": {"kind": "chaos", "n_nodes": n_nodes,
+                     "n_clients": n_clients, "seed": seed,
+                     "fault_seed": fault_seed,
+                     "kill_ranks": list(kill_ranks),
+                     "sim_time": sim.now},
+            "aggregate": session.metrics_aggregate(),
+            "per_rank": [session.metrics_snapshot(r)
+                         for r in range(n_nodes)
+                         if session.brokers[r].alive],
+        }
+        with open(stats_out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
     converged = (procs_ok and verified[1] == 0 and hung == 0
                  and vproc.triggered and vproc.ok)
     return ChaosReport(
