@@ -1,0 +1,25 @@
+"""Static and runtime analysis for the reproduction.
+
+Two halves sharing one :class:`~repro.analysis.findings.Finding`
+model:
+
+- :mod:`repro.analysis.lint` — an AST linter enforcing determinism
+  and protocol hygiene over ``src/repro`` (``python -m repro.analysis
+  lint --strict`` is the CI gate);
+- :mod:`repro.analysis.sanitizers` — pure-observer runtime checkers
+  (FIFO link order, KVS read consistency, span-forest shape, replay
+  divergence) hooked into the sim kernel and network.
+"""
+
+from .findings import Finding, render_json, render_text, worst_severity
+from .lint import RULES, lint_paths, lint_source
+from .sanitizers import (FifoLinkSanitizer, KvsConsistencySanitizer,
+                         SanitizerSet, SpanForestSanitizer,
+                         replay_fingerprint_hook)
+
+__all__ = [
+    "Finding", "render_json", "render_text", "worst_severity",
+    "RULES", "lint_paths", "lint_source",
+    "SanitizerSet", "FifoLinkSanitizer", "KvsConsistencySanitizer",
+    "SpanForestSanitizer", "replay_fingerprint_hook",
+]

@@ -1,0 +1,146 @@
+"""CLI for the analysis suite.
+
+``python -m repro.analysis lint [paths...]``
+    Run the AST linter (default target: the installed ``repro``
+    package source).  ``--strict`` exits nonzero on any finding —
+    the CI gate.
+
+``python -m repro.analysis sanitize``
+    Run a small KAP scenario (and optionally a chaos scenario) with
+    every runtime sanitizer enabled, verify the run is event-identical
+    to a sanitizer-off run, and replay it to check determinism.
+    Exits nonzero on any finding or divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from .findings import Finding, render_json, render_text
+from .lint import RULES, lint_paths
+
+
+def _default_lint_paths() -> list[str]:
+    import repro
+    return [os.path.dirname(os.path.abspath(repro.__file__))]
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule, desc in sorted(RULES.items()):
+            print(f"{rule}  {desc}")
+        return 0
+    paths = args.paths or _default_lint_paths()
+    findings = lint_paths(paths)
+    if args.json:
+        print(render_json(findings, kind="lint", paths=paths))
+    else:
+        if findings or not args.quiet:
+            print(render_text(findings))
+    if findings and args.strict:
+        return 1
+    return 0
+
+
+def cmd_sanitize(args: argparse.Namespace) -> int:
+    from ..kap.config import KapConfig
+    from ..kap.driver import run_kap
+
+    findings: list[Finding] = []
+    notes: list[str] = []
+
+    config = KapConfig(nnodes=args.nodes, procs_per_node=args.procs,
+                       nputs=args.puts, sync=args.sync, seed=args.seed)
+
+    # Purity check: the sanitized run must process exactly the events
+    # of an unsanitized one (checkers are observers, not actors).
+    baseline = run_kap(config)
+    first = run_kap(config, sanitize=True)
+    findings.extend(first.sanitizer_findings)
+    if first.events != baseline.events:
+        findings.append(Finding(
+            rule="SAN105", severity="error",
+            message=(f"sanitized KAP run processed {first.events} "
+                     f"events vs {baseline.events} without sanitizers "
+                     f"— checkers perturbed the run")))
+    notes.append(f"kap: {first.events} events, "
+                 f"fingerprint {first.event_fingerprint[:12]}")
+
+    # Replay-divergence check: same seed, same stream.
+    second = run_kap(config, sanitize=True)
+    findings.extend(second.sanitizer_findings)
+    if second.event_fingerprint != first.event_fingerprint:
+        findings.append(Finding(
+            rule="SAN105", severity="error",
+            message=(f"replay divergence: seed {config.seed} produced "
+                     f"fingerprints {first.event_fingerprint[:12]} and "
+                     f"{second.event_fingerprint[:12]}")))
+
+    if args.chaos:
+        sys.path.insert(0, os.path.join(os.getcwd(), "tests"))
+        try:
+            from chaos import run_chaos_workload
+        except ImportError:
+            notes.append("chaos: harness not found (run from the repo "
+                         "root); skipped")
+        else:
+            report = run_chaos_workload(
+                n_nodes=15, n_clients=8, drop_rate=0.01,
+                n_iters=1, sanitize=True)
+            findings.extend(report.sanitizer_findings)
+            if not report.converged:
+                findings.append(Finding(
+                    rule="SAN105", severity="error",
+                    message=f"chaos run did not converge: "
+                            f"{report.errors[:3]}"))
+            notes.append(f"chaos: converged={report.converged}, "
+                         f"fingerprint {report.event_fingerprint[:12]}")
+
+    if args.json:
+        print(render_json(findings, kind="sanitize", notes=notes))
+    else:
+        for note in notes:
+            print(note)
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="determinism & protocol analysis suite")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_lint = sub.add_parser("lint", help="run the AST linter")
+    p_lint.add_argument("paths", nargs="*",
+                        help="files/dirs to lint (default: repro pkg)")
+    p_lint.add_argument("--strict", action="store_true",
+                        help="exit nonzero on any finding")
+    p_lint.add_argument("--json", action="store_true")
+    p_lint.add_argument("--quiet", action="store_true",
+                        help="print nothing when clean")
+    p_lint.add_argument("--list-rules", action="store_true")
+    p_lint.set_defaults(func=cmd_lint)
+
+    p_san = sub.add_parser("sanitize",
+                           help="run scenarios under the sanitizers")
+    p_san.add_argument("--nodes", type=int, default=16)
+    p_san.add_argument("--procs", type=int, default=1,
+                       help="tester processes per node")
+    p_san.add_argument("--puts", type=int, default=4)
+    p_san.add_argument("--sync", default="fence",
+                       choices=("fence", "commit"))
+    p_san.add_argument("--seed", type=int, default=1)
+    p_san.add_argument("--chaos", action="store_true",
+                       help="also run a chaos scenario (needs tests/)")
+    p_san.add_argument("--json", action="store_true")
+    p_san.set_defaults(func=cmd_sanitize)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

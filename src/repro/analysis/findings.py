@@ -1,0 +1,119 @@
+"""Shared finding model for the analysis suite.
+
+Both halves of :mod:`repro.analysis` — the AST linter and the runtime
+sanitizers — report through one :class:`Finding` record so CI, tests
+and humans consume a single format:
+
+- **static** findings carry ``file:line`` provenance;
+- **runtime** findings carry simulated-time (``t``) and ``rank``
+  provenance instead.
+
+Findings render as one-line human text (``file:line: RULE message``)
+or as a JSON document with a stable schema (sorted keys, no floats
+beyond ``t``), suitable for machine diffing in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+__all__ = ["Finding", "render_text", "render_json", "worst_severity",
+           "SEVERITIES"]
+
+#: Recognised severities, most severe first.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analysis finding (static or runtime).
+
+    Attributes
+    ----------
+    rule:
+        Stable rule identifier, e.g. ``DET001`` (lint) or ``SAN102``
+        (sanitizer).
+    severity:
+        ``"error"`` or ``"warning"``.
+    message:
+        Human-readable description of the violation.
+    file / line / col:
+        Source provenance (static findings; ``file`` empty otherwise).
+    t / rank:
+        Simulated-time provenance (runtime findings; ``t`` is ``None``
+        for static findings, ``rank`` is ``-1`` when not applicable).
+    extra:
+        Free-form structured context (kept JSON-able).
+    """
+
+    rule: str
+    severity: str
+    message: str
+    file: str = ""
+    line: int = 0
+    col: int = 0
+    t: Optional[float] = None
+    rank: int = -1
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def where(self) -> str:
+        """Provenance prefix: ``file:line:col`` or ``t=...[ rank=...]``."""
+        if self.file:
+            return f"{self.file}:{self.line}:{self.col}"
+        parts = []
+        if self.t is not None:
+            parts.append(f"t={self.t:.9g}")
+        if self.rank >= 0:
+            parts.append(f"rank={self.rank}")
+        return " ".join(parts) or "<runtime>"
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "rule": self.rule, "severity": self.severity,
+            "message": self.message,
+        }
+        if self.file:
+            out["file"] = self.file
+            out["line"] = self.line
+            out["col"] = self.col
+        if self.t is not None:
+            out["t"] = self.t
+        if self.rank >= 0:
+            out["rank"] = self.rank
+        if self.extra:
+            out["extra"] = self.extra
+        return out
+
+    def render(self) -> str:
+        return f"{self.where()}: {self.rule} [{self.severity}] " \
+               f"{self.message}"
+
+
+def worst_severity(findings: Iterable[Finding]) -> Optional[str]:
+    """The most severe severity present, or ``None`` when clean."""
+    worst = None
+    for f in findings:
+        if f.severity == "error":
+            return "error"
+        worst = f.severity
+    return worst
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """One line per finding plus a summary tail line."""
+    findings = list(findings)
+    lines = [f.render() for f in findings]
+    nerr = sum(1 for f in findings if f.severity == "error")
+    nwarn = len(findings) - nerr
+    lines.append(f"{len(findings)} finding(s): {nerr} error(s), "
+                 f"{nwarn} warning(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Finding], **meta: Any) -> str:
+    """A stable JSON document: ``{"meta": ..., "findings": [...]}``."""
+    doc = {"meta": dict(meta),
+           "findings": [f.as_dict() for f in findings]}
+    return json.dumps(doc, indent=1, sort_keys=True)

@@ -131,12 +131,15 @@ class CommsModule:
         reaching the handler body.
         """
         method = msg.method_name() or "default"
-        handler: Optional[Callable[[Message], None]] = getattr(
-            self, f"req_{method}", None)
-        if handler is None:
+        # Existence check against the declarative handler registry —
+        # the same per-class table repro.cmb.modules.request_registry()
+        # exports to the static analysis layer, so a topic the linter
+        # accepts is a topic this dispatcher serves (and vice versa).
+        if method not in self._handler_specs:
             raise NoHandlerError(
                 f"module {self.name!r} has no handler for "
                 f"{msg.topic!r} at rank {self.broker.rank}")
+        handler: Callable[[Message], None] = getattr(self, f"req_{method}")
         missing = [f for f in self._handler_specs.get(method, ())
                    if f not in msg.payload]
         if missing:

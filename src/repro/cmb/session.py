@@ -110,6 +110,10 @@ class CommsSession:
         #: it schedules no events and draws no randomness, so enabling
         #: it cannot change simulated behavior.
         self.span_tracer: Optional[SpanTracer] = None
+        #: Runtime sanitizer hub (``None`` = sanitizers off, the
+        #: default; see :meth:`enable_sanitizers`).  Like the span
+        #: tracer, a pure observer: enabling it cannot change a run.
+        self.sanitizers = None
         self.brokers: list[Broker] = [Broker(self, r)
                                       for r in range(self.size)]
         self._started = False
@@ -172,6 +176,8 @@ class CommsSession:
 
     def stop(self) -> None:
         """Tear the session down (recording message counts if traced)."""
+        if self.sanitizers is not None:
+            self.sanitizers.finish()
         if self.span_tracer is not None:
             self.span_tracer.close_open()
         if self.tracer is not None:
@@ -199,6 +205,25 @@ class CommsSession:
         if self.span_tracer is None:
             self.span_tracer = SpanTracer(lambda: self.sim.now)
         return self.span_tracer
+
+    def enable_sanitizers(self, *, span_check: bool = True):
+        """Turn on the runtime sanitizer suite; returns the
+        :class:`~repro.analysis.sanitizers.SanitizerSet`.
+
+        Installs the hub on this session (KVS consistency hooks) and
+        on the shared network fabric (FIFO link checking).  With
+        ``span_check=True`` tracing is enabled too and the span-forest
+        checker validates the causal forest at ``finish()`` time.
+        Sanitizers are pure observers — they schedule no events and
+        draw no randomness — so the run stays event-identical.
+        """
+        if self.sanitizers is None:
+            from ..analysis.sanitizers import SanitizerSet
+            self.sanitizers = SanitizerSet(lambda: self.sim.now)
+            self.network.sanitizers = self.sanitizers
+            if span_check:
+                self.sanitizers.attach_tracer(self.enable_tracing())
+        return self.sanitizers
 
     def metrics_snapshot(self, rank: int) -> dict:
         """The metrics-registry snapshot of the broker at ``rank``."""

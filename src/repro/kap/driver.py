@@ -43,13 +43,21 @@ def run_kap(config: KapConfig,
             *,
             tracing: bool = False,
             trace_out: Optional[str] = None,
-            stats_out: Optional[str] = None) -> KapResult:
+            stats_out: Optional[str] = None,
+            sanitize: bool = False) -> KapResult:
     """Execute one KAP run and return its measured latencies.
 
     ``max_events`` optionally bounds the simulation (guards against
     accidental huge configurations in tests).  ``trace_out`` /
     ``stats_out`` export the causal trace and the metrics registries
     as JSON; passing ``trace_out`` implies ``tracing``.
+
+    ``sanitize=True`` enables the full runtime sanitizer suite
+    (:mod:`repro.analysis.sanitizers`): FIFO link ordering, KVS
+    read consistency, span-forest shape, and an event-stream
+    fingerprint for replay-divergence checks.  Findings land in
+    ``result.sanitizer_findings``; the checkers are pure observers,
+    so the run itself is event-identical to a sanitizer-off run.
     """
     cluster = make_cluster(config.nnodes, seed=config.seed)
     sim = cluster.sim
@@ -60,6 +68,11 @@ def run_kap(config: KapConfig,
     ).start()
     if tracing or trace_out:
         session.enable_tracing()
+    fingerprint = None
+    if sanitize:
+        from ..analysis.sanitizers import replay_fingerprint_hook
+        session.enable_sanitizers()
+        fingerprint = replay_fingerprint_hook(sim, keep_records=False)
 
     result = KapResult(config)
     nprocs = config.nprocs
@@ -121,6 +134,9 @@ def run_kap(config: KapConfig,
     result.bytes_sent = cluster.network.total_bytes_sent()
     result.msg_counts = session.message_counts()
     session.stop()
+    if sanitize:
+        result.sanitizer_findings = list(session.sanitizers.finish())
+        result.event_fingerprint = fingerprint.digest()
 
     if trace_out:
         session.span_tracer.write_chrome_trace(trace_out)

@@ -31,6 +31,12 @@ class KapResult:
     #: Per-(module, plane, kind) message counts from the run's comms
     #: session (see :meth:`repro.cmb.session.CommsSession.message_counts`).
     msg_counts: dict = field(default_factory=dict)
+    #: Runtime-sanitizer findings (``run_kap(sanitize=True)``); empty
+    #: on a clean run or when sanitizers were off.
+    sanitizer_findings: list = field(default_factory=list)
+    #: SHA1 of the processed-event stream when sanitizing — two runs
+    #: of the same config must match (replay determinism).
+    event_fingerprint: str = ""
 
     def msg_total(self, kind: Optional[str] = None) -> int:
         """Total messages counted, optionally filtered by kind

@@ -199,6 +199,14 @@ class KvsModule(CommsModule):
         self._h_fence_wait = reg.histogram("kvs_fence_wait_seconds",
                                            ns=self.name)
 
+    def _san(self):
+        """The session's sanitizer hub, or ``None`` when disabled.
+
+        Notify points sit at protocol-visible moments (version reads,
+        commit/fence acks, root switches) so the consistency checker
+        observes exactly what clients can."""
+        return self.broker.session.sanitizers
+
     def sync_metrics(self) -> None:
         st = self.cache.stats
         self._c_cache_hits.value = st.hits
@@ -402,6 +410,9 @@ class KvsModule(CommsModule):
                 self._apply_root(res.version, res.root_sha)
                 self._publish_setroot(res.version, res.root_sha,
                                       span=msg.span)
+                san = self._san()
+                if san is not None:
+                    san.kvs_commit_ack(self.name, self.rank, res.version)
                 self.respond(msg, {"version": res.version,
                                    "rootref": res.root_sha})
             self._master_run(len(ops), apply)
@@ -433,6 +444,10 @@ class KvsModule(CommsModule):
             return
         # Read-your-writes: apply the commit's root before answering.
         self._apply_root(resp.payload["version"], resp.payload["rootref"])
+        san = self._san()
+        if san is not None:
+            san.kvs_commit_ack(self.name, self.rank,
+                               resp.payload["version"])
         self.respond(msg, dict(resp.payload))
 
     def _forward_flush(self, ops: list, objs: dict,
@@ -679,6 +694,9 @@ class KvsModule(CommsModule):
     def _release_fence(self, agg: _FenceAgg) -> None:
         self._fences.pop(agg.name, None)
         now = self.broker.sim.now
+        san = self._san()
+        if san is not None and agg.held:
+            san.kvs_commit_ack(self.name, self.rank, self.version)
         for held in agg.held:
             t0 = getattr(held, "_obs_t0", None)
             if t0 is not None:
@@ -811,6 +829,9 @@ class KvsModule(CommsModule):
             return
         self.version = version
         self.root_sha = root_sha
+        san = self._san()
+        if san is not None:
+            san.kvs_root_applied(self.name, self.rank, version)
         still = []
         for wanted, held in self._version_waiters:
             if self.version >= wanted:
@@ -835,17 +856,26 @@ class KvsModule(CommsModule):
                 self._release_fence(agg)
 
     def req_getversion(self, msg: Message) -> None:
+        san = self._san()
+        if san is not None:
+            san.kvs_read(self.name, self.rank, self.version)
         self.respond(msg, {"version": self.version})
 
     @request_handler(required=("version",))
     def req_waitversion(self, msg: Message) -> None:
         wanted = msg.payload["version"]
         if self.version >= wanted:
+            san = self._san()
+            if san is not None:
+                san.kvs_read(self.name, self.rank, self.version)
             self.respond(msg, {"version": self.version})
         else:
             self._version_waiters.append((wanted, msg))
 
     def req_getroot(self, msg: Message) -> None:
+        san = self._san()
+        if san is not None:
+            san.kvs_read(self.name, self.rank, self.version)
         out: dict[str, Any] = {"version": self.version,
                                "rootref": self.root_sha}
         if msg.payload.get("fences"):

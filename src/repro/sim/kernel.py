@@ -397,6 +397,12 @@ class Simulation:
         self._seq = 0
         self._active_process: Optional[Process] = None
         self._nevents = 0
+        #: Optional observer called as ``event_hook(t, priority, ev)``
+        #: for every event processed, *before* its callbacks run.  Used
+        #: by the replay-divergence sanitizer to fingerprint the event
+        #: stream; observers must not schedule events or draw from
+        #: :attr:`rng`, so installing one cannot perturb the run.
+        self.event_hook: Optional[Callable[[float, int, Event], None]] = None
 
     # -- event creation helpers ----------------------------------------
     def event(self, name: str = "") -> Event:
@@ -454,6 +460,8 @@ class Simulation:
             if max_events is not None and self._nevents > max_events:
                 raise SimulationError(
                     f"event budget {max_events} exhausted at t={self.now:g}")
+            if self.event_hook is not None:
+                self.event_hook(t, _prio, ev)
             ev._run_callbacks()
         if until is not None and until > self.now:
             self.now = until
@@ -474,6 +482,8 @@ class Simulation:
             if max_events is not None and self._nevents > max_events:
                 raise SimulationError(
                     f"event budget {max_events} exhausted at t={self.now:g}")
+            if self.event_hook is not None:
+                self.event_hook(t, _prio, ev)
             ev._run_callbacks()
         return proc.value
 

@@ -145,6 +145,11 @@ class Network:
         #: inter-node traffic (chaos testing).  ``None`` — the default —
         #: leaves the delivery path bit-identical to a plan-free build.
         self.fault_plan: Optional["FaultPlan"] = None
+        #: Optional :class:`~repro.analysis.sanitizers.SanitizerSet`
+        #: observing every send/deliver/drop (FIFO-order checking).
+        #: Pure observer: it schedules no events and mutates nothing,
+        #: so installing one leaves the run event-identical.
+        self.sanitizers: Optional[Any] = None
 
     # -- membership -----------------------------------------------------
     def register(self, node_id: int) -> Channel:
@@ -206,6 +211,9 @@ class Network:
         paper's "reliable, in-order delivery per plane" property — the
         fabric never reorders messages between the same pair.
         """
+        san = self.sanitizers
+        if san is not None:
+            san.on_send(src, dst, port, payload)
         if src == dst:
             # Loopback between co-located endpoints: FIFO IPC cost.
             delay = self._loopbacks[src].send_delay(size)
@@ -240,10 +248,14 @@ class Network:
             self._drop(src, dst, payload)
             return
         self.delivered += 1
+        if self.sanitizers is not None:
+            self.sanitizers.on_deliver(src, dst, port, payload)
         inbox.put(payload)
 
     def _drop(self, src: int, dst: int, payload: Any) -> None:
         self.dropped += 1
+        if self.sanitizers is not None:
+            self.sanitizers.on_drop(src, dst, payload)
         if self.drop_hook is not None:
             self.drop_hook(src, dst, payload)
 

@@ -48,6 +48,11 @@ class ChaosReport:
     detect_latency: float = 0.0     # kill -> last live.down at rank 0
     makespan: float = 0.0           # last workload process completion
     errors: list = field(default_factory=list)
+    #: Runtime-sanitizer findings (``sanitize=True`` runs only).
+    sanitizer_findings: list = field(default_factory=list)
+    #: Event-stream SHA1 (``sanitize=True`` runs only) — same-seed
+    #: replay must reproduce it bit for bit.
+    event_fingerprint: str = ""
 
     @property
     def retry_amplification(self) -> float:
@@ -71,7 +76,8 @@ def run_chaos_workload(n_nodes: int = 31, n_clients: int = 16,
                        timeout: float = 0.5, retries: int = 8,
                        run_until: float = 60.0,
                        trace_out: Optional[str] = None,
-                       stats_out: Optional[str] = None) -> ChaosReport:
+                       stats_out: Optional[str] = None,
+                       sanitize: bool = False) -> ChaosReport:
     """Run the chaos workload; see module docstring.
 
     ``trace_out``/``stats_out`` export the causal span trees (Chrome
@@ -100,6 +106,11 @@ def run_chaos_workload(n_nodes: int = 31, n_clients: int = 16,
     if trace_out:
         session.enable_tracing()
     sim = cluster.sim
+    fingerprint = None
+    if sanitize:
+        from repro.analysis.sanitizers import replay_fingerprint_hook
+        session.enable_sanitizers()
+        fingerprint = replay_fingerprint_hook(sim, keep_records=False)
 
     # Detection telemetry: when rank 0 hears each live.down.
     detect_times: dict[int, float] = {}
@@ -238,4 +249,7 @@ def run_chaos_workload(n_nodes: int = 31, n_clients: int = 16,
         hung_waiters=hung, client_retries=client_retries,
         client_rpcs=client_rpcs, broker_stats=broker_stats,
         fault_stats=fault_stats, detect_latency=detect_latency,
-        makespan=makespan, errors=errors)
+        makespan=makespan, errors=errors,
+        sanitizer_findings=(list(session.sanitizers.finish())
+                            if sanitize else []),
+        event_fingerprint=fingerprint.digest() if sanitize else "")

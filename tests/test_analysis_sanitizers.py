@@ -1,0 +1,305 @@
+"""Tests for the runtime sanitizers (repro.analysis.sanitizers).
+
+Covers each checker with a violating scenario (flagged) and a clean
+scenario (silent), plus the two global guarantees: clean KAP and
+chaos runs are sanitizer-silent, and enabling sanitizers leaves a run
+event-identical (pure observers).
+"""
+
+from repro import make_cluster
+from repro.analysis.sanitizers import (EventFingerprint, SanitizerSet,
+                                       diff_fingerprints,
+                                       replay_fingerprint_hook)
+from repro.cmb.message import Message, MessageType
+from repro.cmb.session import CommsSession, ModuleSpec
+from repro.kap.config import KapConfig
+from repro.kap.driver import run_kap
+from repro.kvs.api import KvsClient
+from repro.kvs.module import KvsModule
+from repro.obs import SpanTracer
+from repro.sim.kernel import Simulation
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# FIFO link sanitizer (SAN101)
+# ---------------------------------------------------------------------------
+
+def test_fifo_violation_flagged():
+    san = SanitizerSet()
+    a, b, c = ["m1"], ["m2"], ["m3"]      # distinct identities
+    san.on_send(1, 2, "p", a)
+    san.on_send(1, 2, "p", b)
+    san.on_send(1, 2, "p", c)
+    san.on_deliver(1, 2, "p", a)
+    san.on_deliver(1, 2, "p", c)          # skipping b is legal (drop)
+    san.on_deliver(1, 2, "p", b)          # ...but b after c is reordering
+    assert rules_of(san.findings) == ["SAN101"]
+    assert "1->2" in san.findings[0].message
+
+
+def test_fifo_duplicates_and_drops_are_legal():
+    san = SanitizerSet()
+    a, b = ["m1"], ["m2"]
+    san.on_send(1, 2, "p", a)
+    san.on_send(1, 2, "p", b)
+    san.on_deliver(1, 2, "p", a)
+    san.on_deliver(1, 2, "p", a)          # chaos duplication
+    san.on_drop(1, 2, b)                  # drop: just a gap
+    san.on_deliver(1, 2, "p", b)          # late copy still in order
+    assert san.findings == []
+    assert san.fifo.checked == 3
+
+
+def test_fifo_links_are_independent():
+    san = SanitizerSet()
+    a, b = ["m1"], ["m2"]
+    san.on_send(1, 2, "p", a)
+    san.on_send(1, 3, "p", b)
+    san.on_deliver(1, 3, "p", b)          # other link, later seq first
+    san.on_deliver(1, 2, "p", a)
+    assert san.findings == []
+
+
+# ---------------------------------------------------------------------------
+# KVS consistency sanitizer (SAN102 / SAN103)
+# ---------------------------------------------------------------------------
+
+def test_monotonic_read_violation_unit():
+    san = SanitizerSet()
+    san.kvs_read("kvs", 3, 5)
+    san.kvs_read("kvs", 3, 4)
+    assert rules_of(san.findings) == ["SAN102"]
+    assert san.findings[0].rank == 3
+
+
+def test_read_your_writes_violation_unit():
+    san = SanitizerSet()
+    san.kvs_commit_ack("kvs", 2, 7)
+    san.kvs_read("kvs", 2, 6)
+    assert rules_of(san.findings) == ["SAN103"]
+
+
+def test_per_rank_and_namespace_isolation():
+    san = SanitizerSet()
+    san.kvs_read("kvs", 1, 9)
+    san.kvs_read("kvs", 2, 3)             # other rank: fine
+    san.kvs_read("ns0", 1, 1)             # other namespace: fine
+    assert san.findings == []
+
+
+class RegressingKvs(KvsModule):
+    """KvsModule with the monotonic root guard removed — the seeded
+    bug the consistency sanitizer exists to catch."""
+
+    def _apply_root(self, version, root_sha):
+        self.version = version
+        self.root_sha = root_sha
+        san = self._san()
+        if san is not None:
+            san.kvs_root_applied(self.name, self.rank, version)
+
+
+def test_seeded_root_regression_run_is_flagged():
+    """A run whose KVS applies a stale root must produce SAN102/SAN103:
+    the stale setroot regresses the slave's version, and the client's
+    next kvs_get_version observes it."""
+    cluster = make_cluster(4, seed=3)
+    session = CommsSession(cluster,
+                           modules=[ModuleSpec(RegressingKvs)]).start()
+    san = session.enable_sanitizers(span_check=False)
+    sim = cluster.sim
+    kvs = KvsClient(session.connect(2))
+
+    def scenario():
+        yield kvs.put("a", 1)
+        yield kvs.commit()                # rank 2 acked at version 1
+        yield kvs.put("b", 2)
+        yield kvs.commit()                # ...then version 2
+        # A stale setroot (replayed event) arrives at rank 2; the
+        # buggy module applies it, regressing version 2 -> 1.
+        session.brokers[2]._deliver_event(Message(
+            topic="kvs.setroot", mtype=MessageType.EVENT,
+            payload={"version": 1, "rootref": "stale"}, src_rank=0))
+        got = yield kvs.get_version()
+        assert got["version"] == 1        # the bug is live
+
+    sim.run_until_complete(sim.spawn(scenario(), name="scenario"))
+    session.stop()
+    rules = set(rules_of(san.findings))
+    assert "SAN102" in rules              # root regression observed
+    assert "SAN103" in rules              # read < committed floor
+    # Provenance: runtime findings carry sim time + rank, no file.
+    for f in san.findings:
+        assert f.t is not None and f.rank == 2 and f.file == ""
+
+
+def test_clean_commit_run_is_silent():
+    cluster = make_cluster(4, seed=3)
+    session = CommsSession(cluster,
+                           modules=[ModuleSpec(KvsModule)]).start()
+    san = session.enable_sanitizers(span_check=False)
+    sim = cluster.sim
+    kvs = KvsClient(session.connect(2))
+
+    def scenario():
+        yield kvs.put("a", 1)
+        yield kvs.commit()
+        v1 = yield kvs.get_version()
+        yield kvs.put("b", 2)
+        yield kvs.commit()
+        v2 = yield kvs.get_version()
+        assert v2["version"] > v1["version"]
+
+    sim.run_until_complete(sim.spawn(scenario(), name="scenario"))
+    session.stop()
+    assert san.findings == []
+    assert san.kvs.reads >= 2 and san.kvs.acks >= 2
+
+
+# ---------------------------------------------------------------------------
+# span forest sanitizer (SAN104)
+# ---------------------------------------------------------------------------
+
+def test_span_forest_violation_flagged():
+    tracer = SpanTracer(lambda: 0.0)
+    root = tracer.start_trace("ok", rank=0)
+    tracer.finish(root)
+    tracer.start_span((root.trace_id, 9999), "orphan", "test", rank=1)
+    san = SanitizerSet()
+    san.attach_tracer(tracer)
+    findings = san.finish()
+    assert rules_of(findings) == ["SAN104"]
+    assert "orphan" in findings[0].message or "parent" \
+        in findings[0].message
+
+
+def test_span_forest_clean_tracer_silent():
+    tracer = SpanTracer(lambda: 0.0)
+    root = tracer.start_trace("ok", rank=0)
+    child = tracer.start_span((root.trace_id, root.span_id), "hop",
+                              "net", rank=1)
+    tracer.finish(child)
+    tracer.finish(root)
+    san = SanitizerSet()
+    san.attach_tracer(tracer)
+    assert san.finish() == []
+    assert san.finish() == []             # idempotent
+
+
+# ---------------------------------------------------------------------------
+# replay-divergence detector (SAN105)
+# ---------------------------------------------------------------------------
+
+def drive(seed, jitter=0.0):
+    """A small stochastic workload fingerprinted via the kernel hook."""
+    sim = Simulation(seed=seed)
+    fp = replay_fingerprint_hook(sim)
+
+    def worker(i):
+        for _ in range(4):
+            yield sim.timeout(sim.rng.random() * 1e-3 + jitter)
+
+    for i in range(3):
+        sim.spawn(worker(i), name=f"w{i}")
+    sim.run()
+    return fp
+
+
+def test_same_seed_same_fingerprint():
+    a, b = drive(11), drive(11)
+    assert a.digest() == b.digest()
+    assert a.count == b.count > 0
+    assert diff_fingerprints(a, b) == []
+
+
+def test_divergence_detected_with_first_event():
+    a, b = drive(11), drive(12)
+    findings = diff_fingerprints(a, b, label="seed-swap")
+    assert rules_of(findings) == ["SAN105"]
+    assert "diverge at event #" in findings[0].message
+    assert findings[0].extra["index"] >= 0
+
+
+def test_digest_only_mode():
+    a = EventFingerprint(keep_records=False)
+    b = EventFingerprint(keep_records=False)
+    a(0.0, 1, type("E", (), {"name": "x"})())
+    b(0.0, 1, type("E", (), {"name": "y"})())
+    findings = diff_fingerprints(a, b)
+    assert rules_of(findings) == ["SAN105"]
+    assert "fingerprints differ" in findings[0].message
+
+
+def test_port_key_counter_normalized_out():
+    # Session port keys (cmb<N>) come from a process-global counter;
+    # the fingerprint must not see them.
+    a, b = EventFingerprint(), EventFingerprint()
+    a(0.0, 1, type("E", (), {"name": "get:inbox:3:cmb1"})())
+    b(0.0, 1, type("E", (), {"name": "get:inbox:3:cmb7"})())
+    assert a.digest() == b.digest()
+
+
+# ---------------------------------------------------------------------------
+# whole-scenario guarantees
+# ---------------------------------------------------------------------------
+
+KAP = KapConfig(nnodes=8, procs_per_node=1, nputs=2, sync="fence", seed=5)
+
+
+def test_clean_kap_run_is_sanitizer_silent():
+    result = run_kap(KAP, sanitize=True)
+    assert result.sanitizer_findings == []
+    assert result.event_fingerprint
+
+
+def test_sanitizers_are_pure_observers():
+    """Event-identical on/off: same event count, same latencies."""
+    base = run_kap(KAP)
+    checked = run_kap(KAP, sanitize=True)
+    assert checked.events == base.events
+    assert checked.max_sync_latency == base.max_sync_latency
+    assert checked.max_consumer_latency == base.max_consumer_latency
+    assert checked.total_time == base.total_time
+
+
+def test_kap_replay_fingerprints_match():
+    a = run_kap(KAP, sanitize=True)
+    b = run_kap(KAP, sanitize=True)
+    assert a.event_fingerprint == b.event_fingerprint
+
+
+def test_enable_sanitizers_idempotent_and_wired():
+    cluster = make_cluster(2, seed=0)
+    session = CommsSession(cluster, modules=[ModuleSpec(KvsModule)])
+    san = session.enable_sanitizers()
+    assert session.enable_sanitizers() is san
+    assert cluster.network.sanitizers is san
+    assert session.span_tracer is not None   # span_check pulled tracing in
+    stats = san.stats()
+    assert set(stats) == {"fifo_checked", "kvs_reads", "kvs_acks",
+                          "findings"}
+
+
+def test_chaos_run_sanitized_and_event_identical():
+    import sys
+    from pathlib import Path
+    sys.path.insert(0, str(Path(__file__).parent))
+    from chaos import run_chaos_workload
+
+    kwargs = dict(n_nodes=15, n_clients=8, drop_rate=0.01,
+                  dup_rate=0.005, n_iters=1, seed=9, fault_seed=4)
+    base = run_chaos_workload(**kwargs)
+    checked = run_chaos_workload(**kwargs, sanitize=True)
+    assert checked.converged and base.converged
+    assert checked.sanitizer_findings == []
+    # Pure observation: the chaos run's outcome is unchanged.
+    assert checked.reads_verified == base.reads_verified
+    assert checked.makespan == base.makespan
+    assert checked.client_retries == base.client_retries
+    # And a replay reproduces the stream bit for bit.
+    again = run_chaos_workload(**kwargs, sanitize=True)
+    assert again.event_fingerprint == checked.event_fingerprint
