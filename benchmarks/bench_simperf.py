@@ -1,0 +1,198 @@
+"""Simulator throughput — events/sec and wall-clock at paper scale.
+
+The reproduction's usefulness at the paper's Section V scales (64-512
+nodes x 16 brokers = 1024-8192 producers) is bounded by simulator
+throughput, not by anything the paper measures.  This bench records
+the perf trajectory: kernel events processed per wall-clock second for
+the paper-default KAP configuration at each producer count, plus one
+chaos scenario (faulty fabric + sanitizers, the worst-case per-event
+overhead), and writes ``out/BENCH_simperf.json`` so successive
+commits have comparable numbers.
+
+Timing numbers are machine-dependent, so — unlike the figure tables —
+``out/simperf.txt``/``out/BENCH_simperf.json`` are gitignored and the
+assertions here are *determinism* gates, not speed gates: same-seed
+runs must produce identical SAN105 replay fingerprints (the
+optimization contract: caching and lazy rendering must be invisible
+to the event stream), and the 8192-producer run must finish within a
+generous CI wall-clock ceiling.
+
+Standalone smoke mode for CI (from ``benchmarks/``)::
+
+    PYTHONPATH=../src python bench_simperf.py --smoke
+"""
+
+import argparse
+import pathlib
+import sys
+import time
+
+import pytest
+
+from conftest import write_table
+from repro.kap import KapConfig, run_kap
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "tests"))
+from chaos import run_chaos_workload  # noqa: E402
+
+#: Node counts swept at 16 procs/node: 64 -> 8192 producers.
+SWEEP_NODES = (4, 16, 64, 256, 512)
+SMOKE_NODES = (4, 64, 512)
+
+#: CI ceiling for the 8192-producer (512 x 16) run.  Measured ~2.5 s on
+#: a development box; the ceiling leaves ~40x headroom for slow runners.
+PAPER_SCALE_BUDGET_S = 100.0
+
+#: Pre-optimization reference on the development box (commit 82f684f,
+#: 1024-producer config below): 51.9k events/s.  Recorded in the JSON
+#: document so the trajectory is visible; never asserted (machine-
+#: dependent).
+REFERENCE_EPS_1024 = 51_853
+
+
+def paper_config(nnodes: int, seed: int = 1) -> KapConfig:
+    """Paper-default KAP at ``nnodes`` x 16 (Section V defaults)."""
+    return KapConfig(nnodes=nnodes, procs_per_node=16, value_size=64,
+                     seed=seed)
+
+
+def time_kap(nnodes: int) -> dict:
+    """One timed paper-default run; returns the table row."""
+    cfg = paper_config(nnodes)
+    t0 = time.perf_counter()
+    res = run_kap(cfg)
+    dt = time.perf_counter() - t0
+    return {
+        "producers": cfg.nprocs,
+        "nnodes": nnodes,
+        "wall_s": round(dt, 3),
+        "events": res.events,
+        "events_per_sec": round(res.events / dt, 1),
+        "bytes_sent": res.bytes_sent,
+    }
+
+
+def time_chaos() -> dict:
+    """Timed chaos scenario: lossy fabric, retries, sanitizers on."""
+    t0 = time.perf_counter()
+    rep = run_chaos_workload(n_nodes=31, n_clients=16, drop_rate=0.01,
+                             n_iters=2, sanitize=True)
+    dt = time.perf_counter() - t0
+    return {
+        "wall_s": round(dt, 3),
+        "converged": rep.converged,
+        "makespan": rep.makespan,
+        "fingerprint": rep.event_fingerprint,
+    }
+
+
+def fingerprint_gate() -> dict:
+    """Same-seed replay fingerprints (SAN105) — run twice, must match.
+
+    This is the gate that licenses every hot-path optimization in this
+    PR: if memoized sizes, lazy event names or the inlined run loop
+    perturbed the event stream in any way, the two fingerprints (or
+    the two latency sets) would differ.
+    """
+    cfg = dict(nnodes=16, procs_per_node=16, value_size=64, seed=1)
+    a = run_kap(KapConfig(**cfg), sanitize=True)
+    b = run_kap(KapConfig(**cfg), sanitize=True)
+    assert a.event_fingerprint == b.event_fingerprint, \
+        "same-seed KAP replay fingerprint diverged"
+    assert a.max_producer_latency == b.max_producer_latency
+    assert a.events == b.events
+    ca = run_chaos_workload(n_nodes=15, n_clients=8, drop_rate=0.01,
+                            n_iters=1, sanitize=True)
+    cb = run_chaos_workload(n_nodes=15, n_clients=8, drop_rate=0.01,
+                            n_iters=1, sanitize=True)
+    assert ca.event_fingerprint == cb.event_fingerprint, \
+        "same-seed chaos replay fingerprint diverged"
+    return {"kap_256": a.event_fingerprint,
+            "chaos_15": ca.event_fingerprint}
+
+
+def collect(nodes=SWEEP_NODES) -> dict:
+    """Run the sweep + chaos + fingerprint gate; return the document."""
+    rows = [time_kap(nn) for nn in nodes]
+    return {
+        "kap": rows,
+        "chaos": time_chaos(),
+        "fingerprints": fingerprint_gate(),
+        "reference_eps_1024": REFERENCE_EPS_1024,
+    }
+
+
+def render(doc: dict) -> str:
+    lines = ["Simulator throughput: paper-default KAP (value_size=64, "
+             "16 procs/node)", ""]
+    lines.append(f"{'producers':>10} {'events':>10} {'wall_s':>8} "
+                 f"{'events/s':>10}")
+    for r in doc["kap"]:
+        lines.append(f"{r['producers']:>10} {r['events']:>10} "
+                     f"{r['wall_s']:>8.3f} {r['events_per_sec']:>10.0f}")
+    ch = doc["chaos"]
+    lines.append("")
+    lines.append(f"chaos (31 nodes, drop 1%, sanitizers on): "
+                 f"wall={ch['wall_s']:.3f}s makespan={ch['makespan']:.3f} "
+                 f"converged={ch['converged']}")
+    lines.append(f"replay fingerprints: kap={doc['fingerprints']['kap_256']} "
+                 f"chaos={doc['fingerprints']['chaos_15']}")
+    return "\n".join(lines)
+
+
+# -- pytest interface ---------------------------------------------------
+
+@pytest.fixture(scope="module")
+def simperf_doc():
+    doc = collect()
+    write_table("simperf", render(doc), data=doc)
+    return doc
+
+
+def test_simperf_table_regenerated(simperf_doc):
+    assert len(simperf_doc["kap"]) == len(SWEEP_NODES)
+    assert simperf_doc["kap"][0]["producers"] == 64
+    assert simperf_doc["kap"][-1]["producers"] == 8192
+
+
+def test_simperf_paper_scale_within_budget(simperf_doc):
+    """The 8192-producer (512 x 16) run fits the CI smoke budget."""
+    big = simperf_doc["kap"][-1]
+    assert big["wall_s"] < PAPER_SCALE_BUDGET_S, \
+        f"8192-producer run took {big['wall_s']}s"
+
+
+def test_simperf_chaos_converged(simperf_doc):
+    assert simperf_doc["chaos"]["converged"]
+
+
+def test_simperf_deterministic_events(simperf_doc):
+    """Event counts (unlike wall-clock) are seed-determined; a second
+    run of one sweep point must reproduce them exactly."""
+    again = time_kap(16)
+    row = next(r for r in simperf_doc["kap"] if r["nnodes"] == 16)
+    assert again["events"] == row["events"]
+    assert again["bytes_sent"] == row["bytes_sent"]
+
+
+# -- standalone smoke mode (CI perf-smoke job) --------------------------
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="shrink the sweep to 64/1024/8192 producers")
+    args = ap.parse_args(argv)
+    nodes = SMOKE_NODES if args.smoke else SWEEP_NODES
+    doc = collect(nodes)
+    write_table("simperf", render(doc), data=doc)
+    big = max(doc["kap"], key=lambda r: r["producers"])
+    if big["producers"] >= 8192 and big["wall_s"] >= PAPER_SCALE_BUDGET_S:
+        print(f"FAIL: 8192-producer run took {big['wall_s']}s "
+              f"(budget {PAPER_SCALE_BUDGET_S}s)")
+        return 1
+    print("simperf OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

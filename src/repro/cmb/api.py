@@ -78,13 +78,16 @@ class Handle:
         ``timeout`` bounds each attempt.
         """
         if retries <= 0:
-            ev = self.sim.event(name=f"client-rpc:{topic}")
+            ev = self.sim.event(name=("client-rpc:%s", topic))
             if deadline is None and timeout is not None:
                 deadline = self.sim.now + timeout
             msg = Message(topic=topic, payload=payload or {},
                           src_rank=self.rank)
             msg.ensure_context(origin_rank=self.rank, deadline=deadline)
-            self._trace_root(f"rpc:{topic}", msg, ev)
+            if self.session.span_tracer is not None:
+                # Guarded here, not in _trace_root, so the tracing-off
+                # fast path never even formats the span name.
+                self._trace_root(f"rpc:{topic}", msg, ev)
             self._waiters[msg.msgid] = ev
             self._ipc_deliver(msg)
             if timeout is not None:
@@ -119,7 +122,7 @@ class Handle:
                           timeout: Optional[float],
                           deadline: Optional[float], retries: int,
                           retry_backoff: float) -> Event:
-        ev = self.sim.event(name=f"client-rpc:{topic}")
+        ev = self.sim.event(name=("client-rpc:%s", topic))
         msg0 = Message(topic=topic, payload=payload, src_rank=self.rank)
         tr = self.session.span_tracer
         root = self._trace_root(f"rpc:{topic}", msg0, ev)
@@ -138,7 +141,7 @@ class Handle:
             msg.ctx = RequestContext(reqid=msg0.msgid,
                                      origin_rank=self.rank,
                                      deadline=att_deadline)
-            inner = self.sim.event(name=f"client-rpc-try:{topic}")
+            inner = self.sim.event(name=("client-rpc-try:%s", topic))
             if root is not None:
                 # One child span per attempt under the logical call's
                 # root, so retries are visible in the trace tree.
@@ -208,7 +211,7 @@ class Handle:
                  payload: Optional[dict] = None,
                  timeout: Optional[float] = None) -> Event:
         """Rank-addressed RPC routed over the ring overlay."""
-        ev = self.sim.event(name=f"client-ring:{topic}@{dst_rank}")
+        ev = self.sim.event(name=("client-ring:%s@%d", topic, dst_rank))
         msg = Message(topic=topic, mtype=MessageType.RING,
                       payload=payload or {}, src_rank=self.rank,
                       dst_rank=dst_rank)
@@ -254,7 +257,7 @@ class Handle:
 
     def wait_event(self, prefix: str) -> Event:
         """Event firing with the next published message under ``prefix``."""
-        ev = self.sim.event(name=f"wait-event:{prefix}")
+        ev = self.sim.event(name=("wait-event:%s", prefix))
 
         def once(msg: Message) -> None:
             if not ev.triggered:
@@ -295,9 +298,9 @@ class Handle:
 
     def _ipc_deliver(self, msg: Message) -> None:
         t = self.sim.timeout(self._ipc_delay(msg.size()))
-        t.add_callback(
-            lambda _e: self.broker._route_request(
-                msg, _Source("client", self)))
+        # Fresh timeout: assign the first-callback slot directly.
+        t._cb1 = (lambda _e: self.broker._route_request(
+            msg, _Source("client", self)))
 
     def _inject_ring(self, msg: Message) -> None:
         if msg.dst_rank == self.rank:
@@ -324,7 +327,7 @@ class Handle:
             else:
                 ev.succeed(resp.payload)
 
-        t.add_callback(finish)
+        t._cb1 = finish
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Handle client={self.client_id} rank={self.rank}>"

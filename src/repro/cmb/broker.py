@@ -28,7 +28,8 @@ from ..obs import DEFAULT_SIZE_LADDER, MetricsRegistry
 from ..sim.kernel import Event, Simulation, Timeout
 from .errors import (EHOSTUNREACH, ENOSYS, ETIMEDOUT, RETRYABLE_CODES,
                      RpcError)
-from .message import Message, MessageType, RequestContext, split_topic
+from .message import (HEADER_BYTES, Message, MessageType, RequestContext,
+                      _split_cache, split_topic)
 from .module import CommsModule, NoHandlerError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -46,6 +47,10 @@ PLANE_TREE_RANK = "tree_rank"  # rank-addressed over the tree (extension)
 # clients and in-broker deliveries (module/callback/event sources).
 PLANE_IPC = "ipc"
 PLANE_LOCAL = "local"
+
+#: Enum -> wire-kind string, precomputed: ``Enum.value`` is a
+#: DynamicClassAttribute lookup, too slow for the per-message tally.
+_MTYPE_KIND = {t: t.value for t in MessageType}
 
 
 class _Source:
@@ -121,6 +126,10 @@ class Broker:
         self._inflight: dict[tuple, list[Message]] = {}
         self.replay_cap = 256
         self._subs: list[tuple[str, Callable[[Message], None]]] = []
+        # Frozen snapshot iterated by _deliver_event (the hot event
+        # path); rebuilt on (un)subscribe so delivery needn't copy the
+        # list per event just to guard against mutation mid-iteration.
+        self._subs_snapshot: tuple = ()
         self._inbox = session.network.open_port(
             self.node_id, session.port_key)
         self._proc = None
@@ -238,7 +247,7 @@ class Broker:
         while True:
             item = yield self._inbox.get()
             plane, msg = item
-            self._h_inbox.observe(float(len(self._inbox)))
+            self._h_inbox.observe(float(len(self._inbox._items)))
             if not self.alive:
                 # A failed broker silently eats traffic (the network
                 # already drops fabric messages to it; this covers the
@@ -255,9 +264,11 @@ class Broker:
         if msg.mtype is MessageType.RESPONSE:
             kind = "error" if msg.error is not None else "response"
         else:
-            kind = msg.mtype.value
-        key = (msg.module_name(), plane, kind)
-        self.msg_counts[key] = self.msg_counts.get(key, 0) + 1
+            kind = _MTYPE_KIND[msg.mtype]
+        counts = self.msg_counts
+        st = _split_cache.get(msg.topic) or split_topic(msg.topic)
+        key = (st[0], plane, kind)
+        counts[key] = counts.get(key, 0) + 1
 
     def _send(self, peer_rank: int, plane: str, msg: Message) -> None:
         msg.hops += 1
@@ -305,19 +316,20 @@ class Broker:
     def _route_request(self, msg: Message, source: _Source) -> None:
         """Deliver to a local module or forward upstream (paper: requests
         are routed upstream to the first matching comms module)."""
-        mod = self.modules.get(msg.module_name())
+        st = _split_cache.get(msg.topic) or split_topic(msg.topic)
+        mod = self.modules.get(st[0])
         if mod is not None:
             key = self._dedup_key(msg)
             if key is not None and self._absorb_duplicate(mod.name, key,
                                                           msg, source):
                 return
-            self._c_requests.inc()
+            self._c_requests.value += 1
             self._count(PLANE_LOCAL, msg)
             msg._source = source  # type: ignore[attr-defined]
             msg._broker = self    # type: ignore[attr-defined]
             msg._obs_t0 = self.sim.now  # type: ignore[attr-defined]
-            tr = self.session.span_tracer
-            if tr is not None and msg.span is not None:
+            if (msg.span is not None
+                    and (tr := self.session.span_tracer) is not None):
                 # Open the dispatch span and re-point the message's
                 # span context at it, so sub-requests the module issues
                 # (carrying span=msg.span) become its children.
@@ -389,12 +401,12 @@ class Broker:
         re-execute the request on the healed overlay, not have the old
         transient failure replayed back at it forever.
         """
-        t0 = getattr(request, "_obs_t0", None)
+        t0 = request._obs_t0
         if t0 is not None:
             self._observe_service(request.topic, self.sim.now - t0)
         tr = self.session.span_tracer
         if tr is not None:
-            span = getattr(request, "_obs_span", None)
+            span = request._obs_span
             if span is not None:
                 if resp.error is not None:
                     tr.finish(span, error=resp.errnum)
@@ -452,8 +464,8 @@ class Broker:
         schedule exactly the same events as before."""
         entry = _Pending(source, msg, plane, hop, hop_kind)
         self._pending[msg.msgid] = entry
-        tr = self.session.span_tracer
-        if tr is not None and msg.span is not None:
+        if (msg.span is not None
+                and (tr := self.session.span_tracer) is not None):
             # Per-hop forwarding span: opened when the request leaves
             # this broker, closed when its response retraces the hop
             # (or the hop is failed/re-routed).  Re-pointing msg.span
@@ -565,8 +577,9 @@ class Broker:
             if tr is not None:
                 tr.instant(msg.span, f"event:{msg.topic}", "event",
                            self.rank)
-        for prefix, fn in list(self._subs):
-            if msg.topic.startswith(prefix):
+        topic = msg.topic
+        for prefix, fn in self._subs_snapshot:
+            if topic.startswith(prefix):
                 fn(msg)
 
     # -- tree-routed rank addressing (extension) ---------------------------
@@ -598,7 +611,7 @@ class Broker:
                       span: Optional[tuple] = None) -> Event:
         """Rank-addressed RPC routed over the tree instead of the ring:
         O(log n) hops at the cost of routing knowledge at each hop."""
-        ev = self.sim.event(name=f"treerank:{topic}@{dst_rank}")
+        ev = self.sim.event(name=("treerank:%s@%d", topic, dst_rank))
         msg = Message(topic=topic, mtype=MessageType.RING, payload=payload,
                       src_rank=self.rank, dst_rank=dst_rank, span=span)
         msg.ensure_context(origin_rank=self.rank, deadline=deadline)
@@ -614,16 +627,21 @@ class Broker:
     def rpc_hop_cb(self, peer_rank: int, topic: str, payload: dict,
                    callback: Callable[[Message], None],
                    ctx: Optional[RequestContext] = None,
-                   span: Optional[tuple] = None) -> None:
+                   span: Optional[tuple] = None,
+                   payload_size: Optional[int] = None) -> None:
         """Send a request directly to an adjacent tree neighbour
         (parent OR child), bypassing the local module match — the
         generalization of :meth:`rpc_parent_cb` that lets comms-module
         chains run toward an arbitrary rank (e.g. a non-root KVS
         master).  ``ctx`` propagates an in-flight request's context
         (deadline, origin) across the module-level hop; ``span`` the
-        tracing context, so the hop appears in the caller's trace."""
+        tracing context, so the hop appears in the caller's trace;
+        ``payload_size`` pre-seeds the wire-size cache when the caller
+        already knows the payload's canonical byte size."""
         msg = Message(topic=topic, payload=payload, src_rank=self.rank,
                       ctx=ctx, span=span)
+        if payload_size is not None:
+            msg._size_cache = HEADER_BYTES + payload_size
         msg.ensure_context(origin_rank=self.rank)
         self._register_pending(_Source("callback", callback), msg,
                                PLANE_TREE, peer_rank, "fixed")
@@ -658,24 +676,30 @@ class Broker:
     # ------------------------------------------------------------------
     def respond(self, request: Message, payload: Optional[dict] = None,
                 error: Optional[str] = None, code: Optional[str] = None,
-                err_rank: Optional[int] = None) -> None:
+                err_rank: Optional[int] = None,
+                payload_size: Optional[int] = None) -> None:
         """Send the response for ``request`` back where it came from.
 
         Error responses carry the structured ``code`` (``EPROTO`` when
         the caller supplied none) and the failing rank — this broker's
         unless a relay passes through an upstream ``err_rank``.
+        ``payload_size`` pre-seeds the response's wire-size cache when
+        the caller already knows the payload's canonical byte size
+        (e.g. a KVS object response sized from the store's size cache).
         """
         resp = request.make_response(
             payload, error=error, errnum=code,
             err_rank=(err_rank if err_rank is not None and err_rank >= 0
                       else self.rank) if error is not None else -1)
+        if payload_size is not None and error is None:
+            resp._size_cache = HEADER_BYTES + payload_size
         self._finish_request(request, resp)
 
     def rpc_up(self, topic: str, payload: dict,
                deadline: Optional[float] = None,
                span: Optional[tuple] = None) -> Event:
         """Module/local RPC routed upstream; returns a result event."""
-        ev = self.sim.event(name=f"rpc:{topic}")
+        ev = self.sim.event(name=("rpc:%s", topic))
         msg = Message(topic=topic, payload=payload, src_rank=self.rank,
                       span=span)
         msg.ensure_context(origin_rank=self.rank, deadline=deadline)
@@ -696,18 +720,24 @@ class Broker:
     def rpc_parent_cb(self, topic: str, payload: dict,
                       callback: Callable[[Message], None],
                       ctx: Optional[RequestContext] = None,
-                      span: Optional[tuple] = None) -> None:
+                      span: Optional[tuple] = None,
+                      payload_size: Optional[int] = None) -> None:
         """Send a request directly to the tree parent, bypassing the
         local module match — how instances of the same comms module
         talk upstream to each other (cache fault-in, flush/fence
         forwarding).  The raw response is handed to ``callback``;
         ``ctx`` propagates an in-flight request's context upstream and
-        ``span`` its tracing context."""
+        ``span`` its tracing context; ``payload_size`` pre-seeds the
+        wire-size cache when the caller already knows the payload's
+        canonical byte size (fence/flush payloads are sized
+        compositionally from cached object sizes)."""
         if self.parent is None:
             raise RpcError(topic, "root has no parent",
                            code=EHOSTUNREACH, rank=self.rank)
         msg = Message(topic=topic, payload=payload, src_rank=self.rank,
                       ctx=ctx, span=span)
+        if payload_size is not None:
+            msg._size_cache = HEADER_BYTES + payload_size
         msg.ensure_context(origin_rank=self.rank)
         self._register_pending(_Source("callback", callback), msg,
                                PLANE_TREE, self.parent, "parent")
@@ -725,7 +755,7 @@ class Broker:
                  deadline: Optional[float] = None,
                  span: Optional[tuple] = None) -> Event:
         """Rank-addressed RPC over the ring overlay."""
-        ev = self.sim.event(name=f"ring:{topic}@{dst_rank}")
+        ev = self.sim.event(name=("ring:%s@%d", topic, dst_rank))
         msg = Message(topic=topic, mtype=MessageType.RING, payload=payload,
                       src_rank=self.rank, dst_rank=dst_rank, span=span)
         msg.ensure_context(origin_rank=self.rank, deadline=deadline)
@@ -754,10 +784,12 @@ class Broker:
     def subscribe(self, prefix: str, fn: Callable[[Message], None]) -> None:
         """Register ``fn`` for events whose topic starts with ``prefix``."""
         self._subs.append((prefix, fn))
+        self._subs_snapshot = tuple(self._subs)
 
     def unsubscribe(self, prefix: str, fn: Callable[[Message], None]) -> None:
         """Remove a previously registered subscription."""
         self._subs.remove((prefix, fn))
+        self._subs_snapshot = tuple(self._subs)
 
     def after(self, delay: float, fn: Callable[[], None]) -> Event:
         """Run ``fn`` after ``delay`` simulated seconds (module timers)."""

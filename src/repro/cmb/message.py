@@ -14,7 +14,7 @@ show up in simulated latency exactly as they would on the wire.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Optional
 
@@ -73,18 +73,33 @@ class MessageType(Enum):
     RING = "ring"          # rank-addressed request on the ring overlay
 
 
+#: Memoized topic splits.  Sessions use a small fixed topic vocabulary
+#: (module registries plus a handful of per-namespace heads), but
+#: split_topic runs several times per message hop, so the dict lookup
+#: replaces a string partition + tuple build on the hottest broker
+#: paths.  Bounded so pathological dynamic topics cannot grow it
+#: without limit (entries past the cap are computed but not cached).
+_split_cache: dict[str, tuple[str, str]] = {}
+_SPLIT_CACHE_CAP = 4096
+
+
 def split_topic(topic: str) -> tuple[str, str]:
     """Split ``"kvs.put"`` into ``("kvs", "put")``.
 
     A bare module name maps to the module's default handler ``""``.
     """
-    if not topic:
-        raise ValueError("empty topic")
-    head, _, rest = topic.partition(".")
-    return head, rest
+    hit = _split_cache.get(topic)
+    if hit is None:
+        if not topic:
+            raise ValueError("empty topic")
+        head, _, rest = topic.partition(".")
+        hit = (head, rest)
+        if len(_split_cache) < _SPLIT_CACHE_CAP:
+            _split_cache[topic] = hit
+    return hit
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One CMB message (header frame + JSON payload frame).
 
@@ -141,6 +156,15 @@ class Message:
     # dominate simulation time (profiled at ~25%).
     _size_cache: Optional[int] = field(default=None, repr=False,
                                        compare=False)
+    # Broker-attached delivery bookkeeping (`slots=True` forbids ad-hoc
+    # attributes): the response route, the dispatching broker, the
+    # dispatch timestamp and span.  Never copied across hops — see
+    # :meth:`copy` — and excluded from equality/repr like _size_cache.
+    _source: Any = field(default=None, repr=False, compare=False)
+    _broker: Any = field(default=None, repr=False, compare=False)
+    _obs_t0: Optional[float] = field(default=None, repr=False,
+                                     compare=False)
+    _obs_span: Any = field(default=None, repr=False, compare=False)
 
     def size(self) -> int:
         """Wire size in bytes: fixed header + canonical JSON payload."""
@@ -179,24 +203,63 @@ class Message:
         :mod:`repro.cmb.errors`) and the failing rank; both propagate
         losslessly through multi-hop relays back to the originator.
         """
-        if error is not None and errnum is None:
-            errnum = EPROTO
-        return Message(
-            topic=self.topic,
-            mtype=MessageType.RESPONSE,
-            payload=payload if payload is not None else {},
-            msgid=self.msgid,
-            src_rank=self.src_rank,
-            dst_rank=self.dst_rank,
-            error=error,
-            errnum=errnum if error is not None else None,
-            err_rank=err_rank if error is not None else -1,
-            ctx=self.ctx,
-            span=self.span,
-        )
+        if error is not None:
+            if errnum is None:
+                errnum = EPROTO
+        else:
+            errnum = None
+            err_rank = -1
+        new = Message.__new__(Message)
+        new.topic = self.topic
+        new.mtype = MessageType.RESPONSE
+        new.payload = payload if payload is not None else {}
+        new.msgid = self.msgid
+        new.src_rank = self.src_rank
+        new.dst_rank = self.dst_rank
+        new.error = error
+        new.errnum = errnum
+        new.err_rank = err_rank
+        new.hops = 0
+        new.ctx = self.ctx
+        new.span = self.span
+        new._size_cache = None
+        new._source = None
+        new._broker = None
+        new._obs_t0 = None
+        new._obs_span = None
+        return new
 
     def copy(self, **changes: Any) -> "Message":
-        """Shallow copy with field overrides (fresh msgid NOT assigned)."""
-        if "payload" in changes:
-            changes.setdefault("_size_cache", None)
-        return replace(self, **changes)
+        """Shallow copy with field overrides (fresh msgid NOT assigned).
+
+        Implemented as explicit slot assignments instead of
+        ``dataclasses.replace`` — this runs on every forwarding hop, and
+        ``replace`` pays a full keyword-argument ``__init__`` per call.
+        The size cache survives unless the payload is overridden;
+        broker-attached delivery bookkeeping never propagates to the
+        copy (matching the old ``__dict__``-attribute behaviour).
+        """
+        new = Message.__new__(Message)
+        new.topic = self.topic
+        new.mtype = self.mtype
+        new.payload = self.payload
+        new.msgid = self.msgid
+        new.src_rank = self.src_rank
+        new.dst_rank = self.dst_rank
+        new.error = self.error
+        new.errnum = self.errnum
+        new.err_rank = self.err_rank
+        new.hops = self.hops
+        new.ctx = self.ctx
+        new.span = self.span
+        new._size_cache = self._size_cache
+        new._source = None
+        new._broker = None
+        new._obs_t0 = None
+        new._obs_span = None
+        if changes:
+            if "payload" in changes and "_size_cache" not in changes:
+                changes["_size_cache"] = None
+            for name, value in changes.items():
+                setattr(new, name, value)
+        return new

@@ -102,6 +102,9 @@ class CommsModule:
             raise ValueError(f"{type(self).__name__} must define a name")
         self.broker = broker
         self.config = config
+        # Bound-handler memo filled by dispatch_request: getattr on an
+        # f-string per request is measurable at KAP scale.
+        self._handlers: dict[str, Callable[[Message], None]] = {}
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:
@@ -135,19 +138,27 @@ class CommsModule:
         # the same per-class table repro.cmb.modules.request_registry()
         # exports to the static analysis layer, so a topic the linter
         # accepts is a topic this dispatcher serves (and vice versa).
-        if method not in self._handler_specs:
+        specs = self._handler_specs
+        spec = specs.get(method)
+        if spec is None and method not in specs:
             raise NoHandlerError(
                 f"module {self.name!r} has no handler for "
                 f"{msg.topic!r} at rank {self.broker.rank}")
-        handler: Callable[[Message], None] = getattr(self, f"req_{method}")
-        missing = [f for f in self._handler_specs.get(method, ())
-                   if f not in msg.payload]
-        if missing:
-            self.respond(
-                msg, error=(f"{msg.topic}: missing required payload "
-                            f"field(s) {', '.join(missing)}"),
-                code=EINVAL)
-            return
+        handler = self._handlers.get(method)
+        if handler is None:
+            handler = self._handlers[method] = getattr(
+                self, "req_" + method)
+        if spec:
+            payload = msg.payload
+            for f in spec:
+                if f not in payload:
+                    missing = [f for f in spec if f not in payload]
+                    self.respond(
+                        msg, error=(f"{msg.topic}: missing required "
+                                    f"payload field(s) "
+                                    f"{', '.join(missing)}"),
+                        code=EINVAL)
+                    return
         handler(msg)
 
     # -- convenience ---------------------------------------------------
@@ -163,15 +174,18 @@ class CommsModule:
 
     def respond(self, msg: Message, payload: Optional[dict] = None,
                 error: Optional[str] = None, code: Optional[str] = None,
-                err_rank: Optional[int] = None) -> None:
+                err_rank: Optional[int] = None,
+                payload_size: Optional[int] = None) -> None:
         """Answer a request this module received (possibly much later).
 
         Error responses carry the structured ``code`` (defaulting to
         ``EPROTO``) and the failing rank — this broker's, unless a
         relayed upstream failure supplies its own ``err_rank``.
+        ``payload_size`` pre-seeds the response's wire-size cache when
+        the caller already knows the payload's canonical byte size.
         """
         self.broker.respond(msg, payload, error=error, code=code,
-                            err_rank=err_rank)
+                            err_rank=err_rank, payload_size=payload_size)
 
     def proxy_upstream(self, msg: Message, topic: Optional[str] = None,
                        transform: Optional[Callable[[dict], dict]] = None

@@ -7,15 +7,27 @@ byte encoding: deterministic key order, no whitespace.
 
 This mirrors the paper's design, where messages have "a header frame
 and a JSON frame" and KVS objects are "hashed by their SHA1 digests".
+
+Hot-path discipline (see DESIGN.md "Performance engineering"): the
+digest and the size of an object come from the *same* serialization
+(:func:`digest_and_size`), and call sites that hash the same logical
+value repeatedly (e.g. KAP's redundant-value producers) can memoize
+through the keyed digest cache.  The cache maps an explicit,
+caller-chosen key to ``(sha, size)`` — never ``id(obj)``, which could
+alias after garbage collection — and is LRU-bounded so long test
+sessions cannot grow it without limit.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import re
+from collections import OrderedDict
 from typing import Any
 
-__all__ = ["canonical_dumps", "canonical_size", "sha1_of", "json_loads"]
+__all__ = ["canonical_dumps", "canonical_size", "sha1_of",
+           "digest_and_size", "json_loads"]
 
 
 def canonical_dumps(obj: Any) -> bytes:
@@ -24,14 +36,120 @@ def canonical_dumps(obj: Any) -> bytes:
                       ensure_ascii=False).encode("utf-8")
 
 
+#: Strings matching this need no JSON escaping: every byte is emitted
+#: verbatim between the quotes (``ensure_ascii=False``), so the encoded
+#: length is just the UTF-8 length plus the two quotes.
+_PLAIN_STR = re.compile(r'[^"\\\x00-\x1f]*\Z')
+
+#: Memoized encoded string lengths.  Payload vocabularies are small and
+#: endlessly repeated (field names, topics, SHA1 hex ids), so the memo
+#: turns per-string escaping analysis into one dict probe.  Append-only
+#: with a generous cap; entries past the cap are computed uncached.
+_str_sizes: dict[str, int] = {}
+_STR_SIZE_CAP = 65536
+
+
+def _str_size(s: str) -> int:
+    size = _str_sizes.get(s)
+    if size is None:
+        if _PLAIN_STR.match(s):
+            size = (len(s) if s.isascii() else len(s.encode("utf-8"))) + 2
+        else:
+            size = len(canonical_dumps(s))
+        if len(_str_sizes) < _STR_SIZE_CAP:
+            _str_sizes[s] = size
+    return size
+
+
 def canonical_size(obj: Any) -> int:
-    """Byte length of the canonical encoding (message cost accounting)."""
+    """Byte length of the canonical encoding (message cost accounting).
+
+    Computed arithmetically — container framing plus element sizes —
+    without materializing the encoding; exact types it does not model
+    (str/int/float subclasses, non-string dict keys, NaN/Infinity)
+    fall back to measuring a real :func:`canonical_dumps`.  Exactness
+    against the real encoding is asserted by the test suite: message
+    latencies are derived from these sizes, so an off-by-one here
+    would silently change every simulated timeline.
+    """
+    t = type(obj)
+    sizes = _str_sizes
+    if t is str:
+        return sizes.get(obj) or _str_size(obj)
+    if t is int:
+        return len(repr(obj))
+    if t is dict:
+        n = len(obj)
+        if n == 0:
+            return 2
+        total = 1 + n  # braces plus the n-1 inter-entry commas
+        for k, v in obj.items():
+            if type(k) is not str:
+                return len(canonical_dumps(obj))
+            tv = type(v)
+            total += ((sizes.get(k) or _str_size(k)) + 1
+                      + ((sizes.get(v) or _str_size(v)) if tv is str else
+                         len(repr(v)) if tv is int else
+                         canonical_size(v)))
+        return total
+    if t is list or t is tuple:
+        n = len(obj)
+        if n == 0:
+            return 2
+        total = 1 + n
+        for v in obj:
+            tv = type(v)
+            total += ((sizes.get(v) or _str_size(v)) if tv is str else
+                      len(repr(v)) if tv is int else
+                      canonical_size(v))
+        return total
+    if obj is None:
+        return 4
+    if t is bool:
+        return 4 if obj else 5
+    if t is float:
+        if obj != obj or obj in (float("inf"), float("-inf")):
+            return len(canonical_dumps(obj))
+        return len(repr(obj))
     return len(canonical_dumps(obj))
 
 
-def sha1_of(obj: Any) -> str:
-    """Hex SHA1 digest of the canonical encoding — the KVS object id."""
-    return hashlib.sha1(canonical_dumps(obj)).hexdigest()
+#: Keyed digest memo: explicit key -> (sha, size).  OrderedDict gives a
+#: cheap LRU; iteration order is insertion order, so the cache is
+#: deterministic (and it is never iterated on a hot path anyway).
+_digest_cache: "OrderedDict[Any, tuple[str, int]]" = OrderedDict()
+_DIGEST_CACHE_CAP = 4096
+
+
+def digest_and_size(obj: Any, *, key: Any = None) -> tuple[str, int]:
+    """``(sha1 hex digest, byte size)`` from one canonical serialization.
+
+    ``key`` optionally memoizes the result under a caller-supplied
+    hashable key.  The caller owns the key's meaning: two calls with
+    the same key MUST describe the same canonical encoding (the KVS
+    namespaces its keys, e.g. ``("v", value)`` for value objects).
+    """
+    if key is not None:
+        hit = _digest_cache.get(key)
+        if hit is not None:
+            _digest_cache.move_to_end(key)
+            return hit
+    data = canonical_dumps(obj)
+    out = (hashlib.sha1(data).hexdigest(), len(data))
+    if key is not None:
+        _digest_cache[key] = out
+        if len(_digest_cache) > _DIGEST_CACHE_CAP:
+            _digest_cache.popitem(last=False)
+    return out
+
+
+def sha1_of(obj: Any, *, key: Any = None) -> str:
+    """Hex SHA1 digest of the canonical encoding — the KVS object id.
+
+    ``key`` opts into the keyed digest cache (see
+    :func:`digest_and_size`).
+    """
+    return digest_and_size(obj, key=key)[0]
 
 
 def json_loads(data: bytes | str) -> Any:

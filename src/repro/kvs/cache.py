@@ -65,13 +65,19 @@ class SlaveCache:
         self._last_used[sha] = self._now()
         return obj
 
-    def insert(self, sha: str, obj: dict, *, pin: bool = False) -> None:
+    def insert(self, sha: str, obj: dict, *, pin: bool = False,
+               size: Optional[int] = None) -> None:
         """Cache ``obj`` under ``sha``; ``pin`` protects it from expiry
-        (used for dirty objects awaiting commit)."""
-        self._store.put_with_sha(sha, obj)
+        (used for dirty objects awaiting commit).  ``size`` records the
+        canonical byte size when the caller already knows it."""
+        self._store.put_with_sha(sha, obj, size=size)
         self._last_used[sha] = self._now()
         if pin:
             self._pinned.add(sha)
+
+    def size_of(self, sha: str) -> Optional[int]:
+        """Canonical byte size of a cached object (no touch), or None."""
+        return self._store.size_of(sha)
 
     def unpin(self, sha: str) -> None:
         """Allow a previously pinned object to expire again."""

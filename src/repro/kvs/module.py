@@ -35,10 +35,11 @@ from collections import OrderedDict
 from typing import Any, Callable, Optional
 
 from ..cmb.errors import EIO, ENOENT, RETRYABLE_CODES
-from ..cmb.message import Message, MessageType, RequestContext
+from ..cmb.message import (HEADER_BYTES, Message, MessageType,
+                           RequestContext)
 from ..cmb.module import CommsModule, request_handler
 from ..obs import DEFAULT_SIZE_LADDER
-from ..jsonutil import sha1_of
+from ..jsonutil import canonical_size, digest_and_size
 from .cache import SlaveCache
 from .master import KvsMaster
 from .store import (EMPTY_DIR_SHA, dir_entries, is_dir_obj, make_val_obj,
@@ -198,6 +199,10 @@ class KvsModule(CommsModule):
                                       ns=self.name)
         self._h_fence_wait = reg.histogram("kvs_fence_wait_seconds",
                                            ns=self.name)
+        # Pre-rendered process name for the per-get proc spawned on
+        # every read (req_get is the hottest handler in KAP's consume
+        # phase; the f-string per call showed up in profiles).
+        self._getproc_name = "kvs-get[%d]" % self.rank
 
     def _san(self):
         """The session's sanitizer hub, or ``None`` when disabled.
@@ -224,7 +229,8 @@ class KvsModule(CommsModule):
 
     def _toward_master_cb(self, topic: str, payload: dict, callback,
                           ctx: Optional[RequestContext] = None,
-                          span: Optional[tuple] = None) -> None:
+                          span: Optional[tuple] = None,
+                          payload_size: Optional[int] = None) -> None:
         """Forward a module-chain request one hop toward the master.
 
         With the master at the root (the paper's layout) this follows
@@ -236,16 +242,20 @@ class KvsModule(CommsModule):
 
         ``ctx`` (when forwarding on behalf of a client request) keeps
         the originating request's id/origin/deadline attached to every
-        hop of the module chain.
+        hop of the module chain.  ``payload_size`` is the payload's
+        canonical byte size when the caller already knows it (computed
+        compositionally from cached object sizes — see
+        :meth:`_payload_size_with_objs`), sparing the broker a full
+        re-serialization of potentially large object payloads.
         """
         if self.master_rank == 0:
             self.broker.rpc_parent_cb(topic, payload, callback, ctx=ctx,
-                                      span=span)
+                                      span=span, payload_size=payload_size)
             return
         hop = self.broker.session.topology.next_hop_toward(
             self.rank, self.master_rank)
         self.broker.rpc_hop_cb(hop, topic, payload, callback, ctx=ctx,
-                               span=span)
+                               span=span, payload_size=payload_size)
 
     def _on_pulse(self, _msg: Message) -> None:
         if self.expiry is not None:
@@ -304,11 +314,41 @@ class KvsModule(CommsModule):
             return self.master.store.get(sha)
         return self.cache.get(sha)
 
-    def _obj_put(self, sha: str, obj: dict, *, pin: bool = False) -> None:
+    def _obj_put(self, sha: str, obj: dict, *, pin: bool = False,
+                 size: Optional[int] = None) -> None:
         if self.master is not None:
-            self.master.store.put_with_sha(sha, obj)
+            self.master.store.put_with_sha(sha, obj, size=size)
         else:
-            self.cache.insert(sha, obj, pin=pin)
+            self.cache.insert(sha, obj, pin=pin, size=size)
+
+    def _obj_size(self, sha: str, obj: dict) -> int:
+        """Canonical byte size of ``obj``, via the local store's size
+        cache when it holds ``sha`` (the common case — every sized
+        payload references objects this rank just stored)."""
+        if self.master is not None:
+            size = self.master.store.size_of(sha)
+        else:
+            size = self.cache.size_of(sha)
+        if size is None:
+            size = canonical_size(obj)
+        return size
+
+    def _payload_size_with_objs(self, payload: dict, objs: dict) -> int:
+        """Canonical size of ``payload`` (which maps ``"objs"`` to
+        ``objs``) computed *compositionally*: serialize the frame once
+        with the objs dict emptied, then add each object's cached size
+        plus its fixed per-entry framing (a quoted 40-hex sha, a colon,
+        and an inter-entry comma).  Canonical-JSON sizes are additive,
+        so this equals ``canonical_size(payload)`` exactly — asserted
+        by the equivalence tests — while touching each stored object's
+        bytes zero times.
+        """
+        total = canonical_size({**payload, "objs": {}})
+        for sha, obj in objs.items():
+            total += 43 + self._obj_size(sha, obj)
+        if objs:
+            total += len(objs) - 1
+        return total
 
     def _dirty_for(self, sender: Any) -> _Dirty:
         d = self._dirty.get(sender)
@@ -330,8 +370,11 @@ class KvsModule(CommsModule):
             self.respond(msg, error=str(exc), code=exc.code)
             return
         obj = make_val_obj(value)
-        sha = sha1_of(obj)
-        self._obj_put(sha, obj, pin=True)
+        # Keyed digest memo: KAP's redundant-value mode stores the same
+        # string from every producer — one serialization covers all.
+        sha, size = digest_and_size(
+            obj, key=("v", value) if isinstance(value, str) else None)
+        self._obj_put(sha, obj, pin=True, size=size)
         d = self._dirty_for(sender)
         d.ops.append([key, sha])
         d.objs[sha] = obj
@@ -352,8 +395,9 @@ class KvsModule(CommsModule):
         """Write-back a value on behalf of an in-broker service; returns
         the value object's SHA1."""
         obj = make_val_obj(value)
-        sha = sha1_of(obj)
-        self._obj_put(sha, obj, pin=True)
+        sha, size = digest_and_size(
+            obj, key=("v", value) if isinstance(value, str) else None)
+        self._obj_put(sha, obj, pin=True, size=size)
         d = self._dirty_for(sender)
         d.ops.append([key, sha])
         d.objs[sha] = obj
@@ -454,9 +498,10 @@ class KvsModule(CommsModule):
                        callback: Callable[[Message], None],
                        ctx: Optional[RequestContext] = None,
                        span: Optional[tuple] = None) -> None:
+        payload = {"ops": ops, "objs": objs}
         self._toward_master_cb(
-            f"{self.name}.flush", {"ops": ops, "objs": objs}, callback,
-            ctx=ctx, span=span)
+            f"{self.name}.flush", payload, callback, ctx=ctx, span=span,
+            payload_size=self._payload_size_with_objs(payload, objs))
 
     @request_handler(required=("ops", "objs"))
     def req_flush(self, msg: Message) -> None:
@@ -642,8 +687,10 @@ class KvsModule(CommsModule):
             # Tag only after a failure: fault-free payloads (and hence
             # wire sizes/latencies) stay byte-identical.
             payload["fepoch"] = self.fence_epoch
-        self._toward_master_cb(f"{self.name}.fencedata", payload,
-                               lambda resp: None, span=agg.span)
+        self._toward_master_cb(
+            f"{self.name}.fencedata", payload, lambda resp: None,
+            span=agg.span,
+            payload_size=self._payload_size_with_objs(payload, objs))
         # Held client fences answer when the fence's setroot arrives.
 
     def _flush_fence_shared(self, agg: _FenceAgg) -> None:
@@ -658,12 +705,15 @@ class KvsModule(CommsModule):
         if self.master is not None:
             self._maybe_complete_shared(agg)
             return
+        objs = {**agg.objs, **agg.local_objs}
         payload = {"name": agg.name, "nprocs": agg.nprocs,
                    "shares": {str(o): [s[0], s[1]]
                               for o, s in agg.shares.items()},
-                   "objs": {**agg.objs, **agg.local_objs}}
-        self._toward_master_cb(f"{self.name}.fencedata", payload,
-                               lambda resp: None, span=agg.span)
+                   "objs": objs}
+        self._toward_master_cb(
+            f"{self.name}.fencedata", payload, lambda resp: None,
+            span=agg.span,
+            payload_size=self._payload_size_with_objs(payload, objs))
 
     def _maybe_complete_shared(self, agg: _FenceAgg) -> None:
         """Commit a shares-mode fence once every participant's share
@@ -893,7 +943,7 @@ class KvsModule(CommsModule):
     @request_handler(required=("key",))
     def req_get(self, msg: Message) -> None:
         self.broker.sim.spawn(self._get_proc(msg),
-                              name=f"kvs-get[{self.rank}]")
+                              name=self._getproc_name)
 
     def _get_proc(self, msg: Message):
         key = msg.payload["key"]
@@ -935,7 +985,12 @@ class KvsModule(CommsModule):
             if is_dir_obj(obj):
                 self.respond(msg, {"dir": sorted(dir_entries(obj))})
             else:
-                self.respond(msg, {"value": val_of(obj)})
+                # {"value": X} is 10 framing bytes + size(X); the value
+                # object {"v": X} is 6 + size(X), so the response costs
+                # the stored object's cached size + 4 — no per-get
+                # re-serialization of the value.
+                self.respond(msg, {"value": val_of(obj)},
+                             payload_size=4 + self._obj_size(sha, obj))
         except KvsPathError as exc:
             self.respond(msg, error=str(exc), code=exc.code)
 
@@ -944,7 +999,7 @@ class KvsModule(CommsModule):
         """Fault ``sha`` in from the tree parent; in-flight loads for
         the same object are coalesced.  Returns an event yielding the
         object (or None on failure)."""
-        ev = self.broker.sim.event(name=f"fault:{sha[:8]}")
+        ev = self.broker.sim.event(name=("fault:%s", sha[:8]))
         waiters = self._loads.get(sha)
         if waiters is not None:
             waiters.append(lambda obj: ev.succeed(obj))
@@ -961,7 +1016,14 @@ class KvsModule(CommsModule):
         if resp.error is None:
             obj = resp.payload.get("obj")
             if obj is not None:
-                self._obj_put(sha, obj)
+                # The load response was sized for the wire as
+                # header + 8 + size(obj); recover the object's size
+                # from the message's size cache so every caching rank
+                # along the fault-in chain skips re-serializing it.
+                wire = resp._size_cache
+                self._obj_put(sha, obj,
+                              size=(wire - HEADER_BYTES - 8
+                                    if wire is not None else None))
         for fn in self._loads.pop(sha, []):
             fn(obj)
 
@@ -971,7 +1033,11 @@ class KvsModule(CommsModule):
         sha = msg.payload["sha"]
         obj = self._obj_get(sha)
         if obj is not None:
-            self.respond(msg, {"obj": obj})
+            # {"obj": X} costs 8 framing bytes plus X's canonical size,
+            # which the store already knows — no re-serialization of a
+            # possibly huge directory object per fault-in hop.
+            self.respond(msg, {"obj": obj},
+                         payload_size=8 + self._obj_size(sha, obj))
             return
         if self.master is not None:
             self.respond(msg, error=f"unknown object {sha}", code=ENOENT)
@@ -980,7 +1046,8 @@ class KvsModule(CommsModule):
 
         def relay(obj):
             if obj is not None:
-                self.respond(msg, {"obj": obj})
+                self.respond(msg, {"obj": obj},
+                             payload_size=8 + self._obj_size(sha, obj))
             else:
                 self.respond(msg, error=f"unknown object {sha}",
                              code=ENOENT)

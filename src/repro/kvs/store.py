@@ -15,9 +15,10 @@ property that makes redundant-value fences cheap in Figure 3.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Optional
 
-from ..jsonutil import canonical_size, sha1_of
+from ..jsonutil import canonical_dumps, canonical_size, sha1_of
 
 __all__ = [
     "make_val_obj", "make_dir_obj", "is_dir_obj", "is_val_obj",
@@ -75,12 +76,21 @@ class ObjectStore:
 
     Used both as the master's authoritative store and as the slaves'
     cache backing (:mod:`repro.kvs.cache` adds the expiry policy).
+
+    Stored objects are immutable by contract (their id is the hash of
+    their encoding), so the store can cache each object's canonical
+    byte size alongside it.  :meth:`put_obj` derives the sha *and* the
+    size from a single serialization; :meth:`size_of` then answers
+    network-accounting queries without re-serializing — the dominant
+    cost of fence payload sizing before this cache existed.
     """
 
-    __slots__ = ("_objects",)
+    __slots__ = ("_objects", "_sizes")
 
     def __init__(self):
         self._objects: dict[str, dict] = {EMPTY_DIR_SHA: EMPTY_DIR}
+        self._sizes: dict[str, int] = {
+            EMPTY_DIR_SHA: canonical_size(EMPTY_DIR)}
 
     def __len__(self) -> int:
         return len(self._objects)
@@ -93,18 +103,44 @@ class ObjectStore:
         return self._objects.get(sha)
 
     def put_obj(self, obj: dict) -> str:
-        """Store ``obj``; returns its SHA1 id (idempotent)."""
-        sha = sha1_of(obj)
-        self._objects.setdefault(sha, obj)
+        """Store ``obj``; returns its SHA1 id (idempotent).
+
+        Serializes exactly once: sha and byte size both come from the
+        same canonical encoding.
+        """
+        data = canonical_dumps(obj)
+        sha = hashlib.sha1(data).hexdigest()
+        if sha not in self._objects:
+            self._objects[sha] = obj
+            self._sizes[sha] = len(data)
         return sha
 
-    def put_with_sha(self, sha: str, obj: dict, *, verify: bool = False) -> None:
+    def put_with_sha(self, sha: str, obj: dict, *, verify: bool = False,
+                     size: Optional[int] = None) -> None:
         """Store an object under a caller-supplied sha (already hashed
-        upstream).  ``verify=True`` re-hashes to detect corruption.
+        upstream).  ``verify=True`` re-hashes to detect corruption;
+        ``size`` records the canonical byte size when the caller
+        already knows it (avoiding a later re-serialization in
+        :meth:`size_of`).
         """
         if verify and sha1_of(obj) != sha:
             raise ValueError(f"object does not hash to {sha}")
         self._objects.setdefault(sha, obj)
+        if size is not None:
+            self._sizes.setdefault(sha, size)
+
+    def size_of(self, sha: str) -> Optional[int]:
+        """Canonical byte size of the stored object, or None if absent.
+
+        Computed lazily and cached for objects ingested without a size.
+        """
+        size = self._sizes.get(sha)
+        if size is None:
+            obj = self._objects.get(sha)
+            if obj is None:
+                return None
+            size = self._sizes[sha] = canonical_size(obj)
+        return size
 
     def shas(self) -> list[str]:
         """All stored object ids (testing / introspection)."""
@@ -113,3 +149,4 @@ class ObjectStore:
     def discard(self, sha: str) -> None:
         """Drop an object if present (cache eviction)."""
         self._objects.pop(sha, None)
+        self._sizes.pop(sha, None)

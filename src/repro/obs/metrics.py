@@ -25,9 +25,9 @@ histograms built with the same ladder merge by adding bucket counts.
 
 from __future__ import annotations
 
-import bisect
 import json
 import math
+from bisect import bisect_left
 from typing import Any, Iterable, Optional
 
 __all__ = [
@@ -121,7 +121,7 @@ class Histogram:
 
     def observe(self, v: float) -> None:
         """Record one sample."""
-        self.buckets[bisect.bisect_left(self.bounds, v)] += 1
+        self.buckets[bisect_left(self.bounds, v)] += 1
         self.count += 1
         self.total += v
         if v < self.vmin:

@@ -21,13 +21,22 @@ sequence)`` where ``sequence`` is a monotonically increasing insertion
 counter, so simultaneous events always run in the order they were
 scheduled.  Combined with a single seeded RNG (:attr:`Simulation.rng`)
 a run is exactly reproducible.
+
+Hot-path engineering (see DESIGN.md "Performance engineering"): event
+names are built lazily — constructors store a ``(fmt, *args)`` tuple
+and the :attr:`Event.name` property renders it only when someone
+actually reads the name (a repr, a trace, a replay fingerprint).  The
+rendered string is byte-identical to the old eager f-string, so
+SAN105 fingerprints are unchanged.  Events also keep their first
+callback in a dedicated slot (``_cb1``), deferring the waiter-list
+allocation to the rare multi-waiter case.
 """
 
 from __future__ import annotations
 
-import heapq
 import random
 from collections import deque
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -74,25 +83,49 @@ class Event:
     schedules it, after which all registered callbacks run at the
     trigger time.  Waiting processes resume with the event's value (or
     have the failure exception thrown into them).
+
+    Callback storage is two-tier: the overwhelmingly common single
+    waiter lives in ``_cb1``; only a second waiter allocates the
+    ``callbacks`` overflow list.  ``_cb1`` always runs first, so the
+    run order matches the old single-list behaviour exactly.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_exc", "_state", "name",
-                 "_dead")
+    __slots__ = ("sim", "_cb1", "callbacks", "_value", "_exc", "_state",
+                 "_name", "_dead")
 
     PENDING = 0
     TRIGGERED = 1  # scheduled, callbacks not yet run
     PROCESSED = 2  # callbacks have run
 
-    def __init__(self, sim: "Simulation", name: str = ""):
+    def __init__(self, sim: "Simulation", name: Any = ""):
         self.sim = sim
-        self.name = name
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._name = name
+        self._cb1: Optional[Callable[["Event"], None]] = None
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = None
         self._value: Any = None
         self._exc: Optional[BaseException] = None
         self._state = Event.PENDING
         self._dead = False
 
     # -- inspection ---------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The event's display name, rendered on first access.
+
+        Constructors store either a plain string or a lazy
+        ``("fmt %s", arg, ...)`` tuple; rendering via ``%`` yields the
+        exact byte string the old eager f-strings produced, which the
+        replay fingerprint (SAN105) depends on.
+        """
+        n = self._name
+        if type(n) is tuple:
+            n = self._name = n[0] % n[1:]
+        return n
+
+    @name.setter
+    def name(self, value: Any) -> None:
+        self._name = value
+
     @property
     def triggered(self) -> bool:
         """True once the event has been scheduled to fire."""
@@ -106,7 +139,7 @@ class Event:
     @property
     def ok(self) -> bool:
         """True if the event fired successfully (valid once triggered)."""
-        return self.triggered and self._exc is None
+        return self._state != Event.PENDING and self._exc is None
 
     @property
     def value(self) -> Any:
@@ -114,7 +147,7 @@ class Event:
 
         Raises :class:`SimulationError` if the event is still pending.
         """
-        if not self.triggered:
+        if self._state == Event.PENDING:
             raise SimulationError(f"value of untriggered event {self!r}")
         if self._exc is not None:
             raise self._exc
@@ -124,23 +157,28 @@ class Event:
     def succeed(self, value: Any = None, *, delay: float = 0.0,
                 priority: int = PRIORITY_NORMAL) -> "Event":
         """Fire the event successfully with ``value`` after ``delay``."""
-        if self.triggered:
+        if self._state != Event.PENDING:
             raise SimulationError(f"event {self!r} already triggered")
         self._value = value
         self._state = Event.TRIGGERED
-        self.sim._schedule(self, delay=delay, priority=priority)
+        # Inlined Simulation._schedule (hottest trigger path).
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim.now + delay, priority, seq, self))
         return self
 
     def fail(self, exc: BaseException, *, delay: float = 0.0,
              priority: int = PRIORITY_NORMAL) -> "Event":
         """Fire the event as a failure: ``exc`` is thrown into waiters."""
-        if self.triggered:
+        if self._state != Event.PENDING:
             raise SimulationError(f"event {self!r} already triggered")
         if not isinstance(exc, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._exc = exc
         self._state = Event.TRIGGERED
-        self.sim._schedule(self, delay=delay, priority=priority)
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim.now + delay, priority, seq, self))
         return self
 
     def abandon(self) -> None:
@@ -149,20 +187,49 @@ class Event:
         heap entries without touching ``now``).  Used to cancel the
         loser of an any_of race — e.g. a duration job's superseded
         completion timeout after a malleable resize."""
+        if self._dead:
+            return
         self._dead = True
+        self._cb1 = None
         self.callbacks = None
+        if self._state == Event.TRIGGERED:
+            # The entry is still sitting in the heap; let the loop
+            # compact once dead entries dominate (heap hygiene).
+            self.sim._note_dead()
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
         """Run ``fn(event)`` when the event fires (immediately if done)."""
         if self._state == Event.PROCESSED:
             fn(self)
+        elif self._cb1 is None and self.callbacks is None:
+            if self._dead:
+                raise SimulationError(
+                    f"callback registered on abandoned event {self!r}")
+            self._cb1 = fn
+        elif self.callbacks is None:
+            self.callbacks = [fn]
         else:
-            assert self.callbacks is not None
             self.callbacks.append(fn)
+
+    def _discard_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Detach a previously registered callback (no-op if absent or
+        already run).  Uses ``==`` so re-created bound methods match."""
+        if self._cb1 == fn:
+            self._cb1 = None
+            return
+        cbs = self.callbacks
+        if cbs is not None:
+            try:
+                cbs.remove(fn)
+            except ValueError:
+                pass
 
     def _run_callbacks(self) -> None:
         self._state = Event.PROCESSED
+        cb1, self._cb1 = self._cb1, None
         callbacks, self.callbacks = self.callbacks, None
+        if cb1 is not None:
+            cb1(self)
         if callbacks:
             for fn in callbacks:
                 fn(self)
@@ -180,11 +247,19 @@ class Timeout(Event):
     def __init__(self, sim: "Simulation", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay}")
-        super().__init__(sim, name=f"timeout({delay:g})")
-        self.delay = delay
+        # Inlined Event.__init__ (timeouts are the single hottest event
+        # constructor); the name renders as f"timeout({delay:g})".
+        self.sim = sim
+        self._name = ("timeout(%g)", delay)
+        self._cb1 = None
+        self.callbacks = None
         self._value = value
+        self._exc = None
         self._state = Event.TRIGGERED
-        sim._schedule(self, delay=delay)
+        self._dead = False
+        self.delay = delay
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim.now + delay, PRIORITY_NORMAL, seq, self))
 
 
 class Process(Event):
@@ -202,15 +277,14 @@ class Process(Event):
 
     def __init__(self, sim: "Simulation", gen: Generator, name: str = "",
                  *, contain: bool = False):
-        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        super().__init__(sim, name or getattr(gen, "__name__", "process"))
         self.gen = gen
         self.contain = contain
         self._waiting_on: Optional[Event] = None
         # Bootstrap: start executing at the current time.
-        boot = Event(sim, name=f"start:{self.name}")
-        boot._value = None
+        boot = Event(sim, ("start:%s", self._name))
         boot._state = Event.TRIGGERED
-        boot.add_callback(self._resume)
+        boot._cb1 = self._resume
         sim._schedule(boot, delay=0.0, priority=PRIORITY_URGENT)
 
     @property
@@ -228,16 +302,13 @@ class Process(Event):
         if not self.is_alive:
             raise SimulationError(f"cannot interrupt finished process {self!r}")
         target = self._waiting_on
-        if target is not None and target.callbacks is not None:
-            try:
-                target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+        if target is not None:
+            target._discard_callback(self._resume)
         self._waiting_on = None
-        kick = Event(self.sim, name=f"interrupt:{self.name}")
+        kick = Event(self.sim, ("interrupt:%s", self._name))
         kick._exc = Interrupt(cause)
         kick._state = Event.TRIGGERED
-        kick.add_callback(self._resume)
+        kick._cb1 = self._resume
         self.sim._schedule(kick, delay=0.0, priority=PRIORITY_URGENT)
 
     # -- engine -------------------------------------------------------
@@ -295,17 +366,27 @@ class Channel:
         return len(self._items)
 
     def put(self, item: Any) -> None:
-        """Deposit ``item``; wakes the oldest waiting getter, if any."""
-        while self._getters:
-            getter = self._getters.popleft()
-            if not getter.triggered:  # skip cancelled getters
-                getter.succeed(item)
-                return
+        """Deposit ``item``; wakes the oldest waiting getter, if any.
+
+        Getters that were triggered by something else in the meantime
+        (e.g. a timeout racing the get) are skipped in place — FIFO
+        order among the still-pending getters is preserved.
+        """
+        getters = self._getters
+        if getters:
+            getter = getters.popleft()
+            while getter._state != Event.PENDING:  # skip cancelled getters
+                if not getters:
+                    self._items.append(item)
+                    return
+                getter = getters.popleft()
+            getter.succeed(item)
+            return
         self._items.append(item)
 
     def get(self) -> Event:
         """Return an event that fires with the next item."""
-        ev = Event(self.sim, name=f"get:{self.name}")
+        ev = Event(self.sim, ("get:%s", self.name))
         if self._items:
             ev.succeed(self._items.popleft())
         else:
@@ -328,7 +409,7 @@ class AllOf(Event):
     __slots__ = ("_pending", "_results")
 
     def __init__(self, sim: "Simulation", events: Iterable[Event]):
-        super().__init__(sim, name="all_of")
+        super().__init__(sim, "all_of")
         events = list(events)
         self._results: list[Any] = [None] * len(events)
         self._pending = len(events)
@@ -339,7 +420,7 @@ class AllOf(Event):
             ev.add_callback(lambda e, i=i: self._on_child(i, e))
 
     def _on_child(self, i: int, ev: Event) -> None:
-        if self.triggered:
+        if self._state != Event.PENDING:
             return
         if ev._exc is not None:
             self.fail(ev._exc)
@@ -354,21 +435,40 @@ class AnyOf(Event):
     """Fires as soon as the first of ``events`` fires.
 
     The value is a ``(index, value)`` tuple identifying which event won.
+    Once the race is decided, the watcher callbacks registered on the
+    losing events are detached, so long-lived losers (e.g. an inbox
+    get racing a shutdown event) don't accumulate dead callbacks.
     """
 
-    __slots__ = ()
+    __slots__ = ("_watch",)
 
     def __init__(self, sim: "Simulation", events: Iterable[Event]):
-        super().__init__(sim, name="any_of")
+        super().__init__(sim, "any_of")
         events = list(events)
         if not events:
             raise ValueError("AnyOf requires at least one event")
+        self._watch: tuple = ()
+        watch = []
         for i, ev in enumerate(events):
-            ev.add_callback(lambda e, i=i: self._on_child(i, e))
+            cb = (lambda e, i=i: self._on_child(i, e))
+            watch.append((ev, cb))
+            ev.add_callback(cb)
+            if self._state != Event.PENDING:
+                break  # an already-processed input decided the race
+        if self._state == Event.PENDING:
+            self._watch = tuple(watch)
+        else:
+            for other, cb in watch:
+                if other._state != Event.PROCESSED:
+                    other._discard_callback(cb)
 
     def _on_child(self, i: int, ev: Event) -> None:
-        if self.triggered:
+        if self._state != Event.PENDING:
             return
+        watch, self._watch = self._watch, ()
+        for j, (other, cb) in enumerate(watch):
+            if j != i and other._state != Event.PROCESSED:
+                other._discard_callback(cb)
         if ev._exc is not None:
             self.fail(ev._exc)
         else:
@@ -395,6 +495,7 @@ class Simulation:
         self.strict = strict
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
+        self._ndead = 0
         self._active_process: Optional[Process] = None
         self._nevents = 0
         #: Optional observer called as ``event_hook(t, priority, ev)``
@@ -405,9 +506,9 @@ class Simulation:
         self.event_hook: Optional[Callable[[float, int, Event], None]] = None
 
     # -- event creation helpers ----------------------------------------
-    def event(self, name: str = "") -> Event:
+    def event(self, name: Any = "") -> Event:
         """Create a fresh pending :class:`Event`."""
-        return Event(self, name=name)
+        return Event(self, name)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event firing ``delay`` seconds from now."""
@@ -439,31 +540,100 @@ class Simulation:
     def _schedule(self, ev: Event, *, delay: float = 0.0,
                   priority: int = PRIORITY_NORMAL) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, ev))
+        heappush(self._heap, (self.now + delay, priority, self._seq, ev))
 
-    def run(self, until: Optional[float] = None,
-            max_events: Optional[int] = None) -> float:
-        """Run until the heap drains, ``until`` is reached, or the event
-        budget ``max_events`` is exhausted.  Returns the final clock.
+    def _note_dead(self) -> None:
+        """Account one abandoned in-heap entry; compact the heap once
+        dead entries dominate.  Re-heapifying the surviving entries
+        cannot change processing order — the ``(time, priority, seq)``
+        key is a total order — so compaction is invisible to a run.
+        Compaction mutates the heap list *in place*: the run loops keep
+        a local alias to it, and rebinding ``self._heap`` mid-run would
+        strand newly scheduled events in a list the loop never sees."""
+        self._ndead += 1
+        heap = self._heap
+        if self._ndead > 512 and self._ndead * 2 > len(heap):
+            heap[:] = [e for e in heap if not e[3]._dead]
+            heapify(heap)
+            self._ndead = 0
+
+    def _step(self, max_events: Optional[int] = None) -> bool:
+        """Pop and process the next live event.
+
+        The single loop body shared by :meth:`run` and
+        :meth:`run_until_complete`: dead-entry skipping, the event
+        budget, and the observer hook live here so the two drivers
+        cannot drift apart.  Returns False when the heap is drained.
         """
-        while self._heap:
-            t, _prio, _seq, ev = self._heap[0]
+        heap = self._heap
+        while heap:
+            entry = heappop(heap)
+            ev = entry[3]
             if ev._dead:
-                heapq.heappop(self._heap)
+                if self._ndead > 0:
+                    self._ndead -= 1
                 continue
-            if until is not None and t > until:
-                self.now = until
-                return self.now
-            heapq.heappop(self._heap)
+            t = entry[0]
             self.now = t
             self._nevents += 1
             if max_events is not None and self._nevents > max_events:
                 raise SimulationError(
                     f"event budget {max_events} exhausted at t={self.now:g}")
             if self.event_hook is not None:
-                self.event_hook(t, _prio, ev)
+                self.event_hook(t, entry[1], ev)
             ev._run_callbacks()
-        if until is not None and until > self.now:
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run until the heap drains, ``until`` is reached, or the event
+        budget ``max_events`` is exhausted.  Returns the final clock.
+        """
+        if until is None:
+            if max_events is None and self.event_hook is None:
+                # Tight loop for the common full-drain run: no budget
+                # or hook checks per event, callback dispatch inlined
+                # (byte-for-byte the logic of _run_callbacks, so the
+                # processing order — and hence any fingerprint taken
+                # with the hook installed — is unchanged).
+                heap = self._heap
+                while heap:
+                    entry = heappop(heap)
+                    ev = entry[3]
+                    if ev._dead:
+                        if self._ndead > 0:
+                            self._ndead -= 1
+                        continue
+                    self.now = entry[0]
+                    self._nevents += 1
+                    ev._state = 2  # Event.PROCESSED
+                    cb1 = ev._cb1
+                    callbacks = ev.callbacks
+                    ev._cb1 = None
+                    ev.callbacks = None
+                    if cb1 is not None:
+                        cb1(ev)
+                    if callbacks:
+                        for fn in callbacks:
+                            fn(ev)
+                return self.now
+            while self._step(max_events):
+                pass
+            return self.now
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head[3]._dead:
+                heappop(heap)
+                if self._ndead > 0:
+                    self._ndead -= 1
+                continue
+            if head[0] > until:
+                self.now = until
+                return self.now
+            self._step(max_events)
+        if until > self.now:
             self.now = until
         return self.now
 
@@ -471,20 +641,9 @@ class Simulation:
                            max_events: Optional[int] = None) -> Any:
         """Run until ``proc`` finishes and return its value."""
         while not proc.triggered:
-            if not self._heap:
+            if not self._step(max_events):
                 raise SimulationError(
                     f"deadlock: process {proc.name!r} never completed")
-            t, _prio, _seq, ev = heapq.heappop(self._heap)
-            if ev._dead:
-                continue
-            self.now = t
-            self._nevents += 1
-            if max_events is not None and self._nevents > max_events:
-                raise SimulationError(
-                    f"event budget {max_events} exhausted at t={self.now:g}")
-            if self.event_hook is not None:
-                self.event_hook(t, _prio, ev)
-            ev._run_callbacks()
         return proc.value
 
     @property

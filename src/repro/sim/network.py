@@ -235,11 +235,14 @@ class Network:
                 for _ in range(1 + dups):
                     at = plan.fifo_clamp(src, dst, deliver_at)
                     ev = self.sim.timeout(at - self.sim.now)
-                    ev.add_callback(
+                    ev._cb1 = (
                         lambda _ev: self._deliver(src, dst, port, payload))
                 return
+        # Freshly created timeouts have no waiters, so the first-callback
+        # slot is assigned directly (equivalent to add_callback, minus
+        # its state checks on this hottest of paths).
         ev = self.sim.timeout(delay)
-        ev.add_callback(lambda _ev: self._deliver(src, dst, port, payload))
+        ev._cb1 = lambda _ev: self._deliver(src, dst, port, payload)
 
     def _deliver(self, src: int, dst: int, port: Any,
                  payload: Any) -> None:

@@ -1,0 +1,101 @@
+"""Hot-path optimizations must be invisible to the simulation.
+
+This PR's performance work (memoized canonical sizes, keyed digest
+caches, lazy event names, the inlined kernel run loop, ``_cb1``
+single-waiter dispatch, heap compaction) is licensed by one contract:
+a same-seed run produces the *byte-identical* event stream — and
+therefore identical SAN105 replay fingerprints, event counts, wire
+bytes and simulated latencies — as the unoptimized code.
+
+The golden values below were captured on the pre-optimization tree
+(commit 82f684f) with the exact configurations used here.  If any
+optimization perturbs scheduling order, message sizes, or float
+arithmetic, these pins catch it; they are the regression gate the
+DESIGN.md "Performance engineering" section points at.
+"""
+
+import pytest
+
+from repro.kap import KapConfig, run_kap
+
+from .chaos import run_chaos_workload
+
+#: (config kwargs, goldens from the pre-optimization tree).
+GOLDEN_KAP = {
+    "small": (
+        dict(nnodes=8, procs_per_node=2, value_size=64, nputs=2,
+             naccess=2, seed=3),
+        dict(fingerprint="4b28c8bd1454f43c667dacec7bc8acd7e2238c0f",
+             events=791, bytes_sent=36784,
+             producer=1.609399999999997e-05,
+             sync=3.56660833333333e-05,
+             consumer=7.34134999999998e-05,
+             total_time=0.0003038966874999998),
+    ),
+    "medium": (
+        dict(nnodes=16, procs_per_node=4, value_size=512, dir_width=16,
+             seed=5),
+        dict(fingerprint="65e419734171c3860d9c717f49eaef4475f6da18",
+             events=1911, bytes_sent=173375,
+             producer=8.122166666666689e-06,
+             sync=5.455387499999964e-05,
+             consumer=5.73521458333333e-05,
+             total_time=0.00035949131249999965),
+    ),
+    "large": (
+        dict(nnodes=32, procs_per_node=4, value_size=256,
+             redundant_values=True, sync="commit_wait", seed=7),
+        dict(fingerprint="5a30713309bd78e3112c99bb725debbc1b7a1ae6",
+             events=13019, bytes_sent=979286,
+             producer=8.07933333333335e-06,
+             sync=0.0007939087708333497,
+             consumer=3.718991666666681e-05,
+             total_time=0.0011213096458333493),
+    ),
+}
+
+GOLDEN_CHAOS = dict(
+    fingerprint="aab95fab6805f380726e1e083f4889f731cb2654",
+    converged=True, reads_verified=16,
+    makespan=0.00015684556249999991)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_KAP))
+def test_kap_matches_preoptimization_goldens(name):
+    cfg_kw, want = GOLDEN_KAP[name]
+    res = run_kap(KapConfig(**cfg_kw), sanitize=True)
+    assert res.sanitizer_findings == []
+    assert res.event_fingerprint == want["fingerprint"]
+    assert res.events == want["events"]
+    assert res.bytes_sent == want["bytes_sent"]
+    # Latencies are simulated-time floats: the same event stream must
+    # reproduce them bit for bit, so exact equality is the point.
+    assert res.max_producer_latency == want["producer"]
+    assert res.max_sync_latency == want["sync"]
+    assert res.max_consumer_latency == want["consumer"]
+    assert res.total_time == want["total_time"]
+
+
+def test_chaos_matches_preoptimization_goldens():
+    rep = run_chaos_workload(n_nodes=15, n_clients=8, drop_rate=0.01,
+                             n_iters=1, sanitize=True)
+    assert rep.sanitizer_findings == []
+    assert rep.event_fingerprint == GOLDEN_CHAOS["fingerprint"]
+    assert rep.converged is GOLDEN_CHAOS["converged"]
+    assert rep.reads_verified == GOLDEN_CHAOS["reads_verified"]
+    assert rep.makespan == GOLDEN_CHAOS["makespan"]
+
+
+def test_same_seed_runs_are_identical():
+    """Replay determinism independent of the pinned goldens: two
+    fresh same-seed runs in one process (so every memo cache is warm
+    the second time) must still fingerprint identically."""
+    cfg = dict(nnodes=8, procs_per_node=4, value_size=128, seed=11)
+    a = run_kap(KapConfig(**cfg), sanitize=True)
+    b = run_kap(KapConfig(**cfg), sanitize=True)
+    assert a.event_fingerprint == b.event_fingerprint
+    assert a.events == b.events
+    assert a.bytes_sent == b.bytes_sent
+    assert a.max_producer_latency == b.max_producer_latency
+    assert a.max_sync_latency == b.max_sync_latency
+    assert a.total_time == b.total_time

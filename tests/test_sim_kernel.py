@@ -381,3 +381,126 @@ class TestAbandon:
 
         p = sim.spawn(proc())
         assert sim.run_until_complete(p) == "done"
+
+
+class TestChannelCancelledGetters:
+    """Regression tests for the in-place skip of getters that were
+    triggered by something other than a put (e.g. a shutdown path
+    flushing a pending get): ``put`` must hand the item to the oldest
+    *still-pending* getter, preserving FIFO among the survivors."""
+
+    def test_put_skips_externally_triggered_getter(self, sim):
+        ch = sim.channel()
+        g1, g2, g3 = ch.get(), ch.get(), ch.get()
+        g2.succeed("flushed")  # cancelled out of band while queued
+        ch.put("x")
+        ch.put("y")
+        sim.run()
+        assert g1.value == "x"
+        assert g2.value == "flushed"
+        assert g3.value == "y"
+
+    def test_item_queued_when_every_getter_cancelled(self, sim):
+        ch = sim.channel()
+        g1, g2 = ch.get(), ch.get()
+        g1.succeed("a")
+        g2.succeed("b")
+        ch.put("kept")
+        sim.run()
+        assert ch.peek_all() == ["kept"]
+        assert ch.get().value == "kept"
+
+
+class TestHotPathMachinery:
+    def test_timeout_name_rendered_lazily(self, sim):
+        t = sim.timeout(0.25)
+        assert type(t._name) is tuple  # not rendered yet
+        assert t.name == "timeout(0.25)"  # == old f"timeout({0.25:g})"
+        assert type(t._name) is str  # memoized after first read
+
+    def test_lazy_name_matches_eager_format(self, sim):
+        for delay in (0.0, 1.3e-6, 0.05, 2.0, 123456.789):
+            assert sim.timeout(delay).name == f"timeout({delay:g})"
+        ch = sim.channel(name="inbox:3:default")
+        assert ch.get().name == "get:inbox:3:default"
+
+    def test_callbacks_run_in_registration_order(self, sim):
+        order = []
+        ev = sim.timeout(0.0)
+        for tag in "abcd":  # first lands in _cb1, rest overflow
+            ev.add_callback(lambda e, tag=tag: order.append(tag))
+        sim.run()
+        assert order == list("abcd")
+
+    def test_discard_callback_from_either_tier(self, sim):
+        order = []
+
+        def make(tag):
+            return lambda e: order.append(tag)
+
+        a, b, c = make("a"), make("b"), make("c")
+        ev = sim.timeout(0.0)
+        for cb in (a, b, c):
+            ev.add_callback(cb)
+        ev._discard_callback(a)  # the _cb1 slot
+        ev._discard_callback(c)  # the overflow list
+        sim.run()
+        assert order == ["b"]
+
+    def test_add_callback_on_abandoned_event_rejected(self, sim):
+        ev = sim.timeout(1.0)
+        ev.abandon()
+        with pytest.raises(SimulationError):
+            ev.add_callback(lambda e: None)
+
+    def test_any_of_detaches_loser_callbacks(self, sim):
+        winner = sim.timeout(1.0, value="w")
+        loser = sim.event()
+        combo = sim.any_of([loser, winner])
+        assert loser._cb1 is not None  # watcher attached
+        sim.run()
+        assert combo.value == (1, "w")
+        assert loser._cb1 is None and not loser.callbacks  # detached
+        loser.succeed("late")  # losers stay usable after the race
+        sim.run()
+        assert combo.value == (1, "w")
+        assert loser.value == "late"
+
+
+class TestHeapCompaction:
+    def test_compaction_mid_run_keeps_later_events(self, sim):
+        """Abandoning >512 scheduled events mid-run triggers heap
+        compaction; events scheduled afterwards must still be seen by
+        the already-running loop (compaction mutates the heap list in
+        place — rebinding it would strand them in a new list)."""
+        done = []
+
+        def body():
+            doomed = [sim.timeout(100.0) for _ in range(600)]
+            yield sim.timeout(1.0)
+            for t in doomed:
+                t.abandon()
+            assert sim._ndead < 600  # compaction ran at least once
+            yield sim.timeout(1.0)  # scheduled post-compaction
+            done.append(sim.now)
+
+        sim.spawn(body())
+        sim.run()
+        assert done == [2.0]
+        assert sim.now == 2.0  # dead entries never advanced the clock
+
+    def test_compaction_during_until_run(self, sim):
+        done = []
+
+        def body():
+            doomed = [sim.timeout(50.0) for _ in range(600)]
+            yield sim.timeout(1.0)
+            for t in doomed:
+                t.abandon()
+            yield sim.timeout(1.0)
+            done.append(sim.now)
+
+        sim.spawn(body())
+        sim.run(until=10.0)
+        assert done == [2.0]
+        assert sim.now == 10.0
