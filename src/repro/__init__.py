@@ -53,15 +53,21 @@ def standard_session(cluster: Cluster,
                      hb_period: float = 0.1,
                      hb_max_epochs: Optional[int] = None,
                      task_registry: Optional[dict] = None,
-                     kvs_expiry: Optional[float] = None) -> CommsSession:
+                     kvs_expiry: Optional[float] = None,
+                     kvs_replicas: tuple = ()) -> CommsSession:
     """Build a comms session loaded with the full Table I module set.
 
     The heartbeat is off by default so bounded simulations drain
     naturally; enable it (with ``hb_max_epochs`` in tests) for the
     ``live``/``mon``/cache-expiry machinery.
+
+    ``kvs_replicas`` names the ranks holding standby replicas of the
+    KVS root master (multi-master failover); empty keeps the classic
+    single-master protocol.
     """
     modules = [
-        ModuleSpec(KvsModule, expiry=kvs_expiry),
+        ModuleSpec(KvsModule, expiry=kvs_expiry,
+                   replicas=tuple(kvs_replicas)),
         ModuleSpec(BarrierModule),
         ModuleSpec(LogModule),
         ModuleSpec(GroupModule),

@@ -822,11 +822,21 @@ class Broker:
         follow the healed parent pointer, re-sent along the new route.
         """
         heal_target = self.session.nearest_live_ancestor(dead_rank)
+        if heal_target is None:
+            # The dead rank's whole ancestor chain (the static root
+            # included) is gone: the minimum live rank becomes the
+            # acting overlay root — it keeps parent None and adopts;
+            # everyone else heals toward it.
+            acting = self.session.acting_root()
+            adopter = acting
+            heal_target = acting if acting != self.rank else None
+        else:
+            adopter = heal_target
         if self.parent == dead_rank:
             self.parent = heal_target
         if dead_rank in self.children:
             self.children.remove(dead_rank)
-        if heal_target == self.rank:
+        if adopter == self.rank:
             for peer in self.session.brokers:
                 if (peer.alive and peer.rank != self.rank
                         and peer.parent == dead_rank

@@ -58,6 +58,8 @@ EVENT_TOPICS = frozenset({
     "wexec.done",
     "job.state",
     "kvs.setroot",
+    "kvs.delegation",
+    "kvs.newmaster",
     "fault",
 })
 

@@ -39,11 +39,23 @@ class HeartbeatModule(CommsModule):
         self.period = period
         self.max_epochs = max_epochs
         self.epoch = 0
+        self._beating = False
 
     def start(self) -> None:
         self.broker.subscribe("hb.pulse", self._on_pulse)
         if self.is_root:
+            self._beating = True
             self.broker.after(self.period, self._beat)
+
+    def ensure_beating(self) -> None:
+        """Adopt the pulse-generator role — called by the ``live``
+        module when this broker becomes the acting overlay root after
+        the static root died (the heartbeat must not die with it).
+        Idempotent; picks up from this broker's observed epoch."""
+        if self._beating or not self.broker.alive:
+            return
+        self._beating = True
+        self.broker.after(self.period, self._beat)
 
     def _beat(self) -> None:
         if not self.broker.alive:

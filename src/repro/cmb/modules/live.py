@@ -111,7 +111,16 @@ class LiveModule(CommsModule):
         session = self.broker.session
         target = session.nearest_live_ancestor(self.rank)
         if target is None:
-            return
+            # Our entire ancestor chain — the static root included —
+            # is dead.  The minimum live rank takes the root's place;
+            # everyone else attaches to it.
+            acting = session.acting_root()
+            if acting is None:
+                return
+            if acting == self.rank:
+                self._become_acting_root(dead_parent)
+                return
+            target = acting
         self.log("err", f"parent {dead_parent} silent and dead; "
                         f"re-attaching to {target}")
         self.announced.add(dead_parent)
@@ -128,6 +137,28 @@ class LiveModule(CommsModule):
         self.broker._fail_pending_via(dead_parent)
         self.broker.send_parent("live.hello", {"rank": self.rank,
                                                "epoch": self.epoch})
+
+    def _become_acting_root(self, dead_parent: int) -> None:
+        """Take over the overlay root role: the static root (and every
+        ancestor between it and us) is dead, and we are the minimum
+        live rank.  Detach upward, restart the heartbeat so liveness
+        detection and pulse-synchronized services keep running, and
+        announce the death from the new event-plane flood point —
+        ``handle_peer_down`` then runs *here first* (floods deliver
+        locally before forwarding), so the orphan adoption scan has
+        re-parented every cut-off peer before the flood fans out."""
+        broker = self.broker
+        self.log("err", f"ancestor chain dead via {dead_parent}; "
+                        f"rank {self.rank} becomes acting overlay root")
+        self.announced.add(dead_parent)
+        broker.parent = None
+        broker.session._subtree_procs_cache = None
+        broker._fail_pending_via(dead_parent)
+        hb = broker.modules.get("hb")
+        if hb is not None:
+            hb.ensure_beating()
+        broker.publish("live.down", {"rank": dead_parent,
+                                     "epoch": self.epoch})
 
     # ------------------------------------------------------------------
     def _on_pulse(self, msg: Message) -> None:

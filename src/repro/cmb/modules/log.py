@@ -87,6 +87,12 @@ class LogModule(CommsModule):
         if not self._batch:
             return
         batch, self._batch = self._batch, []
+        if self.broker.parent is None:
+            # We became the acting overlay root after the static root
+            # died: there is no upstream, so our sink *is* the session
+            # log now.
+            self.sink.extend(batch)
+            return
         self.broker.rpc_parent_cb("log.append", {"records": batch},
                                   lambda resp: None)
 

@@ -144,6 +144,16 @@ class CommsSession:
             p = self.parent_of(p)
         return p
 
+    def acting_root(self) -> Optional[int]:
+        """The deterministic acting overlay root: the minimum live
+        rank.  When the static root (or a rank's whole ancestor chain)
+        is dead, every live broker heals toward this rank — it takes
+        over the event-plane flood point and the heartbeat."""
+        for broker in self.brokers:
+            if broker.alive:
+                return broker.rank
+        return None
+
     # ------------------------------------------------------------------
     # module management
     # ------------------------------------------------------------------

@@ -222,6 +222,31 @@ class KvsClient:
             else:
                 w._on_root_update(msg)
 
+    # -- ownership delegation ----------------------------------------------
+    def delegate(self, prefix: str, rank: int,
+                 timeout: Optional[float] = None) -> Event:
+        """Delegate ownership of the directory subtree at ``prefix`` to
+        the broker at ``rank``: that broker becomes the subtree's
+        master (own root reference and version sequence), and the root
+        tree binds a link object so cross-subtree reads still compose.
+        Fires with ``{"pfx", "rank", "version"}`` once the link commit
+        has been applied at the root master."""
+        return self._rpc(f"{self.module}.delegate",
+                         {"pfx": prefix, "rank": rank}, timeout=timeout)
+
+    def recall(self, prefix: str, timeout: Optional[float] = None) -> Event:
+        """Undo :meth:`delegate`: fold the subtree's current state back
+        into the root master's tree and drop the ownership entry.
+        Fires with ``{"pfx", "version"}`` after the fold-back commit."""
+        return self._rpc(f"{self.module}.recall", {"pfx": prefix},
+                         timeout=timeout)
+
+    def owners(self, timeout: Optional[float] = None) -> Event:
+        """The ownership table as seen by the answering broker: fires
+        with ``{"owners": {prefix: rank}, "hosted": [prefix, ...]}``
+        (``hosted`` lists subtrees mastered by that broker itself)."""
+        return self._rpc(f"{self.module}.owners", timeout=timeout)
+
     # -- diagnostics --------------------------------------------------------
     def stats(self, rank: Optional[int] = None) -> Event:
         """Cache statistics of the local (or a specific) KVS instance,

@@ -27,6 +27,33 @@ Implements the full Section IV-B protocol:
 - **setroot events** — the master publishes each new root reference on
   the event plane; slaves apply versions monotonically, release
   ``wait_version`` waiters, and complete held fences.
+
+The multi-master extension (the paper's stated future work of
+"distributing the KVS master itself") adds two orthogonal mechanisms,
+both inert — and event-identical to the single-master protocol — until
+explicitly configured:
+
+- **subtree ownership delegation** — ``kvs.delegate`` hands a directory
+  subtree (e.g. ``job.42``) to an interior broker, which instantiates
+  its own :class:`KvsMaster` for that namespace (own root ref, version
+  sequence, fence bookkeeping).  Every rank keeps an ownership table
+  fed by totally-ordered ``kvs.delegation`` events; writes and reads
+  under a delegated prefix route hop-by-hop toward the owner
+  (``rpc_hop_cb``), falling back root-ward on a miss.  The root binds a
+  *link object* at the delegated path so cross-subtree reads still
+  compose into one hash tree: a walk landing on a link re-routes to the
+  owning rank.
+- **root replication + ring-election failover** — with ``replicas``
+  configured, the root master streams each commit as a
+  :class:`~repro.kvs.master.CommitRecord` to the standby replicas and
+  defers both the client ack and the setroot publish until the ack
+  watermark covers the commit (semi-synchronous replication: an acked
+  write is never lost with the master).  On the master's death
+  (``live.down``), the standbys run a Chang–Roberts ring election that
+  promotes the most-caught-up replica; everyone else learns the winner
+  from the totally-ordered ``kvs.newmaster`` event and re-routes, and
+  in-flight fences replay idempotently through the chaos-recovery
+  machinery.
 """
 
 from __future__ import annotations
@@ -34,17 +61,18 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Callable, Optional
 
-from ..cmb.errors import EIO, ENOENT, RETRYABLE_CODES
+from ..cmb.errors import (EEXIST, EHOSTUNREACH, EINVAL, EIO, ENOENT,
+                          RETRYABLE_CODES)
 from ..cmb.message import (HEADER_BYTES, Message, MessageType,
                            RequestContext)
 from ..cmb.module import CommsModule, request_handler
 from ..obs import DEFAULT_SIZE_LADDER
 from ..jsonutil import canonical_size, digest_and_size
 from .cache import SlaveCache
-from .master import KvsMaster
-from .store import (EMPTY_DIR_SHA, dir_entries, is_dir_obj, make_val_obj,
-                    val_of)
-from .hashtree import KvsPathError, split_key
+from .hashtree import KvsPathError, apply_updates, lookup_ref, split_key
+from .master import CommitRecord, KvsMaster
+from .store import (EMPTY_DIR_SHA, dir_entries, is_dir_obj, is_link_obj,
+                    link_of, make_link_obj, make_val_obj, val_of)
 
 __all__ = ["KvsModule"]
 
@@ -129,13 +157,15 @@ class KvsModule(CommsModule):
     def __init__(self, broker, *, expiry: Optional[float] = None,
                  fence_window: float = 1e-4, name: str = "kvs",
                  master_rank: int = 0, master_commit_cost: float = 0.0,
-                 master_op_cost: float = 0.0):
+                 master_op_cost: float = 0.0,
+                 replicas: tuple = (), repl_ack_min: int = 1):
         self.name = name  # instance override: sharded namespaces load
         # several KvsModule instances under distinct topic heads.
         super().__init__(broker, expiry=expiry, fence_window=fence_window,
                          name=name, master_rank=master_rank,
                          master_commit_cost=master_commit_cost,
-                         master_op_cost=master_op_cost)
+                         master_op_cost=master_op_cost,
+                         replicas=replicas, repl_ack_min=repl_ack_min)
         self.expiry = expiry
         #: Aggregation window for partial fence flushes (seconds): how
         #: long a slave waits for more subtree contributions before
@@ -178,6 +208,56 @@ class KvsModule(CommsModule):
         self.completed_cap = 64
         self._sync_busy = False
         self._sync_at = -1.0
+        # ---- multi-master extension (all inert when unconfigured) ----
+        #: Ranks holding standby replicas of the root master's state.
+        #: Empty (the default) keeps the single-master protocol
+        #: event-identical to the pre-replication revision.
+        self.replicas = tuple(sorted(r for r in replicas))
+        #: Standby acks required before a commit is acknowledged to the
+        #: client (clamped to the number of live replicas).
+        self.repl_ack_min = repl_ack_min
+        self._standby: Optional[KvsMaster] = (
+            KvsMaster() if (self.rank in self.replicas
+                            and self.rank != master_rank) else None)
+        # Master-side replication: in-flight commit log suffix, per-
+        # replica ack watermarks, and (version, fn) acks deferred until
+        # the watermark covers them.
+        self._repl_log: list[CommitRecord] = []
+        self._repl_acks: dict[int, int] = {}
+        self._repl_waiters: list[tuple[int, Callable[[], None]]] = []
+        # Standby-side: out-of-order record buffer and the completed-
+        # fence digest a promoted standby seeds ``_completed`` from.
+        self._standby_buffer: dict[int, CommitRecord] = {}
+        self._standby_completed: "OrderedDict[str, tuple[int, str]]" = (
+            OrderedDict())
+        self._repl_sync_busy = False
+        self._repl_sync_at = -1.0
+        #: Failover state.  ``_failed_over`` flips permanently once a
+        #: promotion happened: routing then targets ``master_rank``
+        #: explicitly instead of the root-ward parent chain.
+        self._failed_over = False
+        self._master_down = False
+        self._master_down_at = 0.0
+        #: Ownership table: delegated prefix -> owning rank, learned
+        #: from totally-ordered ``{name}.delegation`` events (every
+        #: rank converges on the same table).
+        self.owners: dict[str, int] = {}
+        #: Delegate masters hosted at *this* rank: prefix -> KvsMaster.
+        self.delegates: dict[str, KvsMaster] = {}
+        #: Highest delegated-namespace version observed per prefix at
+        #: this rank — a monotonic floor so an out-of-order remote-get
+        #: response is not reported to the sanitizers as a read
+        #: regression it is not.
+        self._pfx_seen: dict[str, int] = {}
+        # Fence completions deferred on in-flight delegated parts:
+        # fence name -> outstanding part count / deferred finisher.
+        self._fence_deleg_pending: dict[str, int] = {}
+        self._fence_deferred: dict[str, Callable[[], None]] = {}
+        # Per-owner commit counts (a CounterVec materializes no cells
+        # until first inc, so snapshots are unchanged when delegation
+        # is off).
+        self._cv_owner_commits = broker.registry.counter_vec(
+            "kvs_owner_commits_total", ("ns", "owner"))
         # Registry instruments (broker-owned registry; `ns` label keeps
         # sharded namespaces apart).  Cache hit/miss stay in the
         # SlaveCache's own hot-path counters and are synced into the
@@ -224,6 +304,10 @@ class KvsModule(CommsModule):
     # ------------------------------------------------------------------
     def start(self) -> None:
         self.broker.subscribe(f"{self.name}.setroot", self._on_setroot_event)
+        self.broker.subscribe(f"{self.name}.delegation",
+                              self._on_delegation_event)
+        self.broker.subscribe(f"{self.name}.newmaster",
+                              self._on_newmaster_event)
         self.broker.subscribe("live.down", self._on_live_down)
         self.broker.subscribe("hb.pulse", self._on_pulse)
 
@@ -236,9 +320,9 @@ class KvsModule(CommsModule):
         With the master at the root (the paper's layout) this follows
         the *live* parent pointer, so it keeps working after the
         overlay self-heals around a dead interior node.  Relocated
-        shard masters (the distributed-master extension) route on the
-        static topology; healing around failures on those paths is out
-        of scope, as root-path fault tolerance was in the paper.
+        masters — spread shard masters, or the survivor of a root
+        failover — route on the static topology, detouring around
+        corpses via :meth:`_live_hop_toward`.
 
         ``ctx`` (when forwarding on behalf of a client request) keeps
         the originating request's id/origin/deadline attached to every
@@ -248,14 +332,103 @@ class KvsModule(CommsModule):
         :meth:`_payload_size_with_objs`), sparing the broker a full
         re-serialization of potentially large object payloads.
         """
-        if self.master_rank == 0:
+        if self.master_rank == 0 and not self._failed_over:
+            if self.broker.parent is None:
+                # Acting overlay root during a root-death window: there
+                # is no parent to forward to.  Synthesize a retryable
+                # failure instead of raising into the broker main loop;
+                # the client retries once a new master is elected.
+                self._unreachable(topic, callback)
+                return
             self.broker.rpc_parent_cb(topic, payload, callback, ctx=ctx,
                                       span=span, payload_size=payload_size)
             return
-        hop = self.broker.session.topology.next_hop_toward(
-            self.rank, self.master_rank)
+        self._hop_rpc(self.master_rank, topic, payload, callback, ctx=ctx,
+                      span=span, payload_size=payload_size)
+
+    # ------------------------------------------------------------------
+    # rank-addressed routing (delegation / replication / election)
+    # ------------------------------------------------------------------
+    def _unreachable(self, topic: str,
+                     callback: Callable[[Message], None]) -> None:
+        """Answer ``callback`` with a locally synthesized retryable
+        EHOSTUNREACH response when no live next hop exists."""
+        callback(Message(topic=topic, mtype=MessageType.RESPONSE,
+                         payload={}, src_rank=self.rank,
+                         error="no live route toward target",
+                         errnum=EHOSTUNREACH, err_rank=self.rank))
+
+    def _live_hop_toward(self, dst: int) -> Optional[int]:
+        """Next live hop toward rank ``dst`` on the (healed) overlay.
+
+        Prefers the static tree hop — on a healthy fabric this is
+        byte-identical to pre-failover routing.  When the static hop is
+        a corpse, descend into the live child whose static subtree
+        holds ``dst`` (adoption attaches whole subtrees, so a healed
+        grandchild edge covers it), else climb to the live parent;
+        parents are always static ancestors, so the walk is monotone
+        and cannot loop.  ``None`` when no live hop exists.
+        """
+        if dst == self.rank:
+            return None
+        session = self.broker.session
+        topo = session.topology
+        hop = topo.next_hop_toward(self.rank, dst)
+        if session.brokers[hop].alive:
+            return hop
+        for child in sorted(self.broker.children):
+            if child != hop and topo.is_in_subtree(dst, child):
+                return child
+        parent = self.broker.parent
+        if parent is not None and session.brokers[parent].alive:
+            return parent
+        return None
+
+    def _hop_rpc(self, dst: int, topic: str, payload: dict, callback,
+                 ctx: Optional[RequestContext] = None,
+                 span: Optional[tuple] = None,
+                 payload_size: Optional[int] = None) -> None:
+        """RPC toward rank ``dst`` one live hop at a time (handlers at
+        intermediate ranks forward on a ``dst`` payload mismatch)."""
+        hop = self._live_hop_toward(dst)
+        if hop is None:
+            self._unreachable(topic, callback)
+            return
         self.broker.rpc_hop_cb(hop, topic, payload, callback, ctx=ctx,
                                span=span, payload_size=payload_size)
+
+    def _relay_response(self, msg: Message, resp: Message) -> None:
+        """Relay an upstream/peer response back to ``msg``'s source."""
+        if resp.error is not None:
+            self.respond(msg, error=resp.error, code=resp.errnum,
+                         err_rank=resp.err_rank)
+        else:
+            self.respond(msg, dict(resp.payload))
+
+    def _forwarded(self, msg: Message) -> bool:
+        """Forward ``msg`` another hop when its ``dst`` is not us.
+        Returns True when the message was passed on."""
+        dst = msg.payload.get("dst")
+        if dst is None or dst == self.rank:
+            return False
+        self._hop_rpc(dst, msg.topic, msg.payload,
+                      lambda resp: self._relay_response(msg, resp),
+                      ctx=msg.ctx, span=msg.span)
+        return True
+
+    def _owner_prefix(self, key: str) -> Optional[str]:
+        """Longest delegated prefix owning ``key`` (component-wise
+        match), or ``None`` when the key lives in the root namespace."""
+        if not self.owners:
+            return None
+        k = key
+        while True:
+            if k in self.owners:
+                return k
+            i = k.rfind(".")
+            if i < 0:
+                return None
+            k = k[:i]
 
     def _on_pulse(self, _msg: Message) -> None:
         if self.expiry is not None:
@@ -268,15 +441,26 @@ class KvsModule(CommsModule):
         # pulse.  Without a fault plan the fabric only drops traffic
         # addressed to dead nodes, and the live.down resync covers
         # that — no gossip traffic is generated.
-        if (self.master is None and self.master_rank == 0
-                and self.broker.network.fault_plan is not None
-                and self.broker.parent is not None):
+        fault = self.broker.network.fault_plan is not None
+        if (self.master is None and fault
+                and (self.master_rank == 0 or self._failed_over)
+                and (self.broker.parent is not None or self._failed_over)):
             self._resync_root()
             # Anti-entropy for in-progress fences too: re-emitting the
             # cumulative shares map is idempotent, so a pulse-period
             # re-send repairs any contribution lost on a lossy link.
             for name in list(self._fences):
                 self._flush_fence(name)
+        if self.replicas:
+            # Replication re-drives (idempotent: streaming re-sends the
+            # unacked log suffix, elections re-circulate tokens).  All
+            # conditions are False in an unreplicated session.
+            if self.master is not None and fault and self._repl_log:
+                self._stream_replicas()
+            if self._standby is not None and self._standby_buffer and fault:
+                self._standby_sync()
+            if self._master_down and self._standby is not None:
+                self._start_election()
 
     # ------------------------------------------------------------------
     # master service-time queue
@@ -305,6 +489,785 @@ class KvsModule(CommsModule):
                 yield self.broker.sim.timeout(cost)
             apply_fn()
         self._master_busy = False
+
+    # ------------------------------------------------------------------
+    # root replication (semi-synchronous commit log streaming)
+    # ------------------------------------------------------------------
+    def _commit_replicated(self, ops: list, objs: dict,
+                           fn: Callable[[int, str], None],
+                           fence: Optional[str] = None) -> None:
+        """Apply a root-namespace commit; run ``fn(version, rootref)``
+        once it is durable.
+
+        Without replicas that is immediately — the exact single-master
+        code path, no extra bookkeeping.  With replicas the commit is
+        journaled into a :class:`CommitRecord`, streamed to the
+        standbys, and ``fn`` (which publishes the setroot and answers
+        the client) is deferred until ``repl_ack_min`` live standbys
+        acknowledged it — so an acknowledged write survives the
+        master's death by construction.
+        """
+        if not self.replicas:
+            self.master.ingest_objects(objs)
+            res = self.master.commit([(k, s) for k, s in ops])
+            fn(res.version, res.root_sha)
+            return
+        res, rec = self.master.commit_logged([(k, s) for k, s in ops],
+                                             objs)
+        if objs or fence is not None:
+            # The journal only captures objects *new* to the store;
+            # merge the flushed objects in explicitly so records stay
+            # self-contained even when a value object was pre-stored
+            # (e.g. by a master-rank client's put).  ``fence`` tags the
+            # record so a promoted standby can seed its completed-fence
+            # digest (shares-mode fences complete via plain commits).
+            rec = CommitRecord(rec.version, rec.root_sha,
+                               {**objs, **rec.objs}, fence)
+        self._replicate(rec, lambda: fn(res.version, res.root_sha))
+
+    def _fence_replicated(self, name: str, nprocs: int, count: int,
+                          ops: list, objs: dict,
+                          fn: Callable[[int, str], None]) -> bool:
+        """Replication-aware :meth:`KvsMaster.fence_add`; ``fn`` fires
+        (durably, as in :meth:`_commit_replicated`) only when this
+        contribution completed the fence.  Returns True when the fence
+        completed."""
+        if not self.replicas:
+            res = self.master.fence_add(name, nprocs, count,
+                                        [(k, s) for k, s in ops], objs)
+            if res is None:
+                return False
+            fn(res.version, res.root_sha)
+            return True
+        res, rec = self.master.fence_add_logged(
+            name, nprocs, count, [(k, s) for k, s in ops], objs)
+        if res is None:
+            return False
+        self._replicate(rec, lambda: fn(res.version, res.root_sha))
+        return True
+
+    def _replicate(self, rec: CommitRecord,
+                   fn: Callable[[], None]) -> None:
+        self._repl_log.append(rec)
+        self._after_replicated(rec.version, fn)
+        self._stream_replicas()
+
+    def _live_replicas(self) -> list[int]:
+        return [r for r in self.replicas
+                if r != self.rank and self.broker.session.brokers[r].alive]
+
+    def _ack_watermark(self) -> Optional[int]:
+        """Highest version ``repl_ack_min`` live standbys have acked,
+        or ``None`` when no ack is required (degraded: no live
+        replicas left — proceed unreplicated rather than hang)."""
+        live = self._live_replicas()
+        need = min(self.repl_ack_min, len(live))
+        if need <= 0:
+            return None
+        acks = sorted((self._repl_acks.get(r, 0) for r in live),
+                      reverse=True)
+        return acks[need - 1]
+
+    def _after_replicated(self, version: int,
+                          fn: Callable[[], None]) -> None:
+        mark = self._ack_watermark()
+        if mark is None or mark >= version:
+            fn()
+            return
+        self._repl_waiters.append((version, fn))
+
+    def _drain_repl_waiters(self) -> None:
+        if not self._repl_waiters:
+            return
+        mark = self._ack_watermark()
+        still: list[tuple[int, Callable[[], None]]] = []
+        ready: list[tuple[int, Callable[[], None]]] = []
+        for w in self._repl_waiters:
+            (ready if (mark is None or mark >= w[0]) else still).append(w)
+        self._repl_waiters = still
+        for _v, fire in ready:      # appended in version order
+            fire()
+
+    def _stream_replicas(self) -> None:
+        """Send each live standby the log suffix it has not acked.
+        Idempotent (standbys drop duplicates by version), so the pulse
+        re-drive under a fault plan simply calls this again."""
+        if self.master is None or not self._repl_log:
+            return
+        live = self._live_replicas()
+        if live:
+            floor = min(self._repl_acks.get(r, 0) for r in live)
+            while self._repl_log and self._repl_log[0].version <= floor:
+                self._repl_log.pop(0)
+        for r in live:
+            acked = self._repl_acks.get(r, 0)
+            recs = [rec.to_wire() for rec in self._repl_log
+                    if rec.version > acked]
+            if not recs:
+                continue
+            self._hop_rpc(r, f"{self.name}.replicate",
+                          {"dst": r, "recs": recs},
+                          lambda resp, r=r: self._on_repl_ack(r, resp))
+
+    def _on_repl_ack(self, r: int, resp: Message) -> None:
+        if resp.error is not None:
+            return      # next commit / pulse re-drive re-streams
+        acked = resp.payload.get("acked", 0)
+        if acked > self._repl_acks.get(r, 0):
+            self._repl_acks[r] = acked
+            self._drain_repl_waiters()
+
+    @request_handler(required=("recs",))
+    def req_replicate(self, msg: Message) -> None:
+        """Standby side: fold streamed commit records in, in version
+        order (buffering gaps), and ack the contiguous watermark."""
+        if self._forwarded(msg):
+            return
+        if self._standby is None:
+            # Promoted meanwhile (or never a standby): ack at our own
+            # version so the sender stops streaming to us.
+            ver = self.master.version if self.master is not None else 0
+            self.respond(msg, {"acked": ver})
+            return
+        sb = self._standby
+        for wire in msg.payload["recs"]:
+            rec = CommitRecord.from_wire(wire)
+            if rec.version > sb.version:
+                self._standby_buffer[rec.version] = rec
+        while sb.version + 1 in self._standby_buffer:
+            rec = self._standby_buffer.pop(sb.version + 1)
+            sb.apply_record(rec)
+            if rec.fence is not None:
+                self._standby_completed[rec.fence] = (rec.version,
+                                                      rec.root_sha)
+                while len(self._standby_completed) > self.completed_cap:
+                    self._standby_completed.popitem(last=False)
+        for v in sorted(self._standby_buffer):
+            if v <= sb.version:
+                del self._standby_buffer[v]
+        self.respond(msg, {"acked": sb.version})
+
+    def _standby_sync(self) -> None:
+        """Close a persistent replication gap (lost records under a
+        fault plan) by pulling a full snapshot from the master."""
+        now = self.broker.sim.now
+        if self._repl_sync_busy and now - self._repl_sync_at < 0.25:
+            return
+        self._repl_sync_busy = True
+        self._repl_sync_at = now
+        self._hop_rpc(self.master_rank, f"{self.name}.replsync",
+                      {"dst": self.master_rank}, self._on_replsync)
+
+    def req_replsync(self, msg: Message) -> None:
+        if self._forwarded(msg):
+            return
+        if self.master is None:
+            self.respond(msg, error="not the master", code=EHOSTUNREACH)
+            return
+        self.respond(msg, {
+            "version": self.master.version,
+            "rootref": self.master.root_sha,
+            "objs": self.master.reachable_objects(),
+            "completed": {n: [v, r]
+                          for n, (v, r) in self._completed.items()}})
+
+    def _on_replsync(self, resp: Message) -> None:
+        self._repl_sync_busy = False
+        sb = self._standby
+        if resp.error is not None or sb is None:
+            return
+        p = resp.payload
+        if p["version"] > sb.version:
+            for sha in sorted(p["objs"]):
+                sb.store.put_with_sha(sha, p["objs"][sha])
+            sb.root_sha = p["rootref"]
+            sb.version = p["version"]
+        for fname in sorted(p.get("completed", {})):
+            ver, root = p["completed"][fname]
+            self._standby_completed[fname] = (ver, root)
+        for v in sorted(self._standby_buffer):
+            if v <= sb.version:
+                del self._standby_buffer[v]
+
+    # ------------------------------------------------------------------
+    # ring election among standbys (root failover)
+    # ------------------------------------------------------------------
+    def _election_ring(self) -> list[int]:
+        """Live standby ranks in ascending order — the election ring.
+        Deterministic at every rank (liveness is learned from the same
+        totally-ordered ``live.down`` events)."""
+        return [r for r in self.replicas
+                if r != self.master_rank
+                and self.broker.session.brokers[r].alive]
+
+    def _start_election(self) -> None:
+        """Chang–Roberts over the live standbys: each candidate
+        circulates ``(version, rank)``; a token strictly better than
+        the receiver's own candidacy (higher version; ties toward the
+        lower rank) is forwarded, a worse one is swallowed, and a
+        candidate receiving its own token back is the unique winner —
+        the most-caught-up replica, which with semi-synchronous
+        replication holds every acknowledged write.  Restarted on every
+        heartbeat pulse while the master is down, so lost tokens under
+        a fault plan only delay the election."""
+        if not self._master_down or self._standby is None:
+            return
+        ring = self._election_ring()
+        if self.rank not in ring:
+            return
+        if len(ring) == 1:
+            self._promote()
+            return
+        self._send_elect_token(ring, self._standby.version, self.rank)
+
+    def _send_elect_token(self, ring: list[int], cver: int,
+                          cand: int) -> None:
+        succ = ring[(ring.index(self.rank) + 1) % len(ring)]
+        self._hop_rpc(succ, f"{self.name}.elect",
+                      {"dst": succ, "cver": cver, "cand": cand},
+                      lambda resp: None)
+
+    @request_handler(required=("cver", "cand"))
+    def req_elect(self, msg: Message) -> None:
+        if self._forwarded(msg):
+            return
+        p = msg.payload
+        self.respond(msg, {})
+        if self.master is not None and self._failed_over:
+            # Already promoted: a circulating token means some standby
+            # missed the announcement — repair it.
+            self._publish_newmaster()
+            return
+        if self._standby is None or not self._master_down:
+            return
+        if p["cand"] == self.rank:
+            self._promote()
+            return
+        ring = self._election_ring()
+        if self.rank not in ring:
+            return
+        mine = (self._standby.version, -self.rank)
+        theirs = (p["cver"], -p["cand"])
+        if theirs > mine:
+            self._send_elect_token(ring, p["cver"], p["cand"])
+        else:
+            self._send_elect_token(ring, self._standby.version, self.rank)
+
+    def _promote(self) -> None:
+        """This standby won: adopt the replicated state as the
+        authoritative root-namespace master and announce it via the
+        totally-ordered ``{name}.newmaster`` event."""
+        if self.master is not None or self._standby is None:
+            return
+        reg = self.broker.registry
+        reg.counter("kvs_elections_total", ns=self.name).inc()
+        reg.histogram("kvs_election_seconds", ns=self.name).observe(
+            self.broker.sim.now - self._master_down_at)
+        self.master = self._standby
+        self._standby = None
+        self._standby_buffer.clear()
+        self.master_rank = self.rank
+        self._failed_over = True
+        self._master_down = False
+        self._repl_log = []
+        self._repl_acks = {}
+        for fname in list(self._standby_completed):
+            ver, root = self._standby_completed[fname]
+            self._record_completed(fname, ver, root)
+        self._apply_root(self.master.version, self.master.root_sha)
+        self._publish_newmaster()
+        # In-flight fences replay (idempotently, via the shares
+        # protocol) toward the promoted master.
+        self.broker.after(0.0, self._recover_shared if self._shared_mode()
+                          else self._recover_after_down)
+
+    def _publish_newmaster(self) -> None:
+        self.broker.publish(f"{self.name}.newmaster",
+                            {"rank": self.rank,
+                             "version": self.master.version,
+                             "rootref": self.master.root_sha})
+
+    def _on_newmaster_event(self, msg: Message) -> None:
+        p = msg.payload
+        self._master_down = False
+        if p["rank"] == self.rank:
+            return
+        self.master_rank = p["rank"]
+        self._failed_over = True
+        if self.master is not None:
+            # Double promotion resolved by event total order: the later
+            # announcement wins everywhere; demote to a plain slave.
+            self.master = None
+        self._apply_root(p["version"], p["rootref"])
+        self.broker.after(0.0, self._recover_shared if self._shared_mode()
+                          else self._recover_after_down)
+
+    # ------------------------------------------------------------------
+    # subtree ownership delegation
+    # ------------------------------------------------------------------
+    def _partition_ops(self, ops: list, objs: dict
+                       ) -> tuple[list, dict, dict]:
+        """Split a commit into its root-namespace part and one group
+        per delegated prefix: ``(root_ops, root_objs, {pfx: (ops,
+        objs)})``.  Objects follow the ops that reference them (an
+        object referenced from both sides travels with both)."""
+        root_ops: list = []
+        by_pfx: dict[str, list] = {}
+        for op in ops:
+            pfx = self._owner_prefix(op[0])
+            if pfx is None:
+                root_ops.append(op)
+            else:
+                by_pfx.setdefault(pfx, []).append(op)
+        if not by_pfx:
+            return ops, objs, {}
+        used: set = set()
+        groups: dict[str, tuple] = {}
+        for pfx in sorted(by_pfx):
+            g_ops = by_pfx[pfx]
+            g_objs = {s: objs[s] for _k, s in g_ops
+                      if s is not None and s in objs}
+            used.update(g_objs)
+            groups[pfx] = (g_ops, g_objs)
+        root_shas = {s for _k, s in root_ops if s is not None}
+        root_objs = {s: o for s, o in objs.items()
+                     if s in root_shas or s not in used}
+        return root_ops, root_objs, groups
+
+    def _local_response(self, payload: dict) -> Message:
+        """A synthesized success response for work applied locally
+        (keeps locally- and remotely-routed parts on one callback
+        shape)."""
+        return Message(topic=f"{self.name}.flush",
+                       mtype=MessageType.RESPONSE, payload=payload,
+                       src_rank=self.rank)
+
+    def _owner_flush(self, pfx: str, ops: list, objs: dict,
+                     done: Callable[[Message], None],
+                     ctx: Optional[RequestContext] = None,
+                     span: Optional[tuple] = None) -> None:
+        """Route a delegated-namespace commit part to its owner.
+
+        Hosted here: apply on the local delegate master.  Owned
+        elsewhere: ship hop-by-hop toward the owner.  No longer
+        delegated (recall raced the write): fall back root-ward — the
+        master re-partitions against its own table, so a stale hop
+        table self-corrects.  Claimed by this rank but not yet adopted
+        (delegation in flight): fail retryably.
+        """
+        dm = self.delegates.get(pfx)
+        if dm is not None:
+            def apply():
+                dm.ingest_objects(objs)
+                res = dm.commit([(k, s) for k, s in ops])
+                self._cv_owner_commits.inc((self.name, self.rank))
+                ns = f"{self.name}/{pfx}"
+                seen = self._pfx_seen.get(pfx, -1)
+                if res.version > seen:
+                    self._pfx_seen[pfx] = res.version
+                san = self._san()
+                if san is not None:
+                    san.kvs_root_applied(ns, self.rank, res.version)
+                    san.kvs_commit_ack(ns, self.rank, res.version)
+                self._publish_setroot(res.version, res.root_sha,
+                                      span=span, pfx=pfx)
+                done(self._local_response({"version": res.version,
+                                           "rootref": res.root_sha,
+                                           "pfx": pfx}))
+            self._master_run(len(ops), apply)
+            return
+        owner = self.owners.get(pfx)
+        if owner is None:
+            # Recalled (or never delegated as far as this rank knows):
+            # the keys belong to the root namespace again.
+            self._root_part_commit(ops, objs, done, ctx=ctx, span=span)
+            return
+        if owner == self.rank:
+            done(Message(topic=f"{self.name}.flush",
+                         mtype=MessageType.RESPONSE, payload={},
+                         src_rank=self.rank,
+                         error=f"delegation of {pfx!r} in flight",
+                         errnum=EIO, err_rank=self.rank))
+            return
+        payload = {"ops": ops, "objs": objs, "pfx": pfx, "dst": owner}
+        self._hop_rpc(owner, f"{self.name}.flush", payload, done,
+                      ctx=ctx, span=span,
+                      payload_size=self._payload_size_with_objs(payload,
+                                                                objs))
+
+    def _root_part_commit(self, ops: list, objs: dict,
+                          done: Callable[[Message], None],
+                          ctx: Optional[RequestContext] = None,
+                          span: Optional[tuple] = None) -> None:
+        """Commit the root-namespace part of a partitioned commit —
+        locally when this rank is the master, else forwarded."""
+        if self.master is not None:
+            def apply():
+                def fin(version, rootref):
+                    self._apply_root(version, rootref)
+                    self._publish_setroot(version, rootref, span=span)
+                    done(self._local_response({"version": version,
+                                               "rootref": rootref}))
+                self._commit_replicated(ops, objs, fin)
+            self._master_run(len(ops), apply)
+            return
+
+        def relay(resp: Message) -> None:
+            if resp.error is None:
+                self._apply_root(resp.payload["version"],
+                                 resp.payload["rootref"])
+            done(resp)
+
+        self._forward_flush(ops, objs, relay, ctx=ctx, span=span)
+
+    def _commit_partitioned(self, msg: Message, sender: Any,
+                            root_ops: list, root_objs: dict,
+                            groups: dict, *,
+                            ack_here: bool = True) -> None:
+        """Run a partitioned commit: the root part plus one delegated
+        part per owner, all concurrently; answer ``msg`` once every
+        part settled.  ``sender`` (when this rank fronts the client)
+        re-stashes the whole batch on a retryable failure so the
+        client's retry re-flushes it.  ``ack_here`` notifies the
+        consistency sanitizers — True at the client-facing rank, False
+        when relaying a downstream flush (the origin acks)."""
+        state: dict[str, Any] = {"left": 1 + len(groups), "error": None,
+                                 "version": self.version,
+                                 "rootref": self.root_sha,
+                                 "subroots": {}}
+        all_ops = list(root_ops)
+        all_objs = dict(root_objs)
+        for pfx in sorted(groups):
+            all_ops.extend(groups[pfx][0])
+            all_objs.update(groups[pfx][1])
+
+        def finish() -> None:
+            err = state["error"]
+            if err is not None:
+                if (sender is not None and err.errnum in RETRYABLE_CODES
+                        and (all_ops or all_objs)):
+                    self._restash(sender, all_ops, all_objs)
+                self.respond(msg, error=err.error, code=err.errnum,
+                             err_rank=err.err_rank)
+                return
+            if ack_here:
+                san = self._san()
+                if san is not None:
+                    san.kvs_commit_ack(self.name, self.rank,
+                                       state["version"])
+                    for pfx in sorted(state["subroots"]):
+                        pver = state["subroots"][pfx][0]
+                        san.kvs_commit_ack(f"{self.name}/{pfx}",
+                                           self.rank, pver)
+            out = {"version": state["version"],
+                   "rootref": state["rootref"]}
+            if state["subroots"]:
+                out["subroots"] = state["subroots"]
+            self.respond(msg, out)
+
+        def part_done(pfx: Optional[str], resp: Message) -> None:
+            state["left"] -= 1
+            if resp.error is not None:
+                if state["error"] is None:
+                    state["error"] = resp
+            elif pfx is None:
+                state["version"] = resp.payload["version"]
+                state["rootref"] = resp.payload["rootref"]
+            else:
+                state["subroots"][pfx] = [resp.payload["version"],
+                                          resp.payload["rootref"]]
+            if state["left"] == 0:
+                finish()
+
+        if root_ops or root_objs or not groups:
+            self._root_part_commit(root_ops, root_objs,
+                                   lambda resp: part_done(None, resp),
+                                   ctx=msg.ctx, span=msg.span)
+        else:
+            # Wholly-delegated batch: don't serialize an empty commit
+            # through the root master (that serialization is what
+            # delegation exists to relieve); answer with the root
+            # state as locally applied.
+            state["left"] -= 1
+        for pfx in sorted(groups):
+            g_ops, g_objs = groups[pfx]
+            self._owner_flush(pfx, g_ops, g_objs,
+                              lambda resp, p=pfx: part_done(p, resp),
+                              ctx=msg.ctx, span=msg.span)
+
+    # -- fence completions with delegated parts -------------------------
+    def _fence_ship_delegated(self, name: str, groups: dict) -> None:
+        """Ship a fence's delegated op groups to their owners; the
+        fence's completion (setroot publish + release) defers until
+        every part is acknowledged, so a fence ack implies the whole
+        collective write — delegated parts included — is readable."""
+        for pfx in sorted(groups):
+            g_ops, g_objs = groups[pfx]
+            self._fence_deleg_pending[name] = (
+                self._fence_deleg_pending.get(name, 0) + 1)
+            self._fence_part_flush(name, pfx, g_ops, g_objs)
+
+    def _fence_part_flush(self, name: str, pfx: str, ops: list,
+                          objs: dict) -> None:
+        def shipped(resp: Message) -> None:
+            if (resp.error is not None
+                    and resp.errnum in RETRYABLE_CODES):
+                self.broker.after(
+                    5e-3,
+                    lambda: self._fence_part_flush(name, pfx, ops, objs))
+                return
+            self._fence_part_done(name)
+        self._owner_flush(pfx, ops, objs, shipped)
+
+    def _fence_part_done(self, name: str) -> None:
+        left = self._fence_deleg_pending.get(name, 0) - 1
+        if left > 0:
+            self._fence_deleg_pending[name] = left
+            return
+        self._fence_deleg_pending.pop(name, None)
+        fire = self._fence_deferred.pop(name, None)
+        if fire is not None:
+            fire()
+
+    def _fence_finish_when_shipped(self, name: str,
+                                   finish: Callable[[], None]) -> None:
+        if self._fence_deleg_pending.get(name):
+            self._fence_deferred[name] = finish
+        else:
+            finish()
+
+    # -- delegation / recall RPCs ---------------------------------------
+    @request_handler(required=("pfx", "rank"))
+    def req_delegate(self, msg: Message) -> None:
+        """Delegate the subtree at ``pfx`` to broker ``rank``: snapshot
+        it out of the root tree, ship it to the new owner, bind a link
+        object in its place, and announce the new ownership on the
+        (totally ordered) event plane."""
+        if self.master is None:
+            self._toward_master_cb(
+                f"{self.name}.delegate", dict(msg.payload),
+                lambda resp: self._relay_response(msg, resp),
+                ctx=msg.ctx, span=msg.span)
+            return
+        pfx = msg.payload["pfx"]
+        rank = msg.payload["rank"]
+        try:
+            split_key(pfx)
+        except KvsPathError as exc:
+            self.respond(msg, error=str(exc), code=exc.code)
+            return
+        if pfx in self.owners:
+            self.respond(msg, error=f"{pfx!r} is already delegated",
+                         code=EEXIST)
+            return
+        if rank == self.master_rank:
+            self.respond(msg, error="cannot delegate to the master rank",
+                         code=EINVAL)
+            return
+        sub = self.master.subtree_ref(pfx)
+        if sub is None:
+            # Delegating a namespace that does not exist yet (the
+            # common job.<id> case): the owner starts from empty.
+            sub = EMPTY_DIR_SHA
+        # Claim the prefix immediately: writes arriving between the
+        # snapshot below and the delegation event must not land in the
+        # root tree (they would be overwritten by the link object) —
+        # they bounce retryably until the owner has adopted.
+        self.owners[pfx] = rank
+        self._hop_rpc(rank, f"{self.name}.adopt",
+                      {"dst": rank, "pfx": pfx,
+                       "ver": self.master.version, "rootref": sub,
+                       "objs": self.master.reachable_objects(sub)},
+                      lambda resp: self._delegate_adopted(msg, pfx, rank,
+                                                          resp),
+                      ctx=msg.ctx, span=msg.span)
+
+    def _delegate_adopted(self, msg: Message, pfx: str, rank: int,
+                          resp: Message) -> None:
+        if resp.error is not None:
+            if self.owners.get(pfx) == rank:
+                del self.owners[pfx]
+            self.respond(msg, error=resp.error, code=resp.errnum,
+                         err_rank=resp.err_rank)
+            return
+        link = make_link_obj(pfx, rank)
+        sha, _size = digest_and_size(link)
+
+        def apply():
+            def fin(version, rootref):
+                self._apply_root(version, rootref)
+                self._publish_setroot(version, rootref, span=msg.span)
+                self.broker.publish(f"{self.name}.delegation",
+                                    {"pfx": pfx, "rank": rank})
+                self.respond(msg, {"pfx": pfx, "rank": rank,
+                                   "version": version})
+            self._commit_replicated([[pfx, sha]], {sha: link}, fin)
+
+        self._master_run(1, apply)
+
+    @request_handler(required=("pfx", "ver", "rootref", "objs"))
+    def req_adopt(self, msg: Message) -> None:
+        """New-owner side of delegation: seed a delegate master from
+        the shipped subtree snapshot (idempotent on retry)."""
+        if self._forwarded(msg):
+            return
+        p = msg.payload
+        pfx = p["pfx"]
+        dm = self.delegates.get(pfx)
+        if dm is None:
+            dm = KvsMaster(start_version=p["ver"])
+            for sha in sorted(p["objs"]):
+                dm.store.put_with_sha(sha, p["objs"][sha])
+            dm.commit([(pfx, p["rootref"])])
+            self.delegates[pfx] = dm
+            self.owners[pfx] = self.rank
+        self.respond(msg, {"pfx": pfx, "version": dm.version})
+
+    @request_handler(required=("pfx",))
+    def req_recall(self, msg: Message) -> None:
+        """Recall a delegated subtree: pull the owner's state back,
+        graft it over the link object, and retire the ownership entry
+        on the event plane."""
+        if self.master is None:
+            self._toward_master_cb(
+                f"{self.name}.recall", dict(msg.payload),
+                lambda resp: self._relay_response(msg, resp),
+                ctx=msg.ctx, span=msg.span)
+            return
+        pfx = msg.payload["pfx"]
+        rank = self.owners.get(pfx)
+        if rank is None:
+            self.respond(msg, error=f"{pfx!r} is not delegated",
+                         code=ENOENT)
+            return
+        self._hop_rpc(rank, f"{self.name}.release",
+                      {"dst": rank, "pfx": pfx},
+                      lambda resp: self._recall_released(msg, pfx, rank,
+                                                         resp),
+                      ctx=msg.ctx, span=msg.span)
+
+    @request_handler(required=("pfx",))
+    def req_release(self, msg: Message) -> None:
+        """Owner side of recall: stop mastering the namespace and hand
+        the subtree state back.  The ownership entry stays until the
+        delegation event clears it everywhere at once — in-flight
+        writes keep bouncing retryably instead of looping root-ward."""
+        if self._forwarded(msg):
+            return
+        pfx = msg.payload["pfx"]
+        dm = self.delegates.pop(pfx, None)
+        if dm is None:
+            self.respond(msg, error=f"not the owner of {pfx!r}",
+                         code=ENOENT)
+            return
+        sub = dm.subtree_ref(pfx)
+        if sub is None:
+            sub = EMPTY_DIR_SHA
+        self.respond(msg, {"pfx": pfx, "ver": dm.version,
+                           "rootref": sub,
+                           "objs": dm.reachable_objects(sub)})
+
+    def _recall_released(self, msg: Message, pfx: str, rank: int,
+                         resp: Message) -> None:
+        if resp.error is not None:
+            self.respond(msg, error=resp.error, code=resp.errnum,
+                         err_rank=resp.err_rank)
+            return
+        p = resp.payload
+
+        def apply():
+            def fin(version, rootref):
+                self._apply_root(version, rootref)
+                self._publish_setroot(version, rootref, span=msg.span)
+                self.broker.publish(f"{self.name}.delegation",
+                                    {"pfx": pfx, "rank": None})
+                self.respond(msg, {"pfx": pfx, "version": version})
+            self._commit_replicated([[pfx, p["rootref"]]], p["objs"],
+                                    fin)
+
+        self._master_run(1, apply)
+
+    def req_owners(self, msg: Message) -> None:
+        """The ownership table as this rank sees it (introspection)."""
+        self.respond(msg, {"owners": dict(sorted(self.owners.items())),
+                           "hosted": sorted(self.delegates)})
+
+    def _on_delegation_event(self, msg: Message) -> None:
+        p = msg.payload
+        if p.get("rank") is None:
+            self.owners.pop(p["pfx"], None)
+        else:
+            self.owners[p["pfx"]] = p["rank"]
+
+    # -- delegated reads ------------------------------------------------
+    def _serve_delegated_get(self, msg: Message, pfx: str,
+                             dm: KvsMaster) -> None:
+        """Answer a get from the local delegate master (authoritative
+        for the namespace, so no fault-in chain is needed)."""
+        key = msg.payload["key"]
+        san = self._san()
+        if san is not None:
+            san.kvs_read(f"{self.name}/{pfx}", self.rank, dm.version)
+        try:
+            sha = lookup_ref(dm.store, dm.root_sha, key)
+        except KvsPathError as exc:
+            self.respond(msg, error=str(exc), code=exc.code)
+            return
+        if msg.payload.get("ref", False):
+            self.respond(msg, {"ref": sha, "pver": dm.version})
+            return
+        obj = dm.store.get(sha)
+        if obj is None:
+            self.respond(msg, error=f"unknown object {sha}",
+                         code=ENOENT)
+            return
+        if is_dir_obj(obj):
+            self.respond(msg, {"dir": sorted(dir_entries(obj)),
+                               "pver": dm.version})
+        else:
+            self.respond(msg, {"value": val_of(obj),
+                               "pver": dm.version})
+
+    def _remote_get(self, msg: Message, pfx: str, owner: int) -> None:
+        payload = dict(msg.payload)
+        payload["dst"] = owner
+        self._hop_rpc(owner, f"{self.name}.get", payload,
+                      lambda resp: self._finish_remote_get(msg, pfx,
+                                                           resp),
+                      ctx=msg.ctx, span=msg.span)
+
+    def _finish_remote_get(self, msg: Message, pfx: str,
+                           resp: Message) -> None:
+        if resp.error is not None:
+            self.respond(msg, error=resp.error, code=resp.errnum,
+                         err_rank=resp.err_rank)
+            return
+        pver = resp.payload.get("pver")
+        if pver is not None and pver >= self._pfx_seen.get(pfx, -1):
+            # Only a version at or above everything this rank already
+            # observed for the prefix counts as *the* read the client
+            # sees; a response overtaken in flight would otherwise be
+            # reported as a monotonicity regression it is not.
+            self._pfx_seen[pfx] = pver
+            san = self._san()
+            if san is not None:
+                san.kvs_read(f"{self.name}/{pfx}", self.rank, pver)
+        self.respond(msg, dict(resp.payload))
+
+    def _forward_link_get(self, msg: Message, obj: dict) -> None:
+        """A hash-tree walk landed on an ownership link object:
+        re-route the whole lookup to the owning rank."""
+        tgt = link_of(obj)
+        pfx, owner = tgt["prefix"], tgt["rank"]
+        if owner == self.rank:
+            dm = self.delegates.get(pfx)
+            if dm is not None:
+                self._serve_delegated_get(msg, pfx, dm)
+                return
+            self.respond(msg, error=f"delegation of {pfx!r} in flight",
+                         code=EIO, err_rank=self.rank)
+            return
+        self._remote_get(msg, pfx, owner)
 
     # ------------------------------------------------------------------
     # local object plumbing
@@ -411,14 +1374,22 @@ class KvsModule(CommsModule):
         d = self._dirty.pop(sender, None)
         ops = d.ops if d else []
         objs = d.objs if d else {}
+        if self.owners:
+            # In-broker services write the root namespace; should their
+            # keys be delegated anyway, ship those parts to the owner
+            # (fire-and-forget — the callback tracks the root part).
+            ops, objs, groups = self._partition_ops(ops, objs)
+            for pfx in sorted(groups):
+                g_ops, g_objs = groups[pfx]
+                self._owner_flush(pfx, g_ops, g_objs, lambda resp: None)
         if self.master is not None:
             def apply():
-                self.master.ingest_objects(objs)
-                res = self.master.commit([(k, s) for k, s in ops])
-                self._apply_root(res.version, res.root_sha)
-                self._publish_setroot(res.version, res.root_sha)
-                if callback is not None:
-                    callback(res.version, res.root_sha)
+                def fin(version, rootref):
+                    self._apply_root(version, rootref)
+                    self._publish_setroot(version, rootref)
+                    if callback is not None:
+                        callback(version, rootref)
+                self._commit_replicated(ops, objs, fin)
             self._master_run(len(ops), apply)
             return
 
@@ -447,18 +1418,23 @@ class KvsModule(CommsModule):
         d = self._dirty.pop(sender, None)
         ops = d.ops if d else []
         objs = d.objs if d else {}
+        if self.owners:
+            root_ops, root_objs, groups = self._partition_ops(ops, objs)
+            if groups:
+                self._commit_partitioned(msg, sender, root_ops, root_objs,
+                                         groups)
+                return
         if self.master is not None:
             def apply():
-                self.master.ingest_objects(objs)
-                res = self.master.commit([(k, s) for k, s in ops])
-                self._apply_root(res.version, res.root_sha)
-                self._publish_setroot(res.version, res.root_sha,
-                                      span=msg.span)
-                san = self._san()
-                if san is not None:
-                    san.kvs_commit_ack(self.name, self.rank, res.version)
-                self.respond(msg, {"version": res.version,
-                                   "rootref": res.root_sha})
+                def fin(version, rootref):
+                    self._apply_root(version, rootref)
+                    self._publish_setroot(version, rootref, span=msg.span)
+                    san = self._san()
+                    if san is not None:
+                        san.kvs_commit_ack(self.name, self.rank, version)
+                    self.respond(msg, {"version": version,
+                                       "rootref": rootref})
+                self._commit_replicated(ops, objs, fin)
             self._master_run(len(ops), apply)
             return
         self._forward_flush(
@@ -492,6 +1468,11 @@ class KvsModule(CommsModule):
         if san is not None:
             san.kvs_commit_ack(self.name, self.rank,
                                resp.payload["version"])
+            for pfx in sorted(resp.payload.get("subroots", {})):
+                # Parts committed on delegate masters upstream: raise
+                # this rank's write floor per delegated namespace too.
+                san.kvs_commit_ack(f"{self.name}/{pfx}", self.rank,
+                                   resp.payload["subroots"][pfx][0])
         self.respond(msg, dict(resp.payload))
 
     def _forward_flush(self, ops: list, objs: dict,
@@ -508,16 +1489,42 @@ class KvsModule(CommsModule):
         """A commit passing through from a downstream slave."""
         ops = msg.payload["ops"]
         objs = msg.payload["objs"]
-        for sha, obj in objs.items():
-            self._obj_put(sha, obj)
+        pfx = msg.payload.get("pfx")
+        if pfx is not None:
+            # Delegated-namespace commit part en route to its owner
+            # (the ``pfx``/``dst`` tags only ever appear once a
+            # delegation exists — plain flushes are byte-identical).
+            self._owner_flush(pfx, ops, objs,
+                              lambda resp: self._relay_response(msg, resp),
+                              ctx=msg.ctx, span=msg.span)
+            return
+        # Replicated masters skip the eager store insert: the commit
+        # journal must capture every object the record needs, and the
+        # journal only sees objects *new* to the store.
+        if self.master is None or not self.replicas:
+            for sha, obj in objs.items():
+                self._obj_put(sha, obj)
         if self.master is not None:
+            if self.owners:
+                root_ops, root_objs, groups = self._partition_ops(ops,
+                                                                  objs)
+                if groups:
+                    # Delegated keys reached the root (stale table
+                    # downstream): never fold them into the root tree —
+                    # that would overwrite the link objects.  Re-split
+                    # and ship each part to its owner.
+                    self._commit_partitioned(msg, None, root_ops,
+                                             root_objs, groups,
+                                             ack_here=False)
+                    return
+
             def apply():
-                res = self.master.commit([(k, s) for k, s in ops])
-                self._apply_root(res.version, res.root_sha)
-                self._publish_setroot(res.version, res.root_sha,
-                                      span=msg.span)
-                self.respond(msg, {"version": res.version,
-                                   "rootref": res.root_sha})
+                def fin(version, rootref):
+                    self._apply_root(version, rootref)
+                    self._publish_setroot(version, rootref, span=msg.span)
+                    self.respond(msg, {"version": version,
+                                       "rootref": rootref})
+                self._commit_replicated(ops, objs, fin)
             self._master_run(len(ops), apply)
             return
         self._forward_flush(ops, objs,
@@ -669,16 +1676,26 @@ class KvsModule(CommsModule):
         ops, agg.ops = agg.ops, []
         objs, agg.objs = agg.objs, {}
         if self.master is not None:
+            groups: dict = {}
+            if self.owners:
+                ops, objs, groups = self._partition_ops(ops, objs)
+
             def apply():
-                res = self.master.fence_add(agg.name, agg.nprocs, count,
-                                            [(k, s) for k, s in ops], objs)
-                if res is not None:
-                    self._record_completed(agg.name, res.version,
-                                           res.root_sha)
-                    self._apply_root(res.version, res.root_sha)
-                    self._publish_setroot(res.version, res.root_sha,
-                                          fence=agg.name, span=agg.span)
-                    self._release_fence(agg)
+                def fin(version, rootref):
+                    def finish():
+                        self._record_completed(agg.name, version,
+                                               rootref)
+                        self._apply_root(version, rootref)
+                        self._publish_setroot(version, rootref,
+                                              fence=agg.name,
+                                              span=agg.span)
+                        self._release_fence(agg)
+                    self._fence_finish_when_shipped(agg.name, finish)
+                self._fence_replicated(agg.name, agg.nprocs, count, ops,
+                                       objs, fin)
+
+            if groups:
+                self._fence_ship_delegated(agg.name, groups)
             self._master_run(len(ops), apply)
             return
         payload = {"name": agg.name, "nprocs": agg.nprocs, "count": count,
@@ -727,18 +1744,28 @@ class KvsModule(CommsModule):
         ops = []
         for origin in sorted(agg.shares):
             ops.extend((k, s) for k, s in agg.shares[origin][1])
+        objs = {**agg.objs, **agg.local_objs}
+        groups: dict = {}
+        if self.owners:
+            ops, objs, groups = self._partition_ops(ops, objs)
 
         def apply():
             if agg.name in self._completed:
                 return
-            self.master.ingest_objects({**agg.objs, **agg.local_objs})
-            res = self.master.commit(ops)
-            self._record_completed(agg.name, res.version, res.root_sha)
-            self._apply_root(res.version, res.root_sha)
-            self._publish_setroot(res.version, res.root_sha,
-                                  fence=agg.name, span=agg.span)
-            self._release_fence(agg)
 
+            def fin(version, rootref):
+                def finish():
+                    self._record_completed(agg.name, version, rootref)
+                    self._apply_root(version, rootref)
+                    self._publish_setroot(version, rootref,
+                                          fence=agg.name, span=agg.span)
+                    self._release_fence(agg)
+                self._fence_finish_when_shipped(agg.name, finish)
+
+            self._commit_replicated(ops, objs, fin, fence=agg.name)
+
+        if groups:
+            self._fence_ship_delegated(agg.name, groups)
         self._master_run(len(ops), apply)
 
     def _release_fence(self, agg: _FenceAgg) -> None:
@@ -776,6 +1803,19 @@ class KvsModule(CommsModule):
         reset: the merged per-origin map is idempotent, so recovery is
         simply "re-send everything over the healed route".
         """
+        dead = msg.payload.get("rank")
+        if dead == self.master_rank and self.master is None:
+            # The root-namespace master died.  Standbys elect; everyone
+            # else marks the master down (writes bounce retryably until
+            # the ``newmaster`` event re-routes them).
+            self._master_down = True
+            self._master_down_at = self.broker.sim.now
+            if self._standby is not None:
+                self.broker.after(0.0, self._start_election)
+        elif self.master is not None and self.replicas:
+            # A standby may have died: recompute the ack watermark so
+            # commits waiting on it are not stranded.
+            self.broker.after(0.0, self._drain_repl_waiters)
         if self._shared_mode():
             self.broker.after(0.0, self._recover_shared)
             return
@@ -785,7 +1825,8 @@ class KvsModule(CommsModule):
     def _recover_shared(self) -> None:
         for name in list(self._fences):
             self._flush_fence(name)
-        if self.master is None and self.master_rank == 0:
+        if self.master is None and (self.master_rank == 0
+                                    or self._failed_over):
             self._resync_root()
 
     def _recover_after_down(self) -> None:
@@ -811,14 +1852,16 @@ class KvsModule(CommsModule):
             agg.total_seen = agg.local_count
             if agg.count > 0:
                 self._flush_fence(name)
-        if self.master is None and self.master_rank == 0:
+        if self.master is None and (self.master_rank == 0
+                                    or self._failed_over):
             self._resync_root()
 
     def _resync_root(self) -> None:
         """Pull the parent's root + completed-fence digest (one level
         of anti-entropy; chained pulses converge the whole tree)."""
         now = self.broker.sim.now
-        if self.master is not None or self.broker.parent is None:
+        if self.master is not None or (self.broker.parent is None
+                                       and not self._failed_over):
             return
         if self._sync_busy and now - self._sync_at < 0.25:
             # A sync is outstanding — but never trust the busy flag
@@ -867,10 +1910,16 @@ class KvsModule(CommsModule):
     # ------------------------------------------------------------------
     def _publish_setroot(self, version: int, root_sha: str,
                          fence: Optional[str] = None,
-                         span: Optional[tuple] = None) -> None:
+                         span: Optional[tuple] = None,
+                         pfx: Optional[str] = None) -> None:
         payload = {"version": version, "rootref": root_sha}
         if fence is not None:
             payload["fence"] = fence
+        if pfx is not None:
+            # A delegated namespace's root moved (published by its
+            # owner, observability + span-tree completeness); never
+            # present in a single-master session.
+            payload["pfx"] = pfx
         self.broker.publish(f"{self.name}.setroot", payload, span=span)
 
     def _apply_root(self, version: int, root_sha: str) -> None:
@@ -892,6 +1941,10 @@ class KvsModule(CommsModule):
 
     def _on_setroot_event(self, msg: Message) -> None:
         p = msg.payload
+        if "pfx" in p:
+            # Delegated-namespace root move: does not touch the root
+            # namespace's version/ref and releases nothing here.
+            return
         self._apply_root(p["version"], p["rootref"])
         fence = p.get("fence")
         if fence is not None:
@@ -942,6 +1995,23 @@ class KvsModule(CommsModule):
     # ------------------------------------------------------------------
     @request_handler(required=("key",))
     def req_get(self, msg: Message) -> None:
+        if self.owners:
+            if self._forwarded(msg):
+                return
+            pfx = self._owner_prefix(msg.payload["key"])
+            if pfx is not None:
+                dm = self.delegates.get(pfx)
+                if dm is not None:
+                    self._serve_delegated_get(msg, pfx, dm)
+                    return
+                owner = self.owners[pfx]
+                if owner != self.rank:
+                    self._remote_get(msg, pfx, owner)
+                    return
+                self.respond(msg,
+                             error=f"delegation of {pfx!r} in flight",
+                             code=EIO, err_rank=self.rank)
+                return
         self.broker.sim.spawn(self._get_proc(msg),
                               name=self._getproc_name)
 
@@ -965,6 +2035,13 @@ class KvsModule(CommsModule):
                 if obj is None:
                     raise KvsPathError(f"object {sha} lost in transit",
                                        code=EIO)
+                if is_link_obj(obj):
+                    # Ownership link: the rest of the walk belongs to
+                    # a delegated namespace (this rank's owner table
+                    # was stale, or the key was read through the root
+                    # tree) — re-route to the owner.
+                    self._forward_link_get(msg, obj)
+                    return
                 if not is_dir_obj(obj):
                     raise KvsPathError(
                         f"{'.'.join(parts[:i])!r} is not a directory")
@@ -982,6 +2059,9 @@ class KvsModule(CommsModule):
             if obj is None:
                 raise KvsPathError(f"object {sha} lost in transit",
                                    code=EIO)
+            if is_link_obj(obj):
+                self._forward_link_get(msg, obj)
+                return
             if is_dir_obj(obj):
                 self.respond(msg, {"dir": sorted(dir_entries(obj))})
             else:

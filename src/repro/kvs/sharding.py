@@ -22,6 +22,7 @@ fences (see :meth:`ShardedKvsClient.fence`).
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 from typing import Any, Callable, Optional
 
 from ..cmb.api import Handle
@@ -35,12 +36,21 @@ __all__ = ["shard_of_key", "spread_master_ranks", "sharded_kvs_specs",
            "ShardedKvsClient"]
 
 
+@lru_cache(maxsize=4096)
+def _shard_of_top(top: str, nshards: int) -> int:
+    """SHA1-of-component mod ``nshards``, memoized: shard routing runs
+    on every keyed client call, and real workloads hit the same handful
+    of top-level directories (``job.N``, service names) over and over,
+    so the digest is worth caching.  Keyed on the *component*, not the
+    full key, so ``a.b`` and ``a.c`` share one entry."""
+    digest = hashlib.sha1(top.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % nshards
+
+
 def shard_of_key(key: str, nshards: int) -> int:
     """Stable shard index for ``key``: SHA1 of its top-level path
     component, mod ``nshards`` (deterministic across runs/processes)."""
-    top = split_key(key)[0]
-    digest = hashlib.sha1(top.encode("utf-8")).digest()
-    return int.from_bytes(digest[:4], "big") % nshards
+    return _shard_of_top(split_key(key)[0], nshards)
 
 
 def spread_master_ranks(nshards: int, session_size: int) -> list[int]:
@@ -97,6 +107,9 @@ class ShardedKvsClient:
         self.clients = [KvsClient(handle, module=f"{prefix}{i}",
                                   timeout=timeout)
                         for i in range(nshards)]
+        #: Shards this client has written to since its last commit;
+        #: :meth:`commit` fans out only to these.
+        self._dirty: set[int] = set()
 
     # -- routing ----------------------------------------------------------
     def shard_of(self, key: str) -> int:
@@ -110,11 +123,15 @@ class ShardedKvsClient:
     # -- keyed operations ---------------------------------------------------
     def put(self, key: str, value: Any) -> Event:
         """``kvs_put`` on the owning shard."""
-        return self.client_for(key).put(key, value)
+        shard = self.shard_of(key)
+        self._dirty.add(shard)
+        return self.clients[shard].put(key, value)
 
     def unlink(self, key: str) -> Event:
         """Unlink on the owning shard."""
-        return self.client_for(key).unlink(key)
+        shard = self.shard_of(key)
+        self._dirty.add(shard)
+        return self.clients[shard].unlink(key)
 
     def get(self, key: str) -> Event:
         """``kvs_get`` from the owning shard."""
@@ -135,14 +152,34 @@ class ShardedKvsClient:
 
     # -- commit / synchronization -----------------------------------------
     def commit(self) -> AllOf:
-        """Commit this client's dirty data on every shard (shards where
-        nothing was written commit trivially).  Fires with the list of
-        per-shard ``{"version", "rootref"}`` results."""
+        """Commit this client's dirty data, fanning out only to shards
+        actually written through this facade since the last commit
+        (an untouched shard's master would just bump its version for
+        nothing).  Fires with the list of per-shard ``{"version",
+        "rootref"}`` results, in shard order.  With no dirty shards the
+        commit degenerates to shard 0 alone so the call still yields a
+        version.  A shard whose commit fails is re-marked dirty, so a
+        retried :meth:`commit` reaches it again."""
         sim = self.handle.sim
-        return sim.all_of([c.commit() for c in self.clients])
+        shards = sorted(self._dirty) or [0]
+        self._dirty.clear()
+
+        def issue(shard: int) -> Event:
+            ev = self.clients[shard].commit()
+
+            def done(e: Event) -> None:
+                if not e.ok:
+                    self._dirty.add(shard)
+
+            ev.add_callback(done)
+            return ev
+
+        return sim.all_of([issue(s) for s in shards])
 
     def commit_shard(self, shard: int) -> Event:
-        """Commit only one shard (cheaper when writes were confined)."""
+        """Commit only one shard (the explicit escape hatch when the
+        caller knows exactly where its writes went)."""
+        self._dirty.discard(shard)
         return self.clients[shard].commit()
 
     def fence(self, name: str, nprocs: int) -> AllOf:
@@ -152,11 +189,13 @@ class ShardedKvsClient:
         locally.  Use :meth:`fence_shard` when a phase only touched one
         namespace."""
         sim = self.handle.sim
+        self._dirty.clear()   # a fence flushes every shard's dirty data
         return sim.all_of([c.fence(f"{name}#{i}", nprocs)
                            for i, c in enumerate(self.clients)])
 
     def fence_shard(self, shard: int, name: str, nprocs: int) -> Event:
         """Fence a single shard."""
+        self._dirty.discard(shard)
         return self.clients[shard].fence(name, nprocs)
 
     def wait_version(self, shard: int, version: int) -> Event:

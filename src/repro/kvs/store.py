@@ -21,9 +21,9 @@ from typing import Any, Optional
 from ..jsonutil import canonical_dumps, canonical_size, sha1_of
 
 __all__ = [
-    "make_val_obj", "make_dir_obj", "is_dir_obj", "is_val_obj",
-    "dir_entries", "val_of", "obj_size", "ObjectStore", "EMPTY_DIR",
-    "EMPTY_DIR_SHA",
+    "make_val_obj", "make_dir_obj", "make_link_obj", "is_dir_obj",
+    "is_val_obj", "is_link_obj", "link_of", "dir_entries", "val_of",
+    "obj_size", "ObjectStore", "EMPTY_DIR", "EMPTY_DIR_SHA",
 ]
 
 
@@ -45,6 +45,27 @@ def is_dir_obj(obj: dict) -> bool:
 def is_val_obj(obj: dict) -> bool:
     """True for value objects."""
     return isinstance(obj, dict) and "v" in obj
+
+
+def make_link_obj(prefix: str, rank: int) -> dict:
+    """Build an ownership *link object*: a leaf the root master binds at
+    a delegated subtree's path so cross-subtree reads still compose into
+    one hash tree.  A walk that lands on a link re-routes the lookup to
+    the owning rank's delegate master (the authoritative store for that
+    namespace)."""
+    return {"l": {"prefix": prefix, "rank": rank}}
+
+
+def is_link_obj(obj: dict) -> bool:
+    """True for ownership link objects."""
+    return isinstance(obj, dict) and "l" in obj
+
+
+def link_of(obj: dict) -> dict:
+    """The ``{"prefix", "rank"}`` target of a link object."""
+    if not is_link_obj(obj):
+        raise TypeError(f"not a link object: {obj!r}")
+    return obj["l"]
 
 
 def dir_entries(obj: dict) -> dict[str, str]:
@@ -85,12 +106,29 @@ class ObjectStore:
     cost of fence payload sizing before this cache existed.
     """
 
-    __slots__ = ("_objects", "_sizes")
+    __slots__ = ("_objects", "_sizes", "_journal")
 
     def __init__(self):
         self._objects: dict[str, dict] = {EMPTY_DIR_SHA: EMPTY_DIR}
         self._sizes: dict[str, int] = {
             EMPTY_DIR_SHA: canonical_size(EMPTY_DIR)}
+        #: Optional capture dict for *newly stored* objects.  The
+        #: replicated-master commit log wraps each commit in
+        #: :meth:`begin_journal`/:meth:`end_journal` so the streamed
+        #: record carries exactly the objects the commit introduced
+        #: (value objects ingested plus directories rebuilt) — pure
+        #: bookkeeping, no effect on store contents.
+        self._journal: Optional[dict[str, dict]] = None
+
+    def begin_journal(self) -> None:
+        """Start capturing newly stored objects (see ``_journal``)."""
+        self._journal = {}
+
+    def end_journal(self) -> dict[str, dict]:
+        """Stop capturing; returns ``{sha: obj}`` of everything newly
+        stored since :meth:`begin_journal`."""
+        captured, self._journal = self._journal, None
+        return captured if captured is not None else {}
 
     def __len__(self) -> int:
         return len(self._objects)
@@ -113,6 +151,8 @@ class ObjectStore:
         if sha not in self._objects:
             self._objects[sha] = obj
             self._sizes[sha] = len(data)
+            if self._journal is not None:
+                self._journal[sha] = obj
         return sha
 
     def put_with_sha(self, sha: str, obj: dict, *, verify: bool = False,
@@ -125,7 +165,10 @@ class ObjectStore:
         """
         if verify and sha1_of(obj) != sha:
             raise ValueError(f"object does not hash to {sha}")
-        self._objects.setdefault(sha, obj)
+        if sha not in self._objects:
+            self._objects[sha] = obj
+            if self._journal is not None:
+                self._journal[sha] = obj
         if size is not None:
             self._sizes.setdefault(sha, size)
 

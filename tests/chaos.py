@@ -9,8 +9,8 @@ put/get workload with client-level retries enabled.
 After the workload drains it verifies *convergence*:
 
 - every put/commit/fence a client saw acknowledged is readable at
-  rank 0 over a clean fabric (the fault plan is removed for the
-  verification pass);
+  the lowest surviving rank over a clean fabric (the fault plan is
+  removed for the verification pass);
 - no hung waiters remain anywhere (held fences, version waiters,
   outstanding client RPCs on live brokers);
 - every process finished without error.
@@ -77,7 +77,8 @@ def run_chaos_workload(n_nodes: int = 31, n_clients: int = 16,
                        run_until: float = 60.0,
                        trace_out: Optional[str] = None,
                        stats_out: Optional[str] = None,
-                       sanitize: bool = False) -> ChaosReport:
+                       sanitize: bool = False,
+                       kvs_replicas: tuple = ()) -> ChaosReport:
     """Run the chaos workload; see module docstring.
 
     ``trace_out``/``stats_out`` export the causal span trees (Chrome
@@ -94,6 +95,11 @@ def run_chaos_workload(n_nodes: int = 31, n_clients: int = 16,
     (skewed per client, so fence contributions trickle in over the
     gap): without it a small workload finishes in milliseconds and a
     mid-run kill would land after the last fence instead of across it.
+
+    ``kvs_replicas`` enables multi-master failover: the named ranks
+    hold standby replicas of the KVS root master, and killing rank 0
+    (the root) becomes survivable — the ring election promotes the
+    most-caught-up replica and the workload converges against it.
     """
     cluster = make_cluster(n_nodes, seed=seed)
     plan = FaultPlan(seed=fault_seed, drop_rate=drop_rate,
@@ -101,7 +107,8 @@ def run_chaos_workload(n_nodes: int = 31, n_clients: int = 16,
     cluster.network.fault_plan = plan
     session = standard_session(
         cluster, with_heartbeat=True, hb_period=hb_period,
-        hb_max_epochs=max(64, int(run_until / hb_period)))
+        hb_max_epochs=max(64, int(run_until / hb_period)),
+        kvs_replicas=kvs_replicas)
     session.start()
     if trace_out:
         session.enable_tracing()
@@ -112,9 +119,11 @@ def run_chaos_workload(n_nodes: int = 31, n_clients: int = 16,
         session.enable_sanitizers()
         fingerprint = replay_fingerprint_hook(sim, keep_records=False)
 
-    # Detection telemetry: when rank 0 hears each live.down.
+    # Detection telemetry: when the lowest surviving rank hears each
+    # live.down (rank 0 itself may be on the kill list).
+    obs_rank = min(r for r in range(n_nodes) if r not in set(kill_ranks))
     detect_times: dict[int, float] = {}
-    session.brokers[0].subscribe(
+    session.brokers[obs_rank].subscribe(
         "live.down",
         lambda msg: detect_times.setdefault(msg.payload["rank"], sim.now))
 
@@ -191,6 +200,8 @@ def run_chaos_workload(n_nodes: int = 31, n_clients: int = 16,
         if kvs_mod is not None:
             hung += len(kvs_mod._version_waiters)
             hung += sum(len(agg.held) for agg in kvs_mod._fences.values())
+            hung += len(kvs_mod._repl_waiters)
+            hung += len(kvs_mod._fence_deferred)
     for handle in handles:
         hung += len(handle._waiters)
 
@@ -205,7 +216,8 @@ def run_chaos_workload(n_nodes: int = 31, n_clients: int = 16,
     verified = [0, 0]
 
     def verifier():
-        kvs = KvsClient(session.connect(0, collective=False), timeout=10.0)
+        kvs = KvsClient(session.connect(obs_rank, collective=False),
+                        timeout=10.0)
         for key, want in acked:
             try:
                 got = yield kvs.get(key)

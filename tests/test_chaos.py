@@ -309,6 +309,26 @@ def test_chaos_dup_and_delay_converges():
     assert report.fault_stats["delays"] > 0
 
 
+def test_chaos_kill_root_mid_fence_converges():
+    """The multi-master acceptance scenario: rank 0 — the KVS root
+    master — is killed mid-``kvs_fence`` under 1% loss with standby
+    replicas configured.  The ring election promotes a replica, the
+    in-flight fence replays against it, and every acknowledged write
+    survives with the runtime sanitizers clean (no acked write lost,
+    no stale read served)."""
+    report = run_chaos_workload(n_nodes=15, n_clients=8, drop_rate=0.01,
+                                seed=5, fault_seed=13,
+                                kill_ranks=(0,), kill_at=0.12,
+                                hb_period=0.05, n_iters=2, iter_gap=0.1,
+                                timeout=0.5, retries=10, run_until=40.0,
+                                kvs_replicas=(1, 2), sanitize=True)
+    assert report.converged, report.errors
+    assert report.reads_failed == 0
+    assert report.hung_waiters == 0
+    assert report.sanitizer_findings == []
+    assert report.reads_verified == 8 * 3   # 2 fences + 1 commit each
+
+
 def test_chaos_harness_fault_free_baseline():
     """With all rates zero and no kills the harness reports a clean,
     retry-free run (sanity for the amplification metric)."""

@@ -1,0 +1,335 @@
+"""Multi-master KVS: subtree ownership delegation + root failover.
+
+Exercises the two coupled tentpole moves end to end:
+
+- **delegation** — a directory subtree handed to an interior broker
+  that becomes its master (own root ref/version sequence), with the
+  root tree binding a link object so cross-subtree reads compose;
+- **replication + failover** — the root master streams its commit log
+  to standbys; killing the root promotes the most-caught-up replica
+  via the deterministic ring election and the namespace keeps serving.
+"""
+
+import pytest
+
+from repro import make_cluster, standard_session
+from repro.cmb.errors import EEXIST, EINVAL, ENOENT, RpcError
+from repro.kvs import KvsClient
+from repro.kvs.store import is_link_obj, link_of
+
+
+def _session(n, seed, **kw):
+    cluster = make_cluster(n, seed=seed)
+    session = standard_session(cluster, **kw).start()
+    return cluster, session
+
+
+def _run(sim, gen, budget=30.0):
+    proc = sim.spawn(gen)
+    sim.run(until=sim.now + budget)
+    assert proc.triggered, "scenario hung"
+    return proc.value
+
+
+# ----------------------------------------------------------------------
+# delegation: routing, link objects, recall
+# ----------------------------------------------------------------------
+def test_delegated_subtree_routes_and_reads_compose():
+    cluster, session = _session(8, seed=3)
+    sim = cluster.sim
+
+    def scenario():
+        kvs5 = KvsClient(session.connect(5))
+        yield kvs5.put("job.1.pre", "before")
+        yield kvs5.put("other.x", 1)
+        yield kvs5.commit()
+
+        resp = yield kvs5.delegate("job.1", 3)
+        assert resp["pfx"] == "job.1" and resp["rank"] == 3
+        table = yield kvs5.owners()
+        assert table["owners"] == {"job.1": 3}
+
+        # The owner hosts the subtree master.
+        table3 = yield KvsClient(session.connect(3)).owners()
+        assert table3["hosted"] == ["job.1"]
+
+        # Writes from other ranks land at the owner; mixed commits
+        # split between owner and root and report per-subtree roots.
+        kvs6 = KvsClient(session.connect(6), timeout=5.0, retries=8)
+        yield kvs6.put("job.1.a", 11)
+        yield kvs6.put("other.y", 2)
+        resp = yield kvs6.commit()
+        assert "job.1" in resp.get("subroots", {})
+
+        # Reads route through the ownership table (and through the
+        # link object for walkers that reach it via the root tree).
+        kvs2 = KvsClient(session.connect(2), timeout=5.0, retries=8)
+        assert (yield kvs2.get("job.1.a")) == 11
+        assert (yield kvs2.get("job.1.pre")) == "before"
+        assert (yield kvs2.get("other.y")) == 2
+        assert sorted((yield kvs2.get_dir("job.1"))) == ["a", "pre"]
+
+        # The root tree itself binds a link object at the prefix.
+        root = session.module_at(0, "kvs")
+        sub_sha = root.master.subtree_ref("job") and None
+        from repro.kvs.hashtree import lookup_ref
+        sha = lookup_ref(root.master.store, root.master.root_sha, "job.1")
+        obj = root.master.store.get(sha)
+        assert is_link_obj(obj)
+        assert link_of(obj) == {"prefix": "job.1", "rank": 3}
+        del sub_sha
+        return "ok"
+
+    assert _run(sim, scenario()) == "ok"
+    session.stop()
+
+
+def test_delegated_namespace_has_own_version_sequence():
+    cluster, session = _session(8, seed=4)
+    sim = cluster.sim
+
+    def scenario():
+        kvs = KvsClient(session.connect(1), timeout=5.0, retries=8)
+        yield kvs.delegate("job.7", 5)
+        root_v0 = (yield kvs.get_version())["version"]
+        # Commits confined to the delegated namespace bump only the
+        # delegate's sequence, not the root's.
+        for i in range(3):
+            yield kvs.put(f"job.7.k{i}", i)
+            yield kvs.commit()
+        root_v1 = (yield kvs.get_version())["version"]
+        assert root_v1 == root_v0
+        dm = session.module_at(5, "kvs").delegates["job.7"]
+        assert dm.version >= 3
+        return "ok"
+
+    assert _run(sim, scenario()) == "ok"
+    session.stop()
+
+
+def test_fence_spans_root_and_delegated_namespaces():
+    cluster, session = _session(8, seed=5)
+    sim = cluster.sim
+
+    def scenario():
+        admin = KvsClient(session.connect(0))
+        yield admin.delegate("job.2", 4)
+
+        def fencer(idx, rank):
+            k = KvsClient(session.connect(rank), timeout=5.0, retries=8)
+            yield k.put(f"job.2.f{idx}", idx)
+            yield k.put(f"root.f{idx}", idx * 10)
+            yield k.fence("span.f", 2)
+            # Fence ack implies the *delegated* parts are readable too.
+            assert (yield k.get(f"job.2.f{1 - idx}")) == 1 - idx
+            assert (yield k.get(f"root.f{1 - idx}")) == (1 - idx) * 10
+
+        p1 = sim.spawn(fencer(0, 1))
+        p2 = sim.spawn(fencer(1, 7))
+        yield sim.all_of([p1, p2])
+        return "ok"
+
+    assert _run(sim, scenario()) == "ok"
+    session.stop()
+
+
+def test_recall_folds_subtree_back_and_clears_table():
+    cluster, session = _session(8, seed=6)
+    sim = cluster.sim
+
+    def scenario():
+        kvs = KvsClient(session.connect(2), timeout=5.0, retries=8)
+        yield kvs.put("job.3.before", 1)
+        yield kvs.commit()
+        yield kvs.delegate("job.3", 6)
+        yield kvs.put("job.3.during", 2)
+        yield kvs.commit()
+        yield kvs.recall("job.3")
+
+        table = yield kvs.owners()
+        assert table["owners"] == {}
+        assert session.module_at(6, "kvs").delegates == {}
+        # Everything — pre-delegation and delegated-era writes — now
+        # lives in the root tree as plain directories.
+        assert (yield kvs.get("job.3.before")) == 1
+        assert (yield kvs.get("job.3.during")) == 2
+        root = session.module_at(0, "kvs")
+        from repro.kvs.hashtree import lookup_ref
+        sha = lookup_ref(root.master.store, root.master.root_sha, "job.3")
+        assert not is_link_obj(root.master.store.get(sha))
+        return "ok"
+
+    assert _run(sim, scenario()) == "ok"
+    session.stop()
+
+
+def test_delegate_validation_errors():
+    cluster, session = _session(8, seed=7)
+    sim = cluster.sim
+
+    def scenario():
+        kvs = KvsClient(session.connect(1))
+        yield kvs.delegate("job.9", 3)
+        with pytest.raises(RpcError) as ei:
+            yield kvs.delegate("job.9", 5)      # already delegated
+        assert ei.value.code == EEXIST
+        with pytest.raises(RpcError) as ei:
+            yield kvs.delegate("job.8", 0)      # owner == root master
+        assert ei.value.code == EINVAL
+        with pytest.raises(RpcError) as ei:
+            yield kvs.recall("never.delegated")
+        assert ei.value.code == ENOENT
+        return "ok"
+
+    assert _run(sim, scenario()) == "ok"
+    session.stop()
+
+
+def test_migration_under_load_is_sanitizer_clean():
+    """Delegate and recall a prefix *while* clients write under it:
+    every acknowledged write survives the moves and the runtime
+    sanitizers (SAN102 stale reads / SAN103 lost acks) stay silent."""
+    cluster, session = _session(8, seed=8)
+    san = session.enable_sanitizers(span_check=False)
+    sim = cluster.sim
+    acked = []
+
+    def writer(idx, rank):
+        kvs = KvsClient(session.connect(rank), timeout=5.0, retries=10)
+        for i in range(6):
+            key = f"job.5.w{idx}.{i}"
+            yield kvs.put(key, [idx, i])
+            yield kvs.commit()
+            acked.append((key, [idx, i]))
+            yield sim.timeout(0.002)
+
+    def admin():
+        kvs = KvsClient(session.connect(0), timeout=5.0, retries=10)
+        yield sim.timeout(0.004)
+        yield kvs.delegate("job.5", 3)      # mid-stream handover
+        yield sim.timeout(0.01)
+        yield kvs.recall("job.5")           # and fold it back
+        yield sim.timeout(0.004)
+        yield kvs.delegate("job.5", 6)      # second hop
+        yield sim.timeout(0.01)
+        yield kvs.recall("job.5")
+
+    writers = [sim.spawn(writer(i, r)) for i, r in
+               enumerate((1, 2, 6, 7))]
+    aproc = sim.spawn(admin())
+    sim.run(until=30.0)
+    assert all(p.triggered and p.ok for p in writers)
+    assert aproc.triggered and aproc.ok
+
+    def verify():
+        kvs = KvsClient(session.connect(4), timeout=5.0, retries=10)
+        for key, want in acked:
+            assert (yield kvs.get(key)) == want, key
+        return "ok"
+
+    assert _run(sim, verify()) == "ok"
+    assert list(san.finish()) == []
+    session.stop()
+
+
+# ----------------------------------------------------------------------
+# root replication + ring-election failover
+# ----------------------------------------------------------------------
+def test_replicas_track_root_commit_log():
+    cluster, session = _session(8, seed=9, kvs_replicas=(1, 2))
+    sim = cluster.sim
+
+    def scenario():
+        kvs = KvsClient(session.connect(5), timeout=5.0, retries=8)
+        for i in range(4):
+            yield kvs.put(f"rep.k{i}", i)
+            yield kvs.commit()
+        return "ok"
+
+    assert _run(sim, scenario()) == "ok"
+    root = session.module_at(0, "kvs").master
+    for r in (1, 2):
+        standby = session.module_at(r, "kvs")._standby
+        assert standby is not None
+        assert (standby.version, standby.root_sha) == (root.version,
+                                                       root.root_sha)
+    session.stop()
+
+
+def test_root_death_promotes_replica_and_serves():
+    """Kill rank 0 (root master + tree root): the minimum live rank
+    takes over the overlay, the ring election promotes the
+    most-caught-up standby, and both old and new writes are served."""
+    cluster, session = _session(
+        8, seed=10, kvs_replicas=(1, 2), with_heartbeat=True,
+        hb_period=0.05, hb_max_epochs=100000)
+    # A (zero-rate) fault plan arms the pulse-starvation watchdog —
+    # the only detector that can notice the *root* dying, since the
+    # root is the heartbeat source and its death silences everything.
+    from repro.sim import FaultPlan
+    cluster.network.fault_plan = FaultPlan(seed=1)
+    sim = cluster.sim
+
+    def before():
+        kvs = KvsClient(session.connect(5), timeout=5.0, retries=8)
+        yield kvs.put("pre.k", "survives")
+        yield kvs.commit()
+        return "ok"
+
+    assert _run(sim, before(), budget=5.0) == "ok"
+
+    session.fail_rank(0)
+    sim.run(until=sim.now + 3.0)    # detection + election + recovery
+
+    promoted = [r for r in (1, 2)
+                if session.module_at(r, "kvs").master is not None]
+    assert len(promoted) == 1, promoted
+    new_master = promoted[0]
+    for r in range(1, 8):
+        mod = session.module_at(r, "kvs")
+        assert mod.master_rank == new_master
+
+    def after():
+        kvs = KvsClient(session.connect(6), timeout=2.0, retries=10)
+        assert (yield kvs.get("pre.k")) == "survives"
+        yield kvs.put("post.k", "works")
+        yield kvs.commit()
+        assert (yield kvs.get("post.k")) == "works"
+
+        def fencer(idx, rank):
+            k = KvsClient(session.connect(rank), timeout=2.0, retries=10)
+            yield k.put(f"post.f{idx}", idx)
+            yield k.fence("post.fence", 2)
+            assert (yield k.get(f"post.f{1 - idx}")) == 1 - idx
+
+        p1 = sim.spawn(fencer(0, 3))
+        p2 = sim.spawn(fencer(1, 7))
+        yield sim.all_of([p1, p2])
+        return "ok"
+
+    assert _run(sim, after(), budget=10.0) == "ok"
+    session.stop()
+
+
+def test_single_master_state_untouched_by_feature_plumbing():
+    """With no replicas and no delegations, the multi-master state on
+    every module stays inert — the event-identity guarantee's
+    structural half (the behavioural half is the untouched tier-1
+    suite and the byte-identical ablation table)."""
+    cluster, session = _session(8, seed=11)
+    sim = cluster.sim
+
+    def scenario():
+        kvs = KvsClient(session.connect(3))
+        yield kvs.put("plain.k", 1)
+        yield kvs.commit()
+        yield kvs.fence("plain.f", 1)
+        return (yield kvs.get("plain.k"))
+
+    assert _run(sim, scenario()) == 1
+    for r in range(8):
+        mod = session.module_at(r, "kvs")
+        assert mod.owners == {} and mod.delegates == {}
+        assert mod.replicas == () and mod._standby is None
+        assert mod._repl_log == [] and not mod._failed_over
+    session.stop()

@@ -1,0 +1,173 @@
+"""KvsMaster fence bookkeeping, exercised directly at the master layer.
+
+The chaos recovery path (``reset_incomplete_fences`` + fence-epoch
+replay) and the replicated-log variants (``fence_add_logged``) are
+normally only reached through the full module/chaos stack; these tests
+pin their contracts in isolation so a regression is attributed to the
+master instead of surfacing as a flaky chaos run.
+"""
+
+import pytest
+
+from repro.kvs.hashtree import lookup
+from repro.kvs.master import CommitRecord, KvsMaster
+from repro.kvs.store import make_val_obj, sha1_of
+
+
+def _contrib(*pairs):
+    """(ops, objs) for ``(key, value)`` pairs, as a slave would flush."""
+    ops, objs = [], {}
+    for key, value in pairs:
+        obj = make_val_obj(value)
+        sha = sha1_of(obj)
+        ops.append((key, sha))
+        objs[sha] = obj
+    return ops, objs
+
+
+def _read(master, key):
+    return lookup(master.store, master.root_sha, key)
+
+
+# ----------------------------------------------------------------------
+# reset_incomplete_fences
+# ----------------------------------------------------------------------
+def test_reset_forgets_partial_contributions():
+    m = KvsMaster()
+    ops, objs = _contrib(("f.a", 1))
+    assert m.fence_add("f", 3, 1, ops, objs) is None
+    assert m.pending_fences() == ["f"]
+
+    m.reset_incomplete_fences()
+    # The entry stays (nprocs consistency is still checked) but its
+    # count/ops are back to zero: completing now takes 3 fresh counts.
+    assert m.pending_fences() == ["f"]
+    with pytest.raises(ValueError):
+        m.fence_add("f", 4, 1, [], {})
+
+    res = m.fence_add("f", 3, 3, *_contrib(("f.a", 1), ("f.b", 2)))
+    assert res is not None
+    assert m.version == 1
+    assert _read(m, "f.a") == 1 and _read(m, "f.b") == 2
+
+
+def test_reset_then_cumulative_replay_sums_exactly():
+    """The fence-epoch replay contract: after a reset every participant
+    re-contributes its *cumulative* state, and the final tree holds
+    exactly one copy of every key — no double-count, no loss."""
+    m = KvsMaster()
+    # Epoch 1: two of three participants got through.
+    assert m.fence_add("r", 3, 1, *_contrib(("r.k0", 0))) is None
+    assert m.fence_add("r", 3, 1, *_contrib(("r.k1", 10))) is None
+
+    # Overlay broke; epoch bumps; master forgets partial counts.
+    m.reset_incomplete_fences()
+
+    # Epoch 2: everyone replays cumulatively (including the two whose
+    # first contribution already landed).
+    assert m.fence_add("r", 3, 1, *_contrib(("r.k0", 0))) is None
+    assert m.fence_add("r", 3, 1, *_contrib(("r.k1", 10))) is None
+    res = m.fence_add("r", 3, 1, *_contrib(("r.k2", 20)))
+    assert res is not None and res.version == 1
+
+    assert m.pending_fences() == []
+    for i in range(3):
+        assert _read(m, f"r.k{i}") == i * 10
+
+
+def test_completed_fence_name_is_reusable():
+    m = KvsMaster()
+    assert m.fence_add("it", 2, 2, *_contrib(("a", 1))) is not None
+    # KAP re-fences the same name every iteration — must start fresh,
+    # including a different nprocs.
+    assert m.fence_add("it", 3, 2, *_contrib(("b", 2))) is None
+    assert m.fence_add("it", 3, 1, [], {}) is not None
+    assert m.version == 2
+
+
+def test_inconsistent_nprocs_rejected():
+    m = KvsMaster()
+    m.fence_add("n", 4, 1, [], {})
+    with pytest.raises(ValueError, match="inconsistent nprocs"):
+        m.fence_add("n", 5, 1, [], {})
+
+
+# ----------------------------------------------------------------------
+# fence_add_logged: the replicated-commit-log variant
+# ----------------------------------------------------------------------
+def test_fence_add_logged_record_is_self_contained():
+    """The completing record must carry every object any contribution
+    brought — including objects the master's store already held (the
+    journal only captures objects *new* to the store) — so a standby
+    that missed earlier traffic can still reproduce the state."""
+    m = KvsMaster()
+    # Pre-ingest one value through a plain commit, then reuse the same
+    # value in a fence contribution: same content, same SHA1, so the
+    # fence's journal never sees it as new.
+    m.commit_logged(*_contrib(("seed", "dup")))
+
+    ops1, objs1 = _contrib(("g.a", "dup"))
+    dup_sha = ops1[0][1]
+    assert m.fence_add_logged("g", 2, 1, ops1, objs1) == (None, None)
+    res, rec = m.fence_add_logged("g", 2, 1, *_contrib(("g.b", "fresh")))
+    assert res is not None and rec is not None
+    assert rec.fence == "g"
+    assert (rec.version, rec.root_sha) == (res.version, res.root_sha)
+    assert dup_sha in rec.objs, "record missing a pre-stored object"
+
+
+def test_fence_log_replay_reproduces_state_on_cold_standby():
+    master = KvsMaster()
+    log = []
+    res, rec = master.commit_logged(*_contrib(("seed", "dup")))
+    log.append(rec)
+    assert master.fence_add_logged("g", 2, 1, *_contrib(("g.a", "dup"))) \
+        == (None, None)
+    res, rec = master.fence_add_logged("g", 2, 1, *_contrib(("g.b", "x")))
+    assert rec is not None
+    log.append(rec)
+
+    standby = KvsMaster()
+    for r in log:
+        standby.apply_record(r)
+    assert (standby.version, standby.root_sha) == (master.version,
+                                                   master.root_sha)
+    for key in ("seed", "g.a", "g.b"):
+        assert _read(standby, key) == _read(master, key)
+
+
+def test_apply_record_ignores_duplicates_and_requires_order():
+    master = KvsMaster()
+    recs = []
+    for i in range(3):
+        _, rec = master.commit_logged(*_contrib((f"k{i}", i)))
+        recs.append(rec)
+
+    standby = KvsMaster()
+    standby.apply_record(recs[0])
+    standby.apply_record(recs[0])          # duplicate: ignored
+    assert standby.version == 1
+    standby.apply_record(recs[1])
+    standby.apply_record(recs[2])
+    assert standby.version == 3
+    assert standby.root_sha == master.root_sha
+
+
+def test_reset_clears_logged_fence_accumulator():
+    """After a reset the accumulated ``objs`` on the fence state are
+    dropped too, and a full cumulative replay still yields a
+    self-contained completing record."""
+    m = KvsMaster()
+    assert m.fence_add_logged("z", 2, 1, *_contrib(("z.a", 1))) \
+        == (None, None)
+    m.reset_incomplete_fences()
+
+    assert m.fence_add_logged("z", 2, 1, *_contrib(("z.a", 1))) \
+        == (None, None)
+    res, rec = m.fence_add_logged("z", 2, 1, *_contrib(("z.b", 2)))
+    assert res is not None
+
+    standby = KvsMaster()
+    standby.apply_record(rec)
+    assert standby.root_sha == m.root_sha
+    assert _read(standby, "z.a") == 1 and _read(standby, "z.b") == 2

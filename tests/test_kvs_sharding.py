@@ -2,6 +2,8 @@
 future work: "distributing the KVS master itself") and the tree-routed
 rank addressing it relies on."""
 
+import hashlib
+
 import pytest
 
 from repro.cmb.message import Message
@@ -9,8 +11,10 @@ from repro.cmb.module import CommsModule
 from repro.cmb.session import CommsSession, ModuleSpec
 from repro.cmb.topology import TreeTopology
 from repro.kvs import KvsClient, KvsModule
-from repro.kvs.sharding import (ShardedKvsClient, shard_of_key,
-                                sharded_kvs_specs, spread_master_ranks)
+from repro.kvs.hashtree import split_key
+from repro.kvs.sharding import (ShardedKvsClient, _shard_of_top,
+                                shard_of_key, sharded_kvs_specs,
+                                spread_master_ranks)
 from repro.sim.cluster import make_cluster
 
 
@@ -130,6 +134,32 @@ class TestShardPlacement:
         specs = sharded_kvs_specs(3, 16)
         assert [s.config["name"] for s in specs] == ["kvs0", "kvs1", "kvs2"]
         assert [s.config["master_rank"] for s in specs] == [0, 5, 10]
+
+    def test_memoized_routing_matches_uncached_exactly(self):
+        """The lru_cache on the per-component digest must be a pure
+        speedup: for every (key, nshards) pair the memoized router
+        answers exactly what a from-scratch digest computes."""
+
+        def uncached(key, nshards):
+            top = split_key(key)[0]
+            digest = hashlib.sha1(top.encode("utf-8")).digest()
+            return int.from_bytes(digest[:4], "big") % nshards
+
+        keys = ([f"job.{i}.task.{i * 7}" for i in range(50)]
+                + [f"svc{i}.state" for i in range(50)]
+                + ["a", "a.b", "a.b.c", "zzz.deep.deep.deep"])
+        for nshards in (1, 2, 3, 7, 8, 64):
+            for key in keys:
+                assert shard_of_key(key, nshards) == uncached(key, nshards)
+                # And again, now certainly served from the cache.
+                assert shard_of_key(key, nshards) == uncached(key, nshards)
+
+    def test_memoization_actually_caches(self):
+        _shard_of_top.cache_clear()
+        shard_of_key("memo.a", 4)
+        shard_of_key("memo.b", 4)       # same top-level component
+        info = _shard_of_top.cache_info()
+        assert info.hits >= 1 and info.misses == 1
 
 
 class TestShardedProtocol:
@@ -278,3 +308,98 @@ class TestShardedProtocol:
         cluster, session = self._session()
         with pytest.raises(ValueError):
             ShardedKvsClient(session.connect(0, collective=False), 0)
+
+
+class TestDirtyShardCommit:
+    def _session(self, nshards=4, n=16):
+        return make_session(n=n, modules=sharded_kvs_specs(nshards, n))
+
+    def test_commit_touches_only_dirty_shards(self):
+        cluster, session = self._session()
+
+        def worker():
+            kvs = ShardedKvsClient(session.connect(3), 4)
+            yield kvs.put("only.here", 1)       # one shard dirtied
+            target = kvs.shard_of("only.here")
+            results = yield kvs.commit()
+            assert len(results) == 1            # single-shard fan-out
+            versions = []
+            for s in range(4):
+                v = yield kvs.get_version(s)
+                versions.append(v["version"])
+            return target, versions
+
+        [(target, versions)] = run_all(cluster, [worker()])
+        assert versions[target] == 1
+        assert sum(versions) == 1   # untouched masters never committed
+
+    def test_commit_clears_dirty_and_falls_back_to_shard0(self):
+        cluster, session = self._session()
+
+        def worker():
+            kvs = ShardedKvsClient(session.connect(5), 4)
+            yield kvs.put("dirt.a", 1)
+            yield kvs.commit()
+            assert kvs._dirty == set()
+            # A write-free commit still yields a version (shard 0).
+            results = yield kvs.commit()
+            assert len(results) == 1
+            assert "version" in results[0]
+            return "ok"
+
+        assert run_all(cluster, [worker()]) == ["ok"]
+
+    def test_multi_shard_batch_fans_out_to_each(self):
+        cluster, session = self._session()
+
+        def worker():
+            kvs = ShardedKvsClient(session.connect(9), 4)
+            shards = set()
+            i = 0
+            while len(shards) < 3:      # dirty three distinct shards
+                key = f"fan{i}.x"
+                if kvs.shard_of(key) not in shards:
+                    shards.add(kvs.shard_of(key))
+                    yield kvs.put(key, i)
+                i += 1
+            assert kvs._dirty == shards
+            results = yield kvs.commit()
+            assert len(results) == 3
+            return sorted(shards)
+
+        [shards] = run_all(cluster, [worker()])
+        # Exactly the dirtied masters committed.
+        versions = [session.module_at(r, f"kvs{s}").master.version
+                    for s, r in enumerate(spread_master_ranks(4, 16))]
+        assert [s for s, v in enumerate(versions) if v > 0] == shards
+
+    def test_commit_shard_escape_hatch_clears_dirty_entry(self):
+        cluster, session = self._session()
+
+        def worker():
+            kvs = ShardedKvsClient(session.connect(2), 4)
+            yield kvs.put("esc.k", 7)
+            shard = kvs.shard_of("esc.k")
+            yield kvs.commit_shard(shard)
+            assert shard not in kvs._dirty
+            return (yield kvs.get("esc.k"))
+
+        assert run_all(cluster, [worker()]) == [7]
+
+    def test_unlink_dirties_owning_shard(self):
+        cluster, session = self._session()
+
+        def worker():
+            kvs = ShardedKvsClient(session.connect(4), 4)
+            yield kvs.put("gone.k", 1)
+            yield kvs.commit()
+            yield kvs.unlink("gone.k")
+            assert kvs._dirty == {kvs.shard_of("gone.k")}
+            yield kvs.commit()
+            try:
+                yield kvs.get("gone.k")
+            except Exception:
+                return "unlinked"
+            return "still-there"
+
+        assert run_all(cluster, [worker()]) == ["unlinked"]
