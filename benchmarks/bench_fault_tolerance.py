@@ -23,7 +23,7 @@ from repro import make_cluster, standard_session
 from repro.kvs import KvsClient
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "tests"))
-from chaos import run_chaos_workload  # noqa: E402
+from chaos import run_chaos_workload, run_job_chaos_workload  # noqa: E402
 
 N_NODES = 31  # depth-4 binary tree
 PERIODS = (0.02, 0.05, 0.1, 0.2)
@@ -211,3 +211,81 @@ def test_chaos_loss_costs_work(chaos_grid):
     extra = (lambda r: r.client_retries
              + r.broker_stats.get("retransmits", 0))
     assert extra(hi) > extra(lo)
+
+
+# ----------------------------------------------------------------------
+# Job-plane recovery: task respawn after broker kills
+# ----------------------------------------------------------------------
+#: (label, ranks to kill mid-job) — root kill exercises jobmgr takeover
+#: and "leaf" is resolved against the tree size (first leaf + 2).
+JOB_SCENARIOS = (
+    ("no-fault", ()),
+    ("interior-kill", (3,)),
+    ("leaf-kill", ("leaf",)),
+    ("root-kill", (0,)),
+)
+
+
+def job_chaos_run(kill_ranks):
+    """One parallel job under 1% loss with ``kill_ranks`` failing
+    mid-run (see ``tests/chaos.run_job_chaos_workload``)."""
+    n_nodes, nprocs = (15, 12) if CHAOS_SMOKE else (N_NODES, 24)
+    kills = tuple(n_nodes // 2 + 2 if r == "leaf" else r
+                  for r in kill_ranks)
+    return run_job_chaos_workload(
+        n_nodes=n_nodes, nprocs=nprocs, drop_rate=0.01,
+        kill_ranks=kills, kill_at=0.3,
+        kvs_replicas=(1, 2) if 0 in kills else ())
+
+
+@pytest.fixture(scope="module")
+def job_chaos_grid():
+    grid = {label: job_chaos_run(kills)
+            for label, kills in JOB_SCENARIOS}
+    nodes = 15 if CHAOS_SMOKE else N_NODES
+    lines = [f"Job-plane recovery: {nodes}-node tree, 1% loss, "
+             f"broker kills mid-job",
+             f"{'scenario':>13} {'converged':>9} {'1x':>5} "
+             f"{'respawns':>8} {'detect(s)':>10} {'recover(s)':>10} "
+             f"{'makespan(s)':>11} {'amplification':>13}"]
+    for label, r in grid.items():
+        lines.append(
+            f"{label:>13} {str(r.converged):>9} "
+            f"{str(r.exactly_once):>5} {r.respawns:>8} "
+            f"{r.detect_latency:>10.3f} {r.recovery_latency:>10.3f} "
+            f"{r.makespan:>11.3f} {r.retry_amplification:>13.3f}")
+    write_table("job_plane_recovery", "\n".join(lines),
+                data={label: {
+                    "converged": r.converged,
+                    "exactly_once": r.exactly_once,
+                    "respawns": r.respawns,
+                    "detect_latency": r.detect_latency,
+                    "recovery_latency": r.recovery_latency,
+                    "makespan": r.makespan,
+                    "client_retries": r.client_retries,
+                    "retry_amplification": r.retry_amplification,
+                } for label, r in grid.items()})
+    return grid
+
+
+def test_job_chaos_all_converge_exactly_once(job_chaos_grid):
+    """Every scenario — including root kill — completes the job with
+    the full rc/stdout set exactly once and no hung waiters."""
+    for label, r in job_chaos_grid.items():
+        assert r.converged, (label, r.errors)
+        assert r.exactly_once, (label, r.errors)
+        assert r.hung_waiters == 0, label
+
+
+def test_job_chaos_kills_cost_respawns(job_chaos_grid):
+    """A kill forces at least one respawn epoch; a fault-free run
+    forces none."""
+    assert job_chaos_grid["no-fault"].respawns == 0
+    for label in ("interior-kill", "leaf-kill", "root-kill"):
+        assert job_chaos_grid[label].respawns >= 1, label
+
+
+def test_job_chaos_amplification_bounded(job_chaos_grid):
+    """Respawn + retry traffic stays far from a storm at 1% loss."""
+    for label, r in job_chaos_grid.items():
+        assert r.retry_amplification < 3.0, (label, r.retry_amplification)

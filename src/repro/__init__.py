@@ -54,7 +54,8 @@ def standard_session(cluster: Cluster,
                      hb_max_epochs: Optional[int] = None,
                      task_registry: Optional[dict] = None,
                      kvs_expiry: Optional[float] = None,
-                     kvs_replicas: tuple = ()) -> CommsSession:
+                     kvs_replicas: tuple = (),
+                     wexec_config: Optional[dict] = None) -> CommsSession:
     """Build a comms session loaded with the full Table I module set.
 
     The heartbeat is off by default so bounded simulations drain
@@ -63,7 +64,9 @@ def standard_session(cluster: Cluster,
 
     ``kvs_replicas`` names the ranks holding standby replicas of the
     KVS root master (multi-master failover); empty keeps the classic
-    single-master protocol.
+    single-master protocol.  ``wexec_config`` passes extra keyword
+    options (``max_restarts``, ``respawn_backoff``) to the bulk
+    launcher's node-loss recovery.
     """
     modules = [
         ModuleSpec(KvsModule, expiry=kvs_expiry,
@@ -72,7 +75,8 @@ def standard_session(cluster: Cluster,
         ModuleSpec(LogModule),
         ModuleSpec(GroupModule),
         ModuleSpec(ResvcModule),
-        ModuleSpec(WexecModule, registry=task_registry or {}),
+        ModuleSpec(WexecModule, registry=task_registry or {},
+                   **(wexec_config or {})),
         # Registry-backed samplers are registered but inactive: they
         # generate no traffic until a client activates them.
         ModuleSpec(MonModule, samplers=registry_samplers()),

@@ -22,6 +22,7 @@ socket client transport.
 from __future__ import annotations
 
 from collections import OrderedDict
+from dataclasses import replace
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from ..obs import DEFAULT_SIZE_LADDER, MetricsRegistry
@@ -389,8 +390,31 @@ class Broker:
                 tr.instant(msg.span, f"dup_parked:{msg.topic}", "retry",
                            self.rank)
             parked.append(msg)
+            if msg.ctx is not None:
+                self._kick_pending(msg.ctx)
             return True
         return False
+
+    def _kick_pending(self, ctx: RequestContext) -> None:
+        """Revive stalled upstream legs of a logical request.
+
+        A duplicate arrival (client retry) proves the origin is still
+        waiting: an upstream leg that stopped retransmitting — budget
+        spent, or its deadline (from the *previous* attempt) expired —
+        must not blackhole the retry behind its parked original.  Adopt
+        the retry's fresher deadline, reset the budget, and re-arm.
+        Legs still actively retransmitting (live timer) are left alone,
+        and upstream dedup absorbs the extra copies either way."""
+        for entry in self._pending.values():
+            ectx = entry.msg.ctx
+            if entry.timer is not None or ectx is None \
+                    or ectx.reqid != ctx.reqid:
+                continue
+            if ctx.deadline is not None and (
+                    ectx.deadline is None or ctx.deadline > ectx.deadline):
+                entry.msg.ctx = replace(ectx, deadline=ctx.deadline)
+            entry.attempts = 0
+            self._arm_retransmit(entry)
 
     def _finish_request(self, request: Message, resp: Message) -> None:
         """Emit ``resp``, record it for idempotent replay, and answer

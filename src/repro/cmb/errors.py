@@ -18,6 +18,7 @@ ENOENT      named thing (key, job, object, sampler) not found
 EEXIST      thing already exists (duplicate allocation, …)
 EINVAL      malformed request payload (missing/bad fields)
 EOVERFLOW   request exceeds available capacity
+EAGAIN      service overloaded right now — back off and retry
 ETIMEDOUT   request deadline expired (client- or broker-side)
 EHOSTUNREACH  no route to the target rank/parent
 EPROTO      unclassified protocol-level failure (the default)
@@ -35,9 +36,9 @@ from __future__ import annotations
 from typing import Optional
 
 __all__ = [
-    "ENOSYS", "ENOENT", "EEXIST", "EINVAL", "EOVERFLOW", "ETIMEDOUT",
-    "EHOSTUNREACH", "EPROTO", "EIO", "ERROR_CODES", "RETRYABLE_CODES",
-    "RpcError",
+    "ENOSYS", "ENOENT", "EEXIST", "EINVAL", "EOVERFLOW", "EAGAIN",
+    "ETIMEDOUT", "EHOSTUNREACH", "EPROTO", "EIO", "ERROR_CODES",
+    "RETRYABLE_CODES", "RpcError",
 ]
 
 ENOSYS = "ENOSYS"
@@ -45,6 +46,7 @@ ENOENT = "ENOENT"
 EEXIST = "EEXIST"
 EINVAL = "EINVAL"
 EOVERFLOW = "EOVERFLOW"
+EAGAIN = "EAGAIN"
 ETIMEDOUT = "ETIMEDOUT"
 EHOSTUNREACH = "EHOSTUNREACH"
 EPROTO = "EPROTO"
@@ -52,15 +54,17 @@ EIO = "EIO"
 
 #: Every code a response may carry.
 ERROR_CODES = frozenset({
-    ENOSYS, ENOENT, EEXIST, EINVAL, EOVERFLOW, ETIMEDOUT,
+    ENOSYS, ENOENT, EEXIST, EINVAL, EOVERFLOW, EAGAIN, ETIMEDOUT,
     EHOSTUNREACH, EPROTO, EIO,
 })
 
-#: Codes that describe a *transient transport* failure: the request may
-#: never have been served, so re-sending it can succeed.  Everything
-#: else (ENOENT, EINVAL, ...) is a definitive answer from the service —
-#: retrying would just repeat the same failure, so retry loops must not.
-RETRYABLE_CODES = frozenset({ETIMEDOUT, EHOSTUNREACH, EIO})
+#: Codes that describe a *transient* failure: the request may never
+#: have been served (transport loss) or the service is merely
+#: overloaded right now (EAGAIN admission control), so re-sending it
+#: after a backoff can succeed.  Everything else (ENOENT, EINVAL, ...)
+#: is a definitive answer from the service — retrying would just
+#: repeat the same failure, so retry loops must not.
+RETRYABLE_CODES = frozenset({ETIMEDOUT, EHOSTUNREACH, EIO, EAGAIN})
 
 
 class RpcError(Exception):

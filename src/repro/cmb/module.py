@@ -113,6 +113,13 @@ class CommsModule:
     def shutdown(self) -> None:
         """Called when the session is being torn down."""
 
+    def node_failed(self) -> None:
+        """Called by the fault injector when this module's own node
+        dies (physical teardown, *not* a protocol notification: the
+        broker is already dead and must not send messages).  Modules
+        hosting simulated processes override this to kill them — a
+        real process does not outlive its node."""
+
     def sync_metrics(self) -> None:
         """Push module-internal counters into the broker's metrics
         registry.  Called right before a registry snapshot is taken

@@ -56,6 +56,8 @@ EVENT_TOPICS = frozenset({
     "wexec.start",
     "wexec.signal",
     "wexec.done",
+    "wexec.respawn",
+    "wexec.lost",
     "job.state",
     "kvs.setroot",
     "kvs.delegation",

@@ -9,16 +9,42 @@ calls — which is how real workflows (and nested instances) feed jobs
 into Flux.
 
 Requests route upstream to the root broker, whose instance hook
-enqueues the spec; job state lands in the KVS (``lwj.<id>.state``, via
-the instance's job-record path) and a ``job.state`` event announces
-every transition so submitters can wait without polling.
+enqueues the spec; a ``job.state`` event announces every transition so
+submitters can wait without polling.
+
+Durability & failover
+---------------------
+The paper's resiliency story is that job state lives in the KVS so any
+part of the instance can be reconstructed after a failure.  This
+module is the journaling point: every lifecycle transition (``pending
+→ scheduled → running → complete/failed/timeout/cancelled``) is
+committed under ``lwj.<jobid>.state`` with a one-time ``lwj.<jobid>.
+spec`` record beside it.  Every broker additionally mirrors the
+``job.state`` event stream into a local record table.
+
+When the root dies, the overlay elects an acting root (PR 6's
+``live`` takeover).  The acting root's ``job`` module holds a
+*standby* copy of the instance's submit hook: on takeover it activates
+the hook (new submissions keep flowing into the scheduler), serves
+``job.info`` / ``job.list`` from the event-sourced mirror, and runs a
+recovery pass over the KVS journal to restore any record the event
+stream missed — the durable store, not the dead broker's memory, is
+the source of truth.
+
+Overload guardrail
+------------------
+``bind(..., max_pending=N)`` bounds the instance's pending queue at
+the admission boundary: an over-limit submission is rejected with a
+*retryable* ``EAGAIN`` error, so well-behaved clients back off and
+retry through the standard retry machinery instead of growing an
+unbounded backlog (graceful degradation under demand spikes).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
-from ..errors import EINVAL, ENOENT, ENOSYS
+from ..errors import EAGAIN, EINVAL, ENOENT, ENOSYS, RpcError
 from ..message import Message
 from ..module import CommsModule, request_handler
 
@@ -27,13 +53,18 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["JobManagerModule"]
 
+#: Record fields served by ``job.info`` (and mirrored/recovered).
+_INFO_FIELDS = ("jobid", "state", "name", "ncores", "submit_time",
+                "start_time", "end_time", "error")
+
 
 class JobManagerModule(CommsModule):
     """CMB front-end for an instance's scheduler.
 
     The hosting :class:`~repro.core.instance.FluxInstance` attaches
-    itself via :meth:`bind` on the root broker's module; submissions
-    arriving anywhere in the session route upstream to it.
+    itself via :meth:`bind` on the root broker's module (and in
+    standby mode on every other broker, arming failover); submissions
+    arriving anywhere in the session route upstream to the active one.
 
     Accepted spec fields (JSON): ``ncores`` (required), ``duration``,
     ``walltime``, ``name``, ``task``, ``ntasks``, ``task_args``,
@@ -42,25 +73,86 @@ class JobManagerModule(CommsModule):
 
     name = "job"
 
+    #: JobSpec fields journalled into ``lwj.<jobid>.spec``.
+    _SPEC_FIELDS = ("ncores", "duration", "walltime", "name", "task",
+                    "ntasks")
+
     def __init__(self, broker):
         super().__init__(broker)
         self._submit_hook: Optional[Callable[[dict], "Job"]] = None
+        self._standby_hook: Optional[Callable[[dict], "Job"]] = None
+        self._depth_fn: Optional[Callable[[], int]] = None
+        self._max_pending = 0
+        self._on_takeover: Optional[Callable[["JobManagerModule"],
+                                             None]] = None
         self._jobs: dict[int, "Job"] = {}
+        #: Promoted acting root: announce *every* journaled transition,
+        #: not just its own in-band submissions — jobs accepted by the
+        #: dead root still have waiters listening for their terminal
+        #: ``job.state`` event.
+        self._announce_all = False
+        #: Event-sourced mirror of every announced transition (all
+        #: brokers), upserted by the KVS recovery pass on takeover.
+        self._records: dict[int, dict] = {}
+        self._spec_written: set[int] = set()
+        self.rejected = 0
+        self.takeovers = 0
+        self.recovered_jobs = 0
 
-    def bind(self, submit_hook: Callable[[dict], "Job"]) -> None:
-        """Attach the owning instance's submit function (root only)."""
-        self._submit_hook = submit_hook
+    def bind(self, submit_hook: Callable[[dict], "Job"], *,
+             depth_fn: Optional[Callable[[], int]] = None,
+             max_pending: int = 0,
+             standby: bool = False,
+             on_takeover: Optional[Callable[["JobManagerModule"],
+                                            None]] = None) -> None:
+        """Attach the owning instance's submit function.
+
+        ``standby=True`` arms the hook without activating it — the
+        module serves nothing extra until a root takeover promotes it.
+        ``depth_fn``/``max_pending`` configure admission control;
+        ``on_takeover`` is invoked (with this module) at promotion so
+        the instance can re-home its journaling.
+        """
+        if standby:
+            self._standby_hook = submit_hook
+        else:
+            self._submit_hook = submit_hook
+        self._depth_fn = depth_fn
+        self._max_pending = max_pending
+        self._on_takeover = on_takeover
+
+    def start(self) -> None:
+        self.broker.subscribe("job.state", self._on_state_event)
+        self.broker.subscribe("live.down", self._on_live_down)
+
+    def sync_metrics(self) -> None:
+        reg = self.broker.registry
+        reg.gauge("job_rejected_total", ns=self.name).set(self.rejected)
+        reg.gauge("job_takeovers_total", ns=self.name).set(self.takeovers)
 
     # ------------------------------------------------------------------
+    # submission (with the EAGAIN admission guardrail)
+    # ------------------------------------------------------------------
+    @request_handler(required=("ncores",))
     def req_submit(self, msg: Message) -> None:
         if self._submit_hook is None:
-            # Not the root (or no instance attached): let the request
-            # keep climbing by re-routing through the parent.
+            # Not the active manager: let the request keep climbing by
+            # re-routing through the parent.
             if self.broker.parent is not None:
                 self.proxy_upstream(msg)
                 return
             self.respond(msg, error="no job manager bound at the root",
                          code=ENOSYS)
+            return
+        if self._max_pending and self._depth_fn is not None \
+                and self._depth_fn() >= self._max_pending:
+            # Bounded backlog: shed load with a *retryable* error so
+            # clients back off and re-offer instead of queue-stuffing.
+            self.rejected += 1
+            self.respond(
+                msg, error=(f"pending queue full "
+                            f"({self._max_pending} jobs); try again"),
+                code=EAGAIN)
             return
         try:
             job = self._submit_hook(dict(msg.payload))
@@ -73,41 +165,177 @@ class JobManagerModule(CommsModule):
                                           "name": job.spec.name})
         self.respond(msg, {"jobid": job.jobid})
 
+    # ------------------------------------------------------------------
+    # durable journal
+    # ------------------------------------------------------------------
     def announce(self, job: "Job") -> None:
         """Publish a state transition (called by the instance hook)."""
         self.broker.publish("job.state", {"jobid": job.jobid,
                                           "state": job.state.value,
                                           "name": job.spec.name})
 
+    def journal(self, job: "Job", state: str, t: float) -> None:
+        """Durably record ``job``'s transition to ``state``: KVS
+        journal + local record mirror + (for in-band submissions) a
+        ``job.state`` event.  Called by the owning instance on every
+        lifecycle edge."""
+        rec = self._records.setdefault(job.jobid, {})
+        rec.update(jobid=job.jobid, state=state, name=job.spec.name,
+                   ncores=job.spec.ncores, submit_time=job.submit_time,
+                   start_time=job.start_time, end_time=job.end_time,
+                   error=job.error)
+        kvs = self.broker.modules.get("kvs")
+        if kvs is not None and self.broker.alive:
+            sender = ("job-manager", job.jobid)
+            if job.jobid not in self._spec_written:
+                self._spec_written.add(job.jobid)
+                kvs.local_put(sender, f"lwj.{job.jobid}.spec",
+                              {f: getattr(job.spec, f)
+                               for f in self._SPEC_FIELDS})
+            kvs.local_put(sender, f"lwj.{job.jobid}.state",
+                          {"state": state, "t": t,
+                           "ncores": job.spec.ncores,
+                           "name": job.spec.name,
+                           "submit_time": job.submit_time,
+                           "start_time": job.start_time,
+                           "end_time": job.end_time,
+                           "error": job.error})
+            kvs.local_commit(sender)
+        if self.broker.alive \
+                and (job.jobid in self._jobs or self._announce_all):
+            self.broker.publish("job.state", {"jobid": job.jobid,
+                                              "state": state,
+                                              "name": job.spec.name})
+
+    def _on_state_event(self, msg: Message) -> None:
+        p = msg.payload
+        rec = self._records.setdefault(p["jobid"], {})
+        rec.setdefault("jobid", p["jobid"])
+        rec["state"] = p["state"]
+        rec.setdefault("name", p.get("name", ""))
+
+    # ------------------------------------------------------------------
+    # root-death failover
+    # ------------------------------------------------------------------
+    def _on_live_down(self, msg: Message) -> None:
+        if self._submit_hook is not None or self._standby_hook is None:
+            return
+        # Defer one tick: the live module's own handler (later in the
+        # module start order) heals the overlay first, so the
+        # parent-pointer test below sees the post-takeover shape.
+        self.broker.after(0.0, self._maybe_take_over)
+
+    def _maybe_take_over(self) -> None:
+        if (not self.broker.alive or self.broker.parent is not None
+                or self._submit_hook is not None
+                or self._standby_hook is None):
+            return
+        self._submit_hook = self._standby_hook
+        self._announce_all = True
+        self.takeovers += 1
+        self.log("err", f"job manager failing over to rank {self.rank}")
+        self.broker.sim.spawn(self._recover_proc(),
+                              name=f"jobmgr-recover:{self.rank}")
+        if self._on_takeover is not None:
+            self._on_takeover(self)
+
+    def _recover_proc(self):
+        """Rebuild the record table from the KVS journal (acting root).
+
+        The KVS may itself be mid-failover (replica election), so
+        transient errors are retried with backoff; a definitive
+        ``ENOENT`` just means no job ever ran.
+        """
+        delay = 0.02
+        names: list = []
+        for _attempt in range(8):
+            try:
+                resp = yield self.broker.rpc_up("kvs.get", {"key": "lwj"})
+            except RpcError as exc:
+                if exc.retryable:
+                    yield self.broker.sim.timeout(delay)
+                    delay *= 2
+                    continue
+                return
+            names = [n for n in resp.get("dir", []) if n.isdigit()]
+            break
+        for jobid_name in names:
+            jobid = int(jobid_name)
+            try:
+                st = yield self.broker.rpc_up(
+                    "kvs.get", {"key": f"lwj.{jobid_name}.state"})
+            except RpcError:
+                continue
+            val = st.get("value")
+            if not isinstance(val, dict):
+                continue
+            rec = self._records.setdefault(jobid, {})
+            # The event-sourced mirror may already be *newer* than the
+            # journal read (a transition landed while we recovered):
+            # only fill fields the mirror does not have.
+            rec.setdefault("jobid", jobid)
+            rec.setdefault("state", val.get("state"))
+            rec.setdefault("name", val.get("name", ""))
+            for f in ("ncores", "submit_time", "start_time", "end_time",
+                      "error"):
+                rec.setdefault(f, val.get(f))
+            self.recovered_jobs += 1
+        self.log("err", f"job manager recovered {self.recovered_jobs} "
+                        f"job records from the KVS journal")
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _record_view(self, jobid: int) -> Optional[dict]:
+        job = self._jobs.get(jobid)
+        if job is not None:
+            return {
+                "jobid": job.jobid,
+                "state": job.state.value,
+                "name": job.spec.name,
+                "ncores": job.spec.ncores,
+                "submit_time": job.submit_time,
+                "start_time": job.start_time,
+                "end_time": job.end_time,
+                "error": job.error,
+            }
+        rec = self._records.get(jobid)
+        if rec is None:
+            return None
+        return {f: rec.get(f) for f in _INFO_FIELDS}
+
+    def _serves_queries(self) -> bool:
+        """Whether this broker answers info/list itself: the active
+        manager, or any parent-less broker (root role — possibly an
+        acting root still mid-promotion, which then serves its
+        mirror rather than erroring)."""
+        return self._submit_hook is not None or self.broker.parent is None
+
     @request_handler(required=("jobid",))
     def req_info(self, msg: Message) -> None:
         """Query one submitted job's current state (root)."""
-        if self._submit_hook is None and self.broker.parent is not None:
+        if not self._serves_queries():
             self.proxy_upstream(msg)
             return
-        job = self._jobs.get(msg.payload.get("jobid"))
-        if job is None:
+        view = self._record_view(msg.payload.get("jobid"))
+        if view is None:
             self.respond(msg,
                          error=f"unknown job {msg.payload.get('jobid')}",
                          code=ENOENT)
             return
-        self.respond(msg, {
-            "jobid": job.jobid,
-            "state": job.state.value,
-            "name": job.spec.name,
-            "ncores": job.spec.ncores,
-            "submit_time": job.submit_time,
-            "start_time": job.start_time,
-            "end_time": job.end_time,
-            "error": job.error,
-        })
+        self.respond(msg, view)
 
     def req_list(self, msg: Message) -> None:
         """List jobs submitted through this module (root)."""
-        if self._submit_hook is None and self.broker.parent is not None:
+        if not self._serves_queries():
             self.proxy_upstream(msg)
             return
-        self.respond(msg, {"jobs": [
-            {"jobid": j.jobid, "state": j.state.value,
-             "name": j.spec.name}
-            for j in self._jobs.values()]})
+        seen: dict[int, dict] = {}
+        for jobid in list(self._jobs) + list(self._records):
+            if jobid not in seen:
+                view = self._record_view(jobid)
+                if view is not None:
+                    seen[jobid] = {"jobid": view["jobid"],
+                                   "state": view["state"],
+                                   "name": view["name"]}
+        self.respond(msg, {"jobs": list(seen.values())})

@@ -272,8 +272,13 @@ class CommsSession:
     def fail_rank(self, rank: int) -> None:
         """Kill the broker at ``rank`` along with its node (fault
         injection for the self-healing / liveness tests)."""
-        self.brokers[rank].alive = False
+        broker = self.brokers[rank]
+        broker.alive = False
         self.cluster.fail_node(self.node_of_rank(rank))
+        # Physical teardown: processes hosted by the dead node (wexec
+        # tasks, ...) die with it.
+        for mod in broker.modules.values():
+            mod.node_failed()
         self._subtree_procs_cache = None
 
     def heal_around(self, dead_rank: int) -> None:

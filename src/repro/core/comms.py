@@ -19,8 +19,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from ..cmb.modules import (BarrierModule, GroupModule, LogModule,
-                           ResvcModule, WexecModule)
+from ..cmb.modules import (BarrierModule, GroupModule, HeartbeatModule,
+                           LiveModule, LogModule, ResvcModule,
+                           WexecModule)
 from ..cmb.modules.jobmgr import JobManagerModule
 from ..cmb.session import CommsSession, ModuleSpec
 from ..cmb.topology import TreeTopology
@@ -57,6 +58,16 @@ class CommsConfig:
         session built from this config; each session records its
         per-module/per-plane message-count breakdown into it at stop
         time.
+    with_heartbeat / hb_period / hb_max_epochs:
+        Load the ``hb`` + ``live`` modules (liveness detection, tree
+        self-healing, acting-root takeover).  Off by default so
+        bounded simulations drain naturally.
+    kvs_replicas:
+        Ranks holding standby replicas of the KVS root master
+        (multi-master failover); empty keeps single-master.
+    wexec_max_restarts / wexec_respawn_backoff:
+        Node-loss recovery knobs for the bulk launcher (per-task
+        respawn budget and backoff base).
     """
 
     cluster: Cluster
@@ -68,6 +79,12 @@ class CommsConfig:
     assisted_boot_per_level: float = 1e-4
     extra_modules: Optional[Callable[[int], list[ModuleSpec]]] = None
     tracer: Optional[Tracer] = None
+    with_heartbeat: bool = False
+    hb_period: float = 0.1
+    hb_max_epochs: Optional[int] = None
+    kvs_replicas: tuple = ()
+    wexec_max_restarts: int = 2
+    wexec_respawn_backoff: float = 0.05
 
     def bootstrap_delay(self, n_nodes: int, *, assisted: bool) -> float:
         """Simulated seconds to bring a session up over ``n_nodes``."""
@@ -80,15 +97,23 @@ class CommsConfig:
         """Construct (but not start) a session over ``node_ids`` with
         the standard service module set."""
         size = len(node_ids)
+        replicas = tuple(r for r in self.kvs_replicas if r < size)
         modules = [
-            ModuleSpec(KvsModule),
+            ModuleSpec(KvsModule, replicas=replicas),
             ModuleSpec(BarrierModule),
             ModuleSpec(LogModule),
             ModuleSpec(GroupModule, max_depth=0),
             ModuleSpec(ResvcModule, max_depth=0),
-            ModuleSpec(WexecModule, registry=self.task_registry),
+            ModuleSpec(WexecModule, registry=self.task_registry,
+                       max_restarts=self.wexec_max_restarts,
+                       respawn_backoff=self.wexec_respawn_backoff),
             ModuleSpec(JobManagerModule),
         ]
+        if self.with_heartbeat:
+            modules.append(ModuleSpec(HeartbeatModule,
+                                      period=self.hb_period,
+                                      max_epochs=self.hb_max_epochs))
+            modules.append(ModuleSpec(LiveModule))
         if self.extra_modules is not None:
             modules.extend(self.extra_modules(size))
         return CommsSession(

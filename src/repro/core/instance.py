@@ -27,7 +27,7 @@ from ..resource import types as rt
 from ..sched.overhead import SchedCostModel, ZeroCostModel
 from ..sched.policy import FcfsPolicy, SchedulerPolicy
 from ..sched.queue import JobQueue
-from ..sim.kernel import Event, Simulation
+from ..sim.kernel import Event, Interrupt, Simulation
 from .comms import CommsConfig
 from .job import Job, JobKind, JobSpec, JobState
 
@@ -51,6 +51,16 @@ class FluxInstance:
         Set when this instance *is* a job of a parent instance.
     name:
         Label for reports.
+    max_pending:
+        Admission-control bound on the pending queue (0 = unbounded).
+        Wire submissions over the limit are rejected with a retryable
+        ``EAGAIN`` at the job module; Python submissions raise.
+    enforce_walltime:
+        Arm the walltime watchdog: a PROGRAM job still running at its
+        ``walltime`` is sent SIGTERM, then SIGKILL after
+        ``term_grace``, and finishes in the TIMEOUT state.
+    term_grace:
+        Escalation grace between SIGTERM → SIGKILL → hard teardown.
     """
 
     def __init__(self, sim: Simulation, pool: ResourcePool,
@@ -60,7 +70,10 @@ class FluxInstance:
                  host_job: Optional[Job] = None,
                  name: str = "flux",
                  comms: Optional[CommsConfig] = None,
-                 session=None):
+                 session=None,
+                 max_pending: int = 0,
+                 enforce_walltime: bool = False,
+                 term_grace: float = 0.05):
         self.sim = sim
         self.pool = pool
         self.policy = policy or FcfsPolicy()
@@ -68,6 +81,9 @@ class FluxInstance:
         self.parent = parent
         self.host_job = host_job
         self.name = name
+        self.max_pending = max_pending
+        self.enforce_walltime = enforce_walltime
+        self.term_grace = term_grace
         #: Per-job overlay network (Section III): the root instance
         #: boots its own session when a CommsConfig is given; child
         #: instances get theirs built (parent-assisted) at job start.
@@ -81,7 +97,7 @@ class FluxInstance:
         self._jobmgr = None
         if self.session is not None:
             self._bind_job_manager()
-        self.queue = JobQueue()
+        self.queue = JobQueue(limit=max_pending or None)
         self.jobs: dict[int, Job] = {}
         self.active = True
         self.sched_passes = 0
@@ -95,12 +111,34 @@ class FluxInstance:
         self._sched_proc = sim.spawn(self._scheduler(), name=f"sched:{name}")
 
     def _bind_job_manager(self) -> None:
-        """Attach this instance to the session's ``job`` comms module,
-        enabling in-band (flux-submit style) job submission."""
-        mod = self.session.brokers[0].modules.get("job")
-        if mod is not None:
-            mod.bind(self._submit_from_wire)
-            self._jobmgr = mod
+        """Attach this instance to the session's ``job`` comms modules:
+        active on the root broker (in-band flux-submit), *standby* on
+        every other broker — should the root die, the acting root's
+        module promotes its standby hook and keeps the submission path
+        and job queries alive (state recovered from the KVS journal)."""
+        for rank, broker in enumerate(self.session.brokers):
+            mod = broker.modules.get("job")
+            if mod is None:
+                continue
+            mod.bind(self._submit_from_wire,
+                     depth_fn=lambda: len(self.queue),
+                     max_pending=self.max_pending,
+                     standby=rank != 0,
+                     on_takeover=self._adopt_job_manager)
+            if rank == 0:
+                self._jobmgr = mod
+
+    def _adopt_job_manager(self, mod) -> None:
+        """Re-home journaling onto the promoted (acting-root) module.
+
+        Transitions that landed between the old root's death and this
+        promotion were journaled into the corpse and lost — re-journal
+        every known job's *current* state through the acting module so
+        the KVS record, the event mirror, and any waiters listening for
+        a terminal ``job.state`` all catch up."""
+        self._jobmgr = mod
+        for job in self.jobs.values():
+            mod.journal(job, job.state.value, self.sim.now)
 
     #: JobSpec fields accepted over the wire (whitelist: wire specs are
     #: plain JSON and must not smuggle callables or nested instances).
@@ -135,9 +173,13 @@ class FluxInstance:
         """Enqueue a job; returns its :class:`Job` immediately."""
         if not self.active:
             raise RuntimeError(f"instance {self.name!r} is shut down")
+        if self.queue.full:
+            raise RuntimeError(
+                f"pending queue full ({self.queue.limit} jobs)")
         job = Job(spec, self)
         self.jobs[job.jobid] = job
         self.queue.push(job)
+        self._record_job_state(job, "pending")
         self._kick()
         return job
 
@@ -152,6 +194,7 @@ class FluxInstance:
             self.queue.remove(job)
             job.state = JobState.CANCELLED
             job.end_time = self.sim.now
+            self._record_job_state(job, "cancelled")
             self._check_drained()
 
     def running_jobs(self) -> list[Job]:
@@ -341,6 +384,7 @@ class FluxInstance:
             return False
         self.queue.remove(job)
         job.allocation = alloc
+        self._record_job_state(job, "scheduled")
         job.state = JobState.RUNNING
         job.start_time = self.sim.now
         self._busy_delta(alloc.ncores)
@@ -355,25 +399,92 @@ class FluxInstance:
     def _run_program_job(self, job: Job):
         spec = job.spec
         self._record_job_state(job, "running")
+        runner = self.sim.spawn(self._program_body(job),
+                                name=f"pbody:{job.jobid}", contain=True)
+        watchdog = None
+        # A rigid duration job finishes at exactly t=duration, and
+        # JobSpec defaults walltime to duration — don't arm a watchdog
+        # that could only ever tie with the job's own completion.
+        cannot_overrun = (spec.task is None and spec.body is None
+                          and not spec.is_moldable and not spec.malleable
+                          and (spec.walltime or 0) >= (spec.duration or 0))
+        if self.enforce_walltime and (spec.walltime or 0) > 0 \
+                and not cannot_overrun:
+            watchdog = self.sim.spawn(
+                self._walltime_watchdog(job, runner),
+                name=f"walltime:{job.jobid}", contain=True)
         try:
-            if spec.task is not None:
-                rc = yield from self._run_task_job(job)
-                if rc != 0:
-                    job.error = f"task exited with status {rc}"
-                    self._finish(job, JobState.FAILED)
-                    return
-            elif spec.body is not None:
-                body = self.sim.spawn(spec.body(job, self),
-                                      name=f"body:{job.jobid}",
-                                      contain=True)
-                yield body
-            elif spec.duration > 0:
-                yield from self._run_duration(job)
+            yield runner
         except Exception as exc:
-            job.error = str(exc)
-            self._finish(job, JobState.FAILED)
+            if not job._timed_out:
+                job.error = str(exc)
+            self._finish(job, JobState.TIMEOUT if job._timed_out
+                         else JobState.FAILED)
+            return
+        finally:
+            if watchdog is not None and watchdog.is_alive:
+                watchdog.interrupt()
+        if job._timed_out:
+            self._finish(job, JobState.TIMEOUT)
             return
         self._finish(job, JobState.COMPLETE)
+
+    def _program_body(self, job: Job):
+        """The job's actual workload, isolated in its own (contained)
+        process so the walltime watchdog can tear it down."""
+        spec = job.spec
+        if spec.task is not None:
+            rc = yield from self._run_task_job(job)
+            if rc != 0:
+                raise RuntimeError(f"task exited with status {rc}")
+        elif spec.body is not None:
+            body = self.sim.spawn(spec.body(job, self),
+                                  name=f"body:{job.jobid}",
+                                  contain=True)
+            job._body_proc = body
+            yield body
+        elif spec.duration > 0:
+            yield from self._run_duration(job)
+
+    def _walltime_watchdog(self, job: Job, runner):
+        """Walltime enforcement (sim-clock): SIGTERM at the limit,
+        SIGKILL after ``term_grace``, then hard teardown — the job
+        lands in TIMEOUT instead of running (or hanging) forever."""
+        try:
+            yield self.sim.timeout(job.spec.walltime)
+        except Interrupt:
+            return          # runner finished inside its walltime
+        if not runner.is_alive:
+            return
+        job._timed_out = True
+        job.error = f"walltime {job.spec.walltime}s exceeded"
+        self._deliver_job_signal(job, runner, 15)
+        yield self.sim.timeout(self.term_grace)
+        if not runner.is_alive:
+            return
+        self._deliver_job_signal(job, runner, 9)
+        yield self.sim.timeout(self.term_grace)
+        if runner.is_alive:
+            runner.interrupt(9)
+
+    def _deliver_job_signal(self, job: Job, runner, signum: int) -> None:
+        """Route a watchdog signal to the job's workload: task jobs
+        get a session-wide ``wexec.signal`` (each task sees a real
+        Interrupt and exits 128+sig), body jobs an Interrupt into the
+        body process (bodies may catch it to clean up), duration jobs
+        an Interrupt into the runner itself."""
+        if job.spec.task is not None and self.session is not None:
+            root = self.session.acting_root()
+            if root is not None:
+                self.session.brokers[root].publish(
+                    "wexec.signal",
+                    {"jobid": f"lwj{job.jobid}", "signum": signum})
+            return
+        target = job._body_proc
+        if target is None or not target.is_alive:
+            target = runner
+        if target.is_alive:
+            target.interrupt(signum)
 
     def _run_duration(self, job: Job):
         """Execute a fixed-work job, re-pacing on every resize.
@@ -423,28 +534,43 @@ class FluxInstance:
         handle = self.session.connect(ranks[0], collective=False)
         done_ch = self.sim.channel(name=f"wexec-done:{lwj}")
         handle.subscribe("wexec.done", done_ch.put)
-        yield handle.rpc("wexec.run", {
-            "jobid": lwj, "task": spec.task, "nprocs": ntasks,
-            "ranks": ranks, "args": spec.task_args})
-        while True:
-            msg = yield done_ch.get()
-            if msg.payload["jobid"] == lwj:
-                handle.close()
+        handle.subscribe("wexec.lost", done_ch.put)
+        try:
+            yield handle.rpc("wexec.run", {
+                "jobid": lwj, "task": spec.task, "nprocs": ntasks,
+                "ranks": ranks, "args": spec.task_args})
+            while True:
+                msg = yield done_ch.get()
+                if msg.payload["jobid"] != lwj:
+                    continue
+                if msg.topic == "wexec.lost":
+                    # Respawn budget exhausted: the job fails instead
+                    # of waiting forever on a tally that cannot close.
+                    raise RuntimeError(
+                        f"lost tasks {msg.payload['taskranks']}: "
+                        f"{msg.payload['reason']}")
                 return msg.payload["status"]
+        finally:
+            handle.close()
 
     def _record_job_state(self, job: Job, state: str) -> None:
-        """Publish the job's state into the instance KVS (job records,
-        the provenance store the paper's design calls for) and announce
-        it on the event plane for in-band submitters."""
+        """Journal the job's transition into the instance KVS
+        (``lwj.<jobid>.state`` — the provenance store the paper's
+        design calls for) and announce it on the event plane for
+        in-band submitters.  Routed through the *active* job manager
+        module, so after a root failover the journal keeps flowing
+        from the acting root."""
         if self.session is None:
             return
-        if self._jobmgr is not None and job.jobid in self._jobmgr._jobs:
-            self._jobmgr.announce(job)
+        if self._jobmgr is not None:
+            self._jobmgr.journal(job, state, self.sim.now)
+            return
+        # No job module loaded in this session: journal directly.
         kvs = self.session.brokers[0].modules.get("kvs")
         if kvs is None:
             return
         kvs.local_put(("job-manager", job.jobid),
-                      f"lwj{job.jobid}.state",
+                      f"lwj.{job.jobid}.state",
                       {"state": state, "t": self.sim.now,
                        "ncores": job.spec.ncores,
                        "name": job.spec.name})

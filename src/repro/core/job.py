@@ -43,6 +43,9 @@ class JobState(Enum):
     COMPLETE = "complete"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    #: Killed by the instance's walltime watchdog (the job exceeded
+    #: its requested walltime and did not yield to SIGTERM in time).
+    TIMEOUT = "timeout"
 
 
 @dataclass
@@ -171,6 +174,12 @@ class Job:
         #: Signalled by the instance when the allocation is resized
         #: (malleability); the duration runner recomputes its finish.
         self._resize_ev = None
+        #: Set by the walltime watchdog once enforcement has begun —
+        #: the runner's eventual exit is then classified TIMEOUT.
+        self._timed_out = False
+        #: The contained body process of a body-spec job (signal
+        #: delivery target for SIGTERM-with-cleanup semantics).
+        self._body_proc = None
 
     # -- timing ------------------------------------------------------
     @property
@@ -198,7 +207,7 @@ class Job:
     def done(self) -> bool:
         """Terminal-state check."""
         return self.state in (JobState.COMPLETE, JobState.FAILED,
-                              JobState.CANCELLED)
+                              JobState.CANCELLED, JobState.TIMEOUT)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<Job {self.jobid} {self.spec.name or self.spec.kind.value}"

@@ -19,7 +19,7 @@ from ..sim.kernel import Event
 __all__ = ["JobClient"]
 
 #: Job states that end the lifecycle.
-_TERMINAL = {"complete", "failed", "cancelled"}
+_TERMINAL = {"complete", "failed", "cancelled", "timeout"}
 
 
 class JobClient:

@@ -18,9 +18,13 @@ class JobQueue:
     ordered).  Policies receive snapshots and pick what to start.
     """
 
-    def __init__(self, priority_fn: Optional[Callable[["Job"], float]] = None):
+    def __init__(self, priority_fn: Optional[Callable[["Job"], float]] = None,
+                 limit: Optional[int] = None):
         self._jobs: list["Job"] = []
         self.priority_fn = priority_fn
+        #: Optional admission bound: ``push`` refuses once this many
+        #: jobs are pending (``None`` keeps the queue unbounded).
+        self.limit = limit
 
     def __len__(self) -> int:
         return len(self._jobs)
@@ -28,8 +32,16 @@ class JobQueue:
     def __iter__(self) -> Iterator["Job"]:
         return iter(self.snapshot())
 
+    @property
+    def full(self) -> bool:
+        """True when a bounded queue is at its admission limit."""
+        return self.limit is not None and len(self._jobs) >= self.limit
+
     def push(self, job: "Job") -> None:
-        """Enqueue a pending job."""
+        """Enqueue a pending job (refused when the queue is full)."""
+        if self.full:
+            raise RuntimeError(
+                f"pending queue full ({self.limit} jobs)")
         self._jobs.append(job)
 
     def remove(self, job: "Job") -> None:

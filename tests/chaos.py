@@ -29,7 +29,8 @@ from repro import make_cluster, standard_session
 from repro.kvs import KvsClient
 from repro.sim import FaultPlan
 
-__all__ = ["ChaosReport", "run_chaos_workload"]
+__all__ = ["ChaosReport", "JobChaosReport", "run_chaos_workload",
+           "run_job_chaos_workload"]
 
 
 @dataclass
@@ -262,6 +263,234 @@ def run_chaos_workload(n_nodes: int = 31, n_clients: int = 16,
         client_rpcs=client_rpcs, broker_stats=broker_stats,
         fault_stats=fault_stats, detect_latency=detect_latency,
         makespan=makespan, errors=errors,
+        sanitizer_findings=(list(session.sanitizers.finish())
+                            if sanitize else []),
+        event_fingerprint=fingerprint.digest() if sanitize else "")
+
+
+# ----------------------------------------------------------------------
+# job-plane chaos: a wexec bulk launch under node loss
+# ----------------------------------------------------------------------
+@dataclass
+class JobChaosReport:
+    """Outcome + telemetry of one job-plane chaos run."""
+
+    converged: bool                 # completed exactly once, no hangs
+    completed: bool                 # a wexec.done event was observed
+    status: str                     # terminal status ("ok"/"failed"/"lost"/"")
+    exactly_once: bool              # full rc set, each taskrank once
+    lost: bool                      # a wexec.lost event was observed
+    rcs_expected: int               # nprocs
+    rcs_got: int                    # distinct taskranks in the done tally
+    stdout_verified: int            # per-task stdout records re-read OK
+    stdout_failed: int              # per-task stdout records missing/bad
+    respawns: int                   # tasks re-executed after node loss
+    hung_waiters: int               # leftover waiters on live brokers
+    client_retries: int             # launch-RPC attempts re-issued
+    client_rpcs: int                # logical client RPCs issued
+    broker_stats: dict = field(default_factory=dict)
+    fault_stats: dict = field(default_factory=dict)
+    detect_latency: float = 0.0     # kill -> last live.down at obs rank
+    recovery_latency: float = 0.0   # kill -> job terminal event
+    makespan: float = 0.0           # launch -> terminal event
+    errors: list = field(default_factory=list)
+    sanitizer_findings: list = field(default_factory=list)
+    event_fingerprint: str = ""
+
+    @property
+    def retry_amplification(self) -> float:
+        """Extra sends per task.  The job plane issues a single client
+        RPC no matter how wide the job is, so unlike ``ChaosReport``
+        the meaningful unit of work here is the task: recovery traffic
+        (client re-attempts, broker retransmissions, reroutes) divided
+        by the task count."""
+        extra = (self.client_retries
+                 + self.broker_stats.get("retransmits", 0)
+                 + self.broker_stats.get("reroutes", 0))
+        return extra / max(1, self.rcs_expected)
+
+
+def run_job_chaos_workload(n_nodes: int = 31, nprocs: int = 24,
+                           seed: int = 7, fault_seed: int = 11,
+                           drop_rate: float = 0.01,
+                           kill_ranks: tuple = (), kill_at: float = 0.3,
+                           kill_stagger: float = 0.5,
+                           hb_period: float = 0.05,
+                           task_work: float = 1.0,
+                           max_restarts: int = 2,
+                           respawn_backoff: float = 0.05,
+                           timeout: float = 0.5, retries: int = 8,
+                           run_until: float = 60.0,
+                           sanitize: bool = False,
+                           kvs_replicas: tuple = ()) -> JobChaosReport:
+    """Drive one ``wexec`` bulk launch across every rank while
+    ``kill_ranks`` die mid-run, then verify the exactly-once contract:
+
+    - the job reaches a terminal state (``wexec.done`` — or
+      ``wexec.lost`` once a task's ``max_restarts`` budget runs out)
+      instead of hanging;
+    - the completion tally carries the *full* rc set — every taskrank
+      exactly once, even though tasks on dead nodes were respawned and
+      falsely-buried incarnations may race their replacements;
+    - each task's stdout is durable in the KVS over a clean fabric.
+
+    ``task_work`` should comfortably exceed ``kill_at`` so the kills
+    land mid-task (tasks on the victims die *running* and must be
+    respawned, the hard case) rather than after the tally closed.
+    """
+    cluster = make_cluster(n_nodes, seed=seed)
+    plan = FaultPlan(seed=fault_seed, drop_rate=drop_rate)
+    cluster.network.fault_plan = plan
+
+    def chaos_task(ctx):
+        ctx.print(f"{ctx.jobid}:{ctx.taskrank}")
+        yield ctx.sim.timeout(task_work)
+
+    session = standard_session(
+        cluster, with_heartbeat=True, hb_period=hb_period,
+        hb_max_epochs=max(64, int(run_until / hb_period)),
+        task_registry={"chaos": chaos_task},
+        kvs_replicas=kvs_replicas,
+        wexec_config={"max_restarts": max_restarts,
+                      "respawn_backoff": respawn_backoff})
+    session.start()
+    sim = cluster.sim
+    fingerprint = None
+    if sanitize:
+        from repro.analysis.sanitizers import replay_fingerprint_hook
+        session.enable_sanitizers()
+        fingerprint = replay_fingerprint_hook(sim, keep_records=False)
+
+    jobid = "lwj-chaos"
+    obs_rank = min(r for r in range(n_nodes) if r not in set(kill_ranks))
+    detect_times: dict[int, float] = {}
+    terminal: list[tuple[str, dict, float]] = []  # (topic, payload, t)
+    obs = session.brokers[obs_rank]
+    obs.subscribe("live.down",
+                  lambda msg: detect_times.setdefault(
+                      msg.payload["rank"], sim.now))
+    obs.subscribe("wexec.done",
+                  lambda msg: terminal.append(("done", msg.payload,
+                                               sim.now))
+                  if msg.payload.get("jobid") == jobid else None)
+    obs.subscribe("wexec.lost",
+                  lambda msg: terminal.append(("lost", msg.payload,
+                                               sim.now))
+                  if msg.payload.get("jobid") == jobid else None)
+
+    for i, victim in enumerate(kill_ranks):
+        ev = sim.timeout(kill_at + i * kill_stagger)
+        ev.add_callback(lambda _e, v=victim: session.fail_rank(v))
+
+    errors: list[str] = []
+    handles = []
+    launch_t = [0.0]
+
+    def launcher():
+        try:
+            handle = session.connect(obs_rank, collective=False)
+            handles.append(handle)
+            launch_t[0] = sim.now
+            yield handle.rpc("wexec.run",
+                             {"jobid": jobid, "task": "chaos",
+                              "nprocs": nprocs},
+                             timeout=timeout, retries=retries)
+        except Exception as exc:  # noqa: BLE001 - tallied in the report
+            errors.append(f"launcher (t={sim.now:.3f}): {exc}")
+
+    lproc = sim.spawn(launcher(), name="job-chaos-launcher")
+    while sim.now < run_until and not terminal:
+        sim.run(until=min(run_until, sim.now + 0.5))
+    sim.run(until=sim.now + 1.0)  # settle in-flight bookkeeping
+
+    if not lproc.triggered:
+        errors.append("launcher: hung")
+    if not terminal:
+        errors.append(f"job never reached a terminal state "
+                      f"(t={sim.now:.3f})")
+
+    topic, payload, term_t = terminal[0] if terminal else ("", {}, sim.now)
+    completed = topic == "done"
+    lost = any(t == "lost" for t, _p, _at in terminal)
+    # wexec.done carries the max rc as "status"; render terminal state
+    # as a string for the report ("ok" / "rc=N" / "lost").
+    if completed:
+        status = "ok" if payload.get("status", 0) == 0 \
+            else f"rc={payload['status']}"
+    else:
+        status = "lost" if lost else ""
+    rcs = payload.get("rcs", {}) if completed else {}
+    got_ranks = {int(t) for t in rcs}
+    exactly_once = (completed
+                    and len(terminal) == 1
+                    and len(rcs) == nprocs
+                    and got_ranks == set(range(nprocs)))
+    if completed and not exactly_once:
+        errors.append(f"tally not exactly-once: {len(terminal)} terminal "
+                      f"events, {sorted(got_ranks)} of {nprocs} taskranks")
+
+    detect_latency = (max(detect_times.get(v, sim.now)
+                          for v in kill_ranks) - kill_at
+                      if kill_ranks else 0.0)
+    recovery_latency = max(0.0, term_t - kill_at) if kill_ranks else 0.0
+    respawns = sum(b.modules["wexec"].respawns
+                   for b in session.brokers if b.alive)
+
+    hung = 0
+    for broker in session.brokers:
+        if not broker.alive:
+            continue
+        kvs_mod = broker.modules.get("kvs")
+        if kvs_mod is not None:
+            hung += len(kvs_mod._version_waiters)
+            hung += sum(len(agg.held) for agg in kvs_mod._fences.values())
+            hung += len(kvs_mod._repl_waiters)
+            hung += len(kvs_mod._fence_deferred)
+    for handle in handles:
+        hung += len(handle._waiters)
+
+    # Verification pass over a clean fabric: every completed task's
+    # stdout must be durable and readable at the observation rank.
+    cluster.network.fault_plan = None
+    verified = [0, 0]
+
+    def verifier():
+        kvs = KvsClient(session.connect(obs_rank, collective=False),
+                        timeout=10.0)
+        for taskrank in sorted(got_ranks):
+            key = f"lwj.{jobid}.{taskrank}.stdout"
+            try:
+                got = yield kvs.get(key)
+            except Exception:  # noqa: BLE001 - tallied below
+                got = None
+            if got == [f"{jobid}:{taskrank}"]:
+                verified[0] += 1
+            else:
+                verified[1] += 1
+                errors.append(f"verify {key!r}: read {got!r}")
+
+    vproc = sim.spawn(verifier(), name="job-chaos-verifier")
+    sim.run(until=sim.now + 20.0)
+    if not vproc.triggered or not vproc.ok:
+        errors.append("stdout verifier did not complete")
+
+    client_retries = sum(h.retries for h in handles)
+    broker_stats = session.retry_stats()
+    fault_stats = plan.stats()
+    session.stop()
+    converged = (completed and exactly_once and verified[1] == 0
+                 and hung == 0 and vproc.triggered and vproc.ok
+                 and not errors)
+    return JobChaosReport(
+        converged=converged, completed=completed, status=status,
+        exactly_once=exactly_once, lost=lost,
+        rcs_expected=nprocs, rcs_got=len(got_ranks),
+        stdout_verified=verified[0], stdout_failed=verified[1],
+        respawns=respawns, hung_waiters=hung,
+        client_retries=client_retries, client_rpcs=1,
+        broker_stats=broker_stats, fault_stats=fault_stats,
+        detect_latency=detect_latency, recovery_latency=recovery_latency,
+        makespan=max(0.0, term_t - launch_t[0]), errors=errors,
         sanitizer_findings=(list(session.sanitizers.finish())
                             if sanitize else []),
         event_fingerprint=fingerprint.digest() if sanitize else "")

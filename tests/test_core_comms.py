@@ -123,7 +123,7 @@ class TestJobRecords:
 
         def reader():
             kvs = KvsClient(inst.session.connect(5, collective=False))
-            return (yield kvs.get(f"lwj{job.jobid}.state"))
+            return (yield kvs.get(f"lwj.{job.jobid}.state"))
 
         proc = cluster.sim.spawn(reader())
         record = cluster.sim.run_until_complete(proc)
@@ -137,7 +137,7 @@ class TestJobRecords:
 
         def reader():
             kvs = KvsClient(inst.session.connect(0, collective=False))
-            return (yield kvs.get(f"lwj{job.jobid}.state"))
+            return (yield kvs.get(f"lwj.{job.jobid}.state"))
 
         proc = cluster.sim.spawn(reader())
         assert cluster.sim.run_until_complete(proc)["state"] == "failed"

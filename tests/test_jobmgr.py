@@ -85,7 +85,10 @@ class TestSubmitOverWire:
 
         def client():
             jc = JobClient(inst.session.connect(1, collective=False))
-            with pytest.raises(RpcError, match="rejected|needs ncores"):
+            # Missing ncores now fails the declared-field validation at
+            # the protocol boundary (structured EINVAL).
+            with pytest.raises(RpcError,
+                               match="missing required payload field"):
                 yield jc.submit({"duration": 1.0})
             with pytest.raises(RpcError, match="rejected"):
                 yield jc.submit({"ncores": 0})
