@@ -69,6 +69,8 @@ def time_kap(nnodes: int) -> dict:
         "events": res.events,
         "events_per_sec": round(res.events / dt, 1),
         "bytes_sent": res.bytes_sent,
+        "plane_bytes": dict(sorted(res.plane_bytes.items())),
+        "flight_peak": res.flight_peak,
     }
 
 
@@ -126,10 +128,20 @@ def render(doc: dict) -> str:
     lines = ["Simulator throughput: paper-default KAP (value_size=64, "
              "16 procs/node)", ""]
     lines.append(f"{'producers':>10} {'events':>10} {'wall_s':>8} "
-                 f"{'events/s':>10}")
+                 f"{'events/s':>10} {'ring_peak':>9}")
     for r in doc["kap"]:
         lines.append(f"{r['producers']:>10} {r['events']:>10} "
-                     f"{r['wall_s']:>8.3f} {r['events_per_sec']:>10.0f}")
+                     f"{r['wall_s']:>8.3f} {r['events_per_sec']:>10.0f} "
+                     f"{r.get('flight_peak', 0):>9}")
+    planes = (doc["kap"][-1] or {}).get("plane_bytes", {})
+    if planes:
+        total = sum(planes.values()) or 1
+        lines.append("")
+        lines.append("per-plane bytes (largest sweep point):")
+        for plane, nbytes in sorted(planes.items(),
+                                    key=lambda kv: -kv[1]):
+            lines.append(f"  {plane:<12} {nbytes:>12} "
+                         f"({100.0 * nbytes / total:5.1f}%)")
     ch = doc["chaos"]
     lines.append("")
     lines.append(f"chaos (31 nodes, drop 1%, sanitizers on): "

@@ -158,7 +158,8 @@ class Handle:
             self._waiters[msg.msgid] = inner
             self._ipc_deliver(msg)
             if timeout is not None:
-                self._arm_timeout(msg.msgid, inner, topic, timeout)
+                self._arm_timeout(msg.msgid, inner, topic, timeout,
+                                  terminal=False)
             inner.add_callback(done)
 
         def done(inner: Event) -> None:
@@ -173,6 +174,9 @@ class Handle:
                            and self.sim.now >= deadline)
             if (not isinstance(exc, RpcError) or not exc.retryable
                     or attempt_no >= retries or out_of_time):
+                self.session.note_terminal_error(
+                    topic, getattr(exc, "code", None)
+                    or type(exc).__name__, self.rank, str(exc))
                 ev.fail(exc)
                 return
             # Exponential backoff with jitter: decorrelates the retry
@@ -192,13 +196,19 @@ class Handle:
         return ev
 
     def _arm_timeout(self, msgid: int, ev: Event, topic: str,
-                     timeout: float) -> None:
+                     timeout: float, terminal: bool = True) -> None:
         timer = self.sim.timeout(timeout)
 
         def expire(_e) -> None:
             if ev.triggered:
                 return
             self._waiters.pop(msgid, None)
+            if terminal:
+                # Per-attempt timeouts under a retry loop are noted by
+                # the retry driver only once they become unrecoverable.
+                self.session.note_terminal_error(
+                    topic, ETIMEDOUT, self.rank,
+                    f"timeout after {timeout:g}s")
             ev.fail(RpcError(topic, f"timeout after {timeout:g}s",
                              code=ETIMEDOUT, rank=self.rank))
 

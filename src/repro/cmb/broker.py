@@ -25,7 +25,7 @@ from collections import OrderedDict
 from dataclasses import replace
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
-from ..obs import DEFAULT_SIZE_LADDER, MetricsRegistry
+from ..obs import DEFAULT_SIZE_LADDER, FlightRecorder, MetricsRegistry
 from ..sim.kernel import Event, Simulation, Timeout
 from .errors import (EHOSTUNREACH, ENOSYS, ETIMEDOUT, RETRYABLE_CODES,
                      RpcError)
@@ -52,6 +52,25 @@ PLANE_LOCAL = "local"
 #: Enum -> wire-kind string, precomputed: ``Enum.value`` is a
 #: DynamicClassAttribute lookup, too slow for the per-message tally.
 _MTYPE_KIND = {t: t.value for t in MessageType}
+
+#: Flight-recorder salient-key extractors for event deliveries: which
+#: payload field(s) the post-mortem doctor needs to reconstruct the
+#: entity timeline that topic belongs to.  Topics without an entry are
+#: recorded with a ``None`` payload slot (the topic itself is enough).
+_EVENT_SALIENT = {
+    "hb.pulse": lambda p: p.get("epoch"),
+    "live.down": lambda p: p.get("rank"),
+    "live.reattach": lambda p: p.get("rank"),
+    "kvs.setroot": lambda p: (p.get("version"), p.get("fence")),
+    "kvs.newmaster": lambda p: (p.get("rank"), p.get("version")),
+    "kvs.delegation": lambda p: (p.get("prefix"), p.get("owner")),
+    "wexec.start": lambda p: p.get("jobid"),
+    "wexec.done": lambda p: (p.get("jobid"), p.get("status")),
+    "wexec.respawn": lambda p: (p.get("jobid"), p.get("epoch")),
+    "wexec.lost": lambda p: p.get("jobid"),
+    "job.state": lambda p: (p.get("jobid"), p.get("state")),
+    "health.update": lambda p: (p.get("state"), p.get("epoch")),
+}
 
 
 class _Source:
@@ -164,6 +183,19 @@ class Broker:
         #: Service-time histograms keyed by topic (lazy; labels are
         #: (module, method) in the registry).
         self._svc_hist: dict[str, Any] = {}
+        #: Always-on flight recorder (black box): a bounded ring of
+        #: compact structured records of what this broker recently did.
+        #: Pure observer — appends never schedule events or draw
+        #: randomness, so it cannot perturb the event stream.
+        self.flight = FlightRecorder(session.flight_capacity)
+        self._frec = self.flight.rec
+        #: Per-plane payload-byte attribution (tree vs event vs ring),
+        #: feeding the ROADMAP fence-payload investigation via
+        #: ``CommsSession.plane_bytes()`` and ``bench_simperf``.
+        self.plane_bytes: dict[str, int] = {}
+        #: Peak inbox depth since last health-plane sample (the health
+        #: module reads and resets this; one compare on the hot path).
+        self.inbox_peak = 0
 
     # -- int-compat views over the registry counters -----------------------
     @property
@@ -201,6 +233,26 @@ class Broker:
         for mod in list(self.modules.values()):
             mod.sync_metrics()
         return self.registry.snapshot()
+
+    def pending_census(self) -> list:
+        """JSON-able census of in-flight forwarded requests — what this
+        broker is still waiting on (post-mortem bundles; health plane
+        reads only the count)."""
+        out = []
+        for msgid, entry in sorted(self._pending.items()):
+            ctx = entry.msg.ctx
+            out.append({
+                "msgid": msgid,
+                "topic": entry.msg.topic,
+                "plane": entry.plane,
+                "hop": entry.hop,
+                "hop_kind": entry.hop_kind,
+                "attempts": entry.attempts,
+                "timer_armed": entry.timer is not None,
+                "reqid": ctx.reqid if ctx is not None else None,
+                "deadline": ctx.deadline if ctx is not None else None,
+            })
+        return out
 
     def _observe_service(self, topic: str, dt: float) -> None:
         """Record one RPC service time into the (module, method)
@@ -248,7 +300,10 @@ class Broker:
         while True:
             item = yield self._inbox.get()
             plane, msg = item
-            self._h_inbox.observe(float(len(self._inbox._items)))
+            depth = len(self._inbox._items)
+            self._h_inbox.observe(float(depth))
+            if depth > self.inbox_peak:
+                self.inbox_peak = depth
             if not self.alive:
                 # A failed broker silently eats traffic (the network
                 # already drops fabric messages to it; this covers the
@@ -274,8 +329,12 @@ class Broker:
     def _send(self, peer_rank: int, plane: str, msg: Message) -> None:
         msg.hops += 1
         self._count(plane, msg)
+        size = msg.size()
+        pb = self.plane_bytes
+        pb[plane] = pb.get(plane, 0) + size
+        self._frec(self.sim.now, "send", plane, msg.topic, peer_rank)
         self.network.send(self.node_id, self.session.node_of_rank(peer_rank),
-                          (plane, msg), msg.size(),
+                          (plane, msg), size,
                           port=self.session.port_key)
 
     def _expired(self, msg: Message) -> bool:
@@ -326,9 +385,13 @@ class Broker:
                 return
             self._c_requests.value += 1
             self._count(PLANE_LOCAL, msg)
+            ctx = msg.ctx
+            now = self.sim.now
+            self._frec(now, "dispatch", msg.topic,
+                       ctx.reqid if ctx is not None else None, source.kind)
             msg._source = source  # type: ignore[attr-defined]
             msg._broker = self    # type: ignore[attr-defined]
-            msg._obs_t0 = self.sim.now  # type: ignore[attr-defined]
+            msg._obs_t0 = now     # type: ignore[attr-defined]
             if (msg.span is not None
                     and (tr := self.session.span_tracer) is not None):
                 # Open the dispatch span and re-point the message's
@@ -374,6 +437,7 @@ class Broker:
             if hit is not None:
                 cache.move_to_end(key)
                 self._c_replay_hits.inc()
+                self._frec(self.sim.now, "replay", msg.topic, key[0], None)
                 tr = self.session.span_tracer
                 if tr is not None:
                     tr.instant(msg.span, f"replay:{msg.topic}", "retry",
@@ -385,6 +449,7 @@ class Broker:
         parked = self._inflight.get(key)
         if parked is not None:
             self._c_dups_parked.inc()
+            self._frec(self.sim.now, "dup_parked", msg.topic, key[0], None)
             tr = self.session.span_tracer
             if tr is not None:
                 tr.instant(msg.span, f"dup_parked:{msg.topic}", "retry",
@@ -428,6 +493,9 @@ class Broker:
         t0 = request._obs_t0
         if t0 is not None:
             self._observe_service(request.topic, self.sim.now - t0)
+        if resp.error is not None:
+            self._frec(self.sim.now, "resp_error", request.topic,
+                       resp.errnum, resp.err_rank)
         tr = self.session.span_tracer
         if tr is not None:
             span = request._obs_span
@@ -535,6 +603,8 @@ class Broker:
         entry.attempts += 1
         entry.hop = hop
         self._c_retransmits.inc()
+        self._frec(self.sim.now, "retransmit", entry.msg.topic,
+                   entry.attempts, hop)
         tr = self.session.span_tracer
         if tr is not None:
             tr.instant(entry.msg.span, f"retransmit:{entry.msg.topic}",
@@ -596,6 +666,9 @@ class Broker:
 
     def _deliver_event(self, msg: Message) -> None:
         self._c_events.inc()
+        fn = _EVENT_SALIENT.get(msg.topic)
+        self._frec(self.sim.now, "event", msg.topic,
+                   fn(msg.payload) if fn is not None else None, None)
         if msg.span is not None:
             tr = self.session.span_tracer
             if tr is not None:
@@ -856,6 +929,7 @@ class Broker:
             heal_target = acting if acting != self.rank else None
         else:
             adopter = heal_target
+        self._frec(self.sim.now, "peer_down", dead_rank, heal_target, None)
         if self.parent == dead_rank:
             self.parent = heal_target
         if dead_rank in self.children:
@@ -899,6 +973,8 @@ class Broker:
                 entry.hop = self.parent
                 entry.attempts = 0
                 self._c_reroutes.inc()
+                self._frec(self.sim.now, "reroute", entry.msg.topic,
+                           dead_rank, self.parent)
                 tr = self.session.span_tracer
                 if tr is not None:
                     tr.instant(entry.msg.span,
@@ -911,6 +987,8 @@ class Broker:
                 continue
             del self._pending[msgid]
             self._cancel_retransmit(entry)
+            self._frec(self.sim.now, "fail_via", entry.msg.topic,
+                       dead_rank, None)
             if entry.span is not None:
                 tr = self.session.span_tracer
                 if tr is not None:

@@ -179,6 +179,8 @@ class JobManagerModule(CommsModule):
         journal + local record mirror + (for in-band submissions) a
         ``job.state`` event.  Called by the owning instance on every
         lifecycle edge."""
+        self.broker._frec(self.broker.sim.now, "job_state",
+                          job.jobid, state, None)
         rec = self._records.setdefault(job.jobid, {})
         rec.update(jobid=job.jobid, state=state, name=job.spec.name,
                    ncores=job.spec.ncores, submit_time=job.submit_time,

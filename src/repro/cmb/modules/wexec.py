@@ -495,15 +495,28 @@ class WexecModule(CommsModule):
             return
         self.log("err", f"job {jobid!r}: respawning tasks {lost} "
                         f"(epoch {epoch}) on ranks {survivors}")
+        self.broker._frec(self.broker.sim.now, "wexec_respawn",
+                          jobid, epoch, tuple(lost))
+        tr = self.broker.session.span_tracer
+        span = None
+        if tr is not None:
+            root = tr.start_trace("wexec_respawn", self.rank,
+                                  jobid=jobid, epoch=epoch,
+                                  tasks=list(lost))
+            span = (root.trace_id, root.span_id)
+            tr.finish(root)  # fire-and-forget: deliveries are children
         self.broker.publish("wexec.respawn",
                             {"jobid": jobid, "epoch": epoch,
-                             "taskranks": lost, "ranks": survivors})
+                             "taskranks": lost, "ranks": survivors},
+                            span=span)
 
     def _publish_lost(self, jobid: Any, state: _JobState,
                       taskranks: list[int], reason: str) -> None:
         state.failed = True
         self.log("err", f"job {jobid!r} lost tasks "
                         f"{sorted(taskranks)}: {reason}")
+        self.broker._frec(self.broker.sim.now, "wexec_lost",
+                          jobid, reason, tuple(sorted(taskranks)))
         self.broker.publish("wexec.lost",
                             {"jobid": jobid,
                              "taskranks": sorted(taskranks),

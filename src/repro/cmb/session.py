@@ -103,6 +103,14 @@ class CommsSession:
         #: disables broker-level retransmission entirely.
         self.retransmit_timeout = 5e-3
         self.retransmit_max = 4
+        #: Flight-recorder ring capacity per broker (rounded up to a
+        #: power of two).  The recorder is always on — it is a pure
+        #: observer, so it cannot perturb a run (see
+        #: :mod:`repro.obs.flight`).
+        self.flight_capacity = 1024
+        #: Terminal client RpcErrors noted by Handle retry loops —
+        #: bounded bookkeeping the post-mortem dump triggers consult.
+        self.terminal_errors: list = []
         self._next_client_id = 1
         self._subtree_procs_cache: Optional[list[int]] = None
         #: Distributed-tracing collector (``None`` = tracing off, the
@@ -204,16 +212,25 @@ class CommsSession:
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
-    def enable_tracing(self) -> SpanTracer:
+    def enable_tracing(self, *, sample_every: int = 1,
+                       span_budget: int | None = None) -> SpanTracer:
         """Turn on distributed tracing; returns the session tracer.
 
         Every client API call then becomes one trace whose spans cover
         each forwarding hop, module dispatch, retry, and KVS protocol
         step.  Export with
         ``session.span_tracer.to_chrome_trace()`` (Perfetto-loadable).
+
+        ``sample_every`` head-samples: only every N-th trace is
+        retained — except traces recording an error, which are always
+        kept (tail sampling).  ``span_budget`` makes the stride
+        adaptive: when retained spans exceed the budget, the stride
+        doubles.  Defaults record everything (pre-sampling behavior).
         """
         if self.span_tracer is None:
-            self.span_tracer = SpanTracer(lambda: self.sim.now)
+            self.span_tracer = SpanTracer(lambda: self.sim.now,
+                                          sample_every=sample_every,
+                                          span_budget=span_budget)
         return self.span_tracer
 
     def enable_sanitizers(self, *, span_check: bool = True):
@@ -309,6 +326,34 @@ class CommsSession:
                            if self.brokers[c].alive]
         self._subtree_procs_cache = None
         broker.publish("live.reattach", {"rank": rank})
+
+    def note_terminal_error(self, topic: str, code: str,
+                            rank: int, detail: str = "") -> None:
+        """Record a terminal (non-retryable / retries-exhausted) client
+        RpcError.  Pure bookkeeping: a bounded list append, consulted
+        by the post-mortem dump triggers — never by the protocol."""
+        if len(self.terminal_errors) < 256:
+            self.terminal_errors.append(
+                {"t": self.sim.now, "topic": topic, "code": code,
+                 "rank": rank, "detail": detail[:200]})
+
+    def flight_snapshots(self) -> dict[int, dict]:
+        """Every broker's flight-recorder snapshot, keyed by rank
+        (dead brokers included — their rings hold the era that killed
+        them, which is exactly what a post-mortem wants)."""
+        return {b.rank: b.flight.snapshot() for b in self.brokers}
+
+    def plane_bytes(self) -> dict[str, int]:
+        """Session-wide payload bytes sent per fabric plane."""
+        totals: dict[str, int] = {}
+        for broker in self.brokers:
+            for plane, n in broker.plane_bytes.items():
+                totals[plane] = totals.get(plane, 0) + n
+        return totals
+
+    def flight_peak(self) -> int:
+        """Highest flight-ring occupancy across brokers."""
+        return max((b.flight.peak for b in self.brokers), default=0)
 
     def retry_stats(self) -> dict[str, int]:
         """Aggregate chaos-recovery counters across every broker:

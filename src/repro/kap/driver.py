@@ -44,7 +44,8 @@ def run_kap(config: KapConfig,
             tracing: bool = False,
             trace_out: Optional[str] = None,
             stats_out: Optional[str] = None,
-            sanitize: bool = False) -> KapResult:
+            sanitize: bool = False,
+            postmortem_out: Optional[str] = None) -> KapResult:
     """Execute one KAP run and return its measured latencies.
 
     ``max_events`` optionally bounds the simulation (guards against
@@ -58,6 +59,11 @@ def run_kap(config: KapConfig,
     fingerprint for replay-divergence checks.  Findings land in
     ``result.sanitizer_findings``; the checkers are pure observers,
     so the run itself is event-identical to a sanitizer-off run.
+
+    ``postmortem_out`` arms the failure black box: if the run
+    deadlocks (or sanitizers report findings), every broker's
+    flight-recorder ring plus waiter/pending censuses are dumped to
+    that path for ``python -m repro.obs.doctor``.
     """
     cluster = make_cluster(config.nnodes, seed=config.seed)
     sim = cluster.sim
@@ -126,17 +132,42 @@ def run_kap(config: KapConfig,
     all_done = sim.all_of(procs)
     sim.run(max_events=max_events)
     if not all_done.triggered:
+        if postmortem_out:
+            from ..obs.postmortem import capture_bundle, write_bundle
+            write_bundle(
+                capture_bundle(
+                    session, "KAP deadlocked: not all testers finished",
+                    kind="kap",
+                    extra={"nnodes": config.nnodes,
+                           "nprocs": config.nprocs,
+                           "sync": config.sync, "seed": config.seed}),
+                postmortem_out)
         raise RuntimeError("KAP deadlocked: not all testers finished")
 
     result.setup_time = max(setup_done) if setup_done else 0.0
     result.total_time = sim.now
     result.events = sim.event_count
     result.bytes_sent = cluster.network.total_bytes_sent()
+    result.plane_bytes = session.plane_bytes()
+    result.flight_peak = session.flight_peak()
     result.msg_counts = session.message_counts()
     session.stop()
     if sanitize:
         result.sanitizer_findings = list(session.sanitizers.finish())
         result.event_fingerprint = fingerprint.digest()
+        if result.sanitizer_findings and postmortem_out:
+            from ..obs.postmortem import capture_bundle, write_bundle
+            write_bundle(
+                capture_bundle(
+                    session,
+                    f"{len(result.sanitizer_findings)} sanitizer "
+                    f"finding(s)",
+                    kind="kap",
+                    extra={"nnodes": config.nnodes,
+                           "nprocs": config.nprocs,
+                           "findings": [str(f) for f in
+                                        result.sanitizer_findings[:10]]}),
+                postmortem_out)
 
     if trace_out:
         session.span_tracer.write_chrome_trace(trace_out)

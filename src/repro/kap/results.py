@@ -28,6 +28,12 @@ class KapResult:
     total_time: float = 0.0
     events: int = 0
     bytes_sent: int = 0
+    #: Payload bytes sent per fabric plane (tree / event_up /
+    #: event_down / ring / tree_rank) — the per-plane attribution the
+    #: ROADMAP's fence-payload investigation tabulates.
+    plane_bytes: dict = field(default_factory=dict)
+    #: Highest flight-recorder ring occupancy across brokers.
+    flight_peak: int = 0
     #: Per-(module, plane, kind) message counts from the run's comms
     #: session (see :meth:`repro.cmb.session.CommsSession.message_counts`).
     msg_counts: dict = field(default_factory=dict)

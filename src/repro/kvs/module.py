@@ -238,6 +238,9 @@ class KvsModule(CommsModule):
         self._failed_over = False
         self._master_down = False
         self._master_down_at = 0.0
+        #: Open election span at this candidate (tracing only): closed
+        #: at promotion (we won) or on the ``newmaster`` event (lost).
+        self._elect_span = None
         #: Ownership table: delegated prefix -> owning rank, learned
         #: from totally-ordered ``{name}.delegation`` events (every
         #: rank converges on the same table).
@@ -715,6 +718,13 @@ class KvsModule(CommsModule):
         ring = self._election_ring()
         if self.rank not in ring:
             return
+        self.broker._frec(self.broker.sim.now, "kvs_election",
+                          self._standby.version, len(ring), None)
+        tr = self.broker.session.span_tracer
+        if tr is not None and self._elect_span is None:
+            self._elect_span = tr.start_trace(
+                "kvs_election", self.rank, ns=self.name,
+                standby_version=self._standby.version)
         if len(ring) == 1:
             self._promote()
             return
@@ -769,6 +779,13 @@ class KvsModule(CommsModule):
         self.master_rank = self.rank
         self._failed_over = True
         self._master_down = False
+        self.broker._frec(self.broker.sim.now, "kvs_promote",
+                          self.master.version, self.rank, None)
+        tr = self.broker.session.span_tracer
+        if tr is not None and self._elect_span is not None:
+            tr.finish(self._elect_span, winner=self.rank,
+                      version=self.master.version)
+            self._elect_span = None
         self._repl_log = []
         self._repl_acks = {}
         for fname in list(self._standby_completed):
@@ -794,10 +811,19 @@ class KvsModule(CommsModule):
             return
         self.master_rank = p["rank"]
         self._failed_over = True
+        tr = self.broker.session.span_tracer
+        if tr is not None and self._elect_span is not None:
+            # We lost (or never finished) the election this span
+            # tracked; the announced winner closes it.
+            tr.finish(self._elect_span, winner=p["rank"],
+                      version=p["version"])
+            self._elect_span = None
         if self.master is not None:
             # Double promotion resolved by event total order: the later
             # announcement wins everywhere; demote to a plain slave.
             self.master = None
+            self.broker._frec(self.broker.sim.now, "kvs_demote",
+                              p["rank"], p["version"], None)
         self._apply_root(p["version"], p["rootref"])
         self.broker.after(0.0, self._recover_shared if self._shared_mode()
                           else self._recover_after_down)
@@ -1567,6 +1593,8 @@ class KvsModule(CommsModule):
         agg.count += 1
         agg.total_seen += 1
         agg.local_count += 1
+        self.broker._frec(self.broker.sim.now, "kvs_fence_enter",
+                          name, sender, agg.total_seen)
         if msg.span is not None:
             agg.span = msg.span
         self._maybe_flush_fence(agg)
@@ -1783,10 +1811,34 @@ class KvsModule(CommsModule):
 
     def _record_completed(self, name: str, version: int,
                           root_sha: str) -> None:
+        self.broker._frec(self.broker.sim.now, "kvs_commit",
+                          name, version, None)
         self._completed[name] = (version, root_sha)
         self._completed.move_to_end(name)
         while len(self._completed) > self.completed_cap:
             self._completed.popitem(last=False)
+
+    def waiter_census(self) -> dict:
+        """Who is stuck on what at this rank — the KVS section of a
+        post-mortem bundle (see ``repro.obs.postmortem``)."""
+        return {
+            "version": self.version,
+            "master_rank": self.master_rank,
+            "is_master": self.master is not None,
+            "master_down": self._master_down,
+            "version_waiters": sorted(w for w, _m in
+                                      self._version_waiters),
+            "fences": {name: {"nprocs": agg.nprocs,
+                              "count": agg.count,
+                              "total_seen": agg.total_seen,
+                              "held": len(agg.held),
+                              "created_version": agg.created_version}
+                       for name, agg in sorted(self._fences.items())},
+            "repl_waiters": sorted(v for v, _fn in self._repl_waiters),
+            "fence_deferred": sorted(self._fence_deferred),
+            "dirty_clients": len(self._dirty),
+            "dirty_ops": sum(len(d.ops) for d in self._dirty.values()),
+        }
 
     # ------------------------------------------------------------------
     # failure recovery (chaos tentpole)
@@ -1926,6 +1978,8 @@ class KvsModule(CommsModule):
         """Monotonic root switch: never apply an older version."""
         if version <= self.version:
             return
+        self.broker._frec(self.broker.sim.now, "kvs_apply_root",
+                          version, self.version, None)
         self.version = version
         self.root_sha = root_sha
         san = self._san()

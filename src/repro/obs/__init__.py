@@ -3,6 +3,7 @@
 See DESIGN.md "Observability" for the span model and wire format.
 """
 
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import (
     DEFAULT_SIZE_LADDER,
     DEFAULT_TIME_LADDER,
@@ -14,13 +15,15 @@ from repro.obs.metrics import (
     histogram_from_snapshot,
     log_ladder,
     merge_snapshots,
+    parse_prometheus_text,
     snapshot_to_prometheus,
 )
 from repro.obs.span import Span, SpanTracer
 
 __all__ = [
     "Counter", "CounterVec", "Gauge", "Histogram", "MetricsRegistry",
-    "merge_snapshots", "snapshot_to_prometheus", "histogram_from_snapshot",
+    "merge_snapshots", "snapshot_to_prometheus", "parse_prometheus_text",
+    "histogram_from_snapshot",
     "log_ladder", "DEFAULT_TIME_LADDER", "DEFAULT_SIZE_LADDER",
-    "Span", "SpanTracer",
+    "Span", "SpanTracer", "FlightRecorder",
 ]

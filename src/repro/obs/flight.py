@@ -1,0 +1,106 @@
+"""Flight recorder: a per-broker black box for post-mortem diagnosis.
+
+Full span tracing is too heavy to leave on at the 8k-65k-producer
+scales the ROADMAP targets, yet when a chaos run stalls the *recent
+past* of every broker is exactly what the post-mortem needs.  The
+:class:`FlightRecorder` squares that: a fixed-capacity ring buffer of
+compact structured records that stays on **always** — tracing off,
+sanitizers off, benchmarks included — because an append is O(1) and
+allocates a single small tuple, comparable to the per-message counter
+update the broker already pays.
+
+Records are 6-tuples ``(t, seq, kind, a, b, c)``:
+
+- ``t`` — simulated time of the record;
+- ``seq`` — per-recorder monotonically increasing sequence number
+  (total order within one broker even when ``t`` ties);
+- ``kind`` — a short string tag (``send``, ``event``, ``dispatch``,
+  ``retransmit``, ``kvs_promote``, ...);
+- ``a``/``b``/``c`` — kind-specific payload slots (topic, rank,
+  version, ...), kept to cheap scalars/small tuples.
+
+The recorder is a **pure observer** in the simulation's sense: it
+schedules no events, draws no randomness, and never affects message
+sizes — so enabling it (it is never disabled) cannot perturb the
+event stream, and same-seed runs produce bit-identical rings.
+
+Capacity is rounded up to a power of two so the hot-path index is a
+single mask; old records are overwritten silently and the overwrite
+count is reported as ``dropped`` in :meth:`snapshot`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Fixed-capacity ring of structured flight records."""
+
+    __slots__ = ("capacity", "_mask", "_buf", "_n")
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        cap = 1
+        while cap < capacity:
+            cap <<= 1
+        self.capacity = cap
+        self._mask = cap - 1
+        self._buf: list = [None] * cap
+        self._n = 0
+
+    # -- hot path -------------------------------------------------------
+    def rec(self, t: float, kind: str, a=None, b=None, c=None) -> None:
+        """Append one record (O(1): one tuple, one store, one add)."""
+        i = self._n
+        self._buf[i & self._mask] = (t, i, kind, a, b, c)
+        self._n = i + 1
+
+    # -- introspection --------------------------------------------------
+    @property
+    def appended(self) -> int:
+        """Total records ever appended (including overwritten ones)."""
+        return self._n
+
+    @property
+    def dropped(self) -> int:
+        """Records lost to ring wrap-around."""
+        n = self._n - self.capacity
+        return n if n > 0 else 0
+
+    @property
+    def peak(self) -> int:
+        """Peak ring occupancy (records simultaneously retained)."""
+        return self._n if self._n < self.capacity else self.capacity
+
+    def __len__(self) -> int:
+        return self.peak
+
+    def records(self) -> list:
+        """Retained records, oldest first (each a 6-tuple)."""
+        n = self._n
+        if n <= self.capacity:
+            return self._buf[:n]
+        mask = self._mask
+        buf = self._buf
+        return [buf[i & mask] for i in range(n - self.capacity, n)]
+
+    def snapshot(self) -> dict:
+        """JSON-able dump: retained records plus occupancy telemetry."""
+        return {
+            "capacity": self.capacity,
+            "appended": self._n,
+            "dropped": self.dropped,
+            "peak": self.peak,
+            "records": [list(r) for r in self.records()],
+        }
+
+    def clear(self) -> None:
+        """Reset the ring (tests / reuse between workload phases)."""
+        self._buf = [None] * self.capacity
+        self._n = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<FlightRecorder {self.peak}/{self.capacity} "
+                f"(appended={self._n})>")

@@ -71,19 +71,49 @@ class SpanTracer:
     instrumentation sites skip all work (the byte-identical path).
     """
 
-    def __init__(self, now_fn):
+    def __init__(self, now_fn, sample_every: int = 1,
+                 span_budget: Optional[int] = None):
         self._now = now_fn
         self._trace_ids = itertools.count(1)
         self._span_ids = itertools.count(1)
         self.spans: list[Span] = []
         self._open: dict[int, Span] = {}
+        #: Head-sampling stride: trace ``i`` is kept iff
+        #: ``(i - 1) % sample_every == 0``.  1 = keep everything
+        #: (the default, byte-identical to the pre-sampling tracer).
+        self.sample_every = max(1, int(sample_every))
+        #: Soft cap on retained spans; when exceeded after a
+        #: compaction, ``sample_every`` doubles (adaptive back-off).
+        self.span_budget = span_budget
+        self.dropped_traces = 0
+        self.dropped_spans = 0
+        # Unsampled traces are *recorded anyway* until their root span
+        # closes: if any span in them records an ``error`` arg they are
+        # kept (tail sampling — errors are always worth the bytes);
+        # otherwise the trace id moves to ``_discard`` and its spans
+        # are swept out by the next amortized compaction.
+        self._unsampled: set[int] = set()
+        self._error: set[int] = set()
+        self._discard: set[int] = set()
+        self._compact_at = 4096
 
     # -- recording ------------------------------------------------------
+    def _note_args(self, span: Span, args: dict) -> None:
+        span.args.update(args)
+        if "error" in args:
+            self._error.add(span.trace_id)
+            # Tail rescue: an error arriving after the root closed
+            # un-discards whatever spans of the trace still remain.
+            self._discard.discard(span.trace_id)
+
     def start_trace(self, name: str, rank: int, **args: Any) -> Span:
         """Open the root span of a new trace (one per client call)."""
-        span = Span(next(self._trace_ids), next(self._span_ids), None,
+        tid = next(self._trace_ids)
+        span = Span(tid, next(self._span_ids), None,
                     name, "client", rank, self._now())
-        span.args.update(args)
+        self._note_args(span, args)
+        if self.sample_every > 1 and (tid - 1) % self.sample_every:
+            self._unsampled.add(tid)
         self.spans.append(span)
         self._open[span.span_id] = span
         return span
@@ -99,7 +129,7 @@ class SpanTracer:
             return None
         span = Span(parent[0], next(self._span_ids), parent[1],
                     name, cat, rank, self._now())
-        span.args.update(args)
+        self._note_args(span, args)
         self.spans.append(span)
         self._open[span.span_id] = span
         return span
@@ -109,8 +139,38 @@ class SpanTracer:
         if span is None or span.t1 is not None:
             return
         span.t1 = self._now()
-        span.args.update(args)
+        self._note_args(span, args)
         self._open.pop(span.span_id, None)
+        if span.parent_id is None and span.trace_id in self._unsampled:
+            # Root closed: the head-sampling verdict becomes final
+            # unless an error span tail-rescued (or later rescues) it.
+            self._unsampled.discard(span.trace_id)
+            if span.trace_id not in self._error:
+                self._discard.add(span.trace_id)
+                self.dropped_traces += 1
+                if len(self.spans) >= self._compact_at:
+                    self._compact()
+
+    def _compact(self) -> None:
+        """Sweep spans of discarded traces (amortized O(1)/span)."""
+        drop = self._discard
+        before = len(self.spans)
+        self.spans = [s for s in self.spans if s.trace_id not in drop]
+        self.dropped_spans += before - len(self.spans)
+        self._compact_at = max(4096, 2 * len(self.spans))
+        if (self.span_budget is not None
+                and len(self.spans) > self.span_budget):
+            # Still over budget after sweeping: halve the head-sample
+            # rate for traces not yet started.
+            self.sample_every *= 2
+
+    def _purged_spans(self) -> list[Span]:
+        """Retained spans with discarded-trace leftovers filtered out
+        (late children can arrive after their trace was discarded)."""
+        if not self._discard:
+            return self.spans
+        drop = self._discard
+        return [s for s in self.spans if s.trace_id not in drop]
 
     def instant(self, parent: Optional[tuple], name: str, cat: str,
                 rank: int, **args: Any) -> None:
@@ -132,7 +192,7 @@ class SpanTracer:
     def traces(self) -> dict[int, list[Span]]:
         """Spans grouped by trace id (insertion-ordered)."""
         out: dict[int, list[Span]] = {}
-        for span in self.spans:
+        for span in self._purged_spans():
             out.setdefault(span.trace_id, []).append(span)
         return out
 
@@ -155,6 +215,15 @@ class SpanTracer:
                     problems.append(f"trace {tid}: span {s.span_id} "
                                     f"({s.name}) never finished")
         return problems
+
+    def error_spans(self) -> list[Span]:
+        """Spans belonging to traces that recorded an ``error`` arg —
+        the fragments a post-mortem bundle ships regardless of
+        sampling (tail-kept, see ``__init__``)."""
+        if not self._error:
+            return []
+        keep = self._error
+        return [s for s in self.spans if s.trace_id in keep]
 
     def critical_path(self, trace_id: int) -> list[Span]:
         """The root-to-leaf chain that determined the trace's end time.
@@ -209,7 +278,7 @@ class SpanTracer:
         """
         events: list[dict] = []
         ranks: set[int] = set()
-        for s in self.spans:
+        for s in self._purged_spans():
             ranks.add(s.rank)
             events.append({
                 "name": s.name, "cat": s.cat, "ph": "X",

@@ -91,6 +91,67 @@ def _check_snapshot(snap: Any, where: str, problems: list) -> None:
         _check_metric(m, f"{where}.metrics[{i}]", problems)
 
 
+#: Legal cluster/broker health states (plus "unknown" before the
+#: first completed reduction).
+_HEALTH_STATES = ("ok", "degraded", "overloaded", "unknown")
+
+#: Numeric fields every completed health view must carry.
+_HEALTH_VIEW_NUMS = ("epoch", "t", "brokers", "inbox_sum", "inbox_max",
+                     "pending_max", "retry_amp_max", "dirty_sum",
+                     "respawn_sum")
+
+
+def _check_health_view(view: Any, where: str, problems: list) -> None:
+    if not isinstance(view, dict):
+        problems.append(f"{where}: view is not an object")
+        return
+    state = view.get("state")
+    if state not in _HEALTH_STATES:
+        problems.append(f"{where}: state {state!r} not in "
+                        f"{_HEALTH_STATES}")
+    if view.get("epoch") == -1:
+        return          # placeholder view (plane never activated)
+    for fld in _HEALTH_VIEW_NUMS:
+        if not _is_num(view.get(fld)):
+            problems.append(f"{where}: non-numeric {fld}")
+    counts = view.get("counts")
+    if not isinstance(counts, dict):
+        problems.append(f"{where}: counts must be an object")
+        return
+    for k, v in counts.items():
+        if k not in _HEALTH_STATES:
+            problems.append(f"{where}: counts key {k!r} not a state")
+        if not isinstance(v, int) or v < 0:
+            problems.append(f"{where}: counts[{k}] must be a "
+                            f"non-negative int")
+    brokers = view.get("brokers")
+    if _is_num(brokers) and sum(counts.values()) != brokers:
+        problems.append(f"{where}: counts sum {sum(counts.values())} "
+                        f"!= brokers {brokers}")
+
+
+def _check_health(health: Any, problems: list) -> None:
+    if not isinstance(health, dict):
+        problems.append("health: not an object")
+        return
+    _check_health_view(health.get("cluster"), "health.cluster", problems)
+    views = health.get("views")
+    if views is None:
+        return
+    if not isinstance(views, list):
+        problems.append("health.views: not a list")
+        return
+    last = None
+    for i, view in enumerate(views):
+        _check_health_view(view, f"health.views[{i}]", problems)
+        epoch = view.get("epoch") if isinstance(view, dict) else None
+        if _is_num(epoch):
+            if last is not None and epoch <= last:
+                problems.append(f"health.views[{i}]: epoch {epoch} "
+                                f"not increasing (prev {last})")
+            last = epoch
+
+
 def validate_stats(doc: Any) -> list:
     """Structural check of a stats document; returns problems found."""
     problems: list = []
@@ -106,6 +167,8 @@ def validate_stats(doc: Any) -> list:
         else:
             for i, snap in enumerate(per_rank):
                 _check_snapshot(snap, f"per_rank[{i}]", problems)
+    if "health" in doc:
+        _check_health(doc["health"], problems)
     return problems
 
 

@@ -22,15 +22,37 @@ telemetry the chaos benchmarks tabulate.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro import make_cluster, standard_session
 from repro.kvs import KvsClient
+from repro.obs.postmortem import capture_bundle, write_bundle
 from repro.sim import FaultPlan
 
 __all__ = ["ChaosReport", "JobChaosReport", "run_chaos_workload",
            "run_job_chaos_workload"]
+
+
+def _maybe_postmortem(session, *, kind: str, out: Optional[str],
+                      triggers: list[str], default_name: str,
+                      extra: Optional[dict] = None) -> str:
+    """Write a post-mortem bundle when asked or when a trigger fired.
+
+    ``out`` (explicit path) always captures — the caller asked.  With
+    only ``CHAOS_POSTMORTEM_DIR`` set (CI), a bundle is written iff at
+    least one trigger fired, named ``default_name`` under that dir.
+    Returns the written path ("" = none).
+    """
+    env_dir = os.environ.get("CHAOS_POSTMORTEM_DIR", "")
+    if out is None and not (env_dir and triggers):
+        return ""
+    reason = "; ".join(triggers) if triggers else "requested by caller"
+    bundle = capture_bundle(session, reason, kind=kind, extra=extra)
+    path = out if out is not None else os.path.join(env_dir,
+                                                   default_name)
+    return write_bundle(bundle, path)
 
 
 @dataclass
@@ -54,6 +76,8 @@ class ChaosReport:
     #: Event-stream SHA1 (``sanitize=True`` runs only) — same-seed
     #: replay must reproduce it bit for bit.
     event_fingerprint: str = ""
+    #: Post-mortem bundle written for this run ("" = none).
+    postmortem_path: str = ""
 
     @property
     def retry_amplification(self) -> float:
@@ -79,7 +103,9 @@ def run_chaos_workload(n_nodes: int = 31, n_clients: int = 16,
                        trace_out: Optional[str] = None,
                        stats_out: Optional[str] = None,
                        sanitize: bool = False,
-                       kvs_replicas: tuple = ()) -> ChaosReport:
+                       kvs_replicas: tuple = (),
+                       postmortem_out: Optional[str] = None
+                       ) -> ChaosReport:
     """Run the chaos workload; see module docstring.
 
     ``trace_out``/``stats_out`` export the causal span trees (Chrome
@@ -211,6 +237,26 @@ def run_chaos_workload(n_nodes: int = 31, n_clients: int = 16,
     broker_stats = session.retry_stats()
     fault_stats = plan.stats()
 
+    # Post-mortem capture happens *here* — after the hung-waiter
+    # census, before the clean-fabric verifier pollutes the rings.
+    triggers = []
+    if errors:
+        triggers.append(f"{len(errors)} workload error(s)")
+    if hung:
+        triggers.append(f"{hung} hung waiter(s)")
+    if session.terminal_errors:
+        triggers.append(f"{len(session.terminal_errors)} terminal "
+                        f"RpcError(s)")
+    if kill_ranks:
+        triggers.append(f"chaos kill of ranks {list(kill_ranks)}")
+    postmortem_path = _maybe_postmortem(
+        session, kind="chaos", out=postmortem_out, triggers=triggers,
+        default_name=f"chaos-pm-s{seed}-f{fault_seed}.json",
+        extra={"seed": seed, "fault_seed": fault_seed,
+               "kill_ranks": list(kill_ranks),
+               "drop_rate": drop_rate, "hung_waiters": hung,
+               "errors": errors[:20]})
+
     # Verification pass over a clean fabric: everything the clients saw
     # acknowledged must be durable and readable at the root.
     cluster.network.fault_plan = None
@@ -236,6 +282,16 @@ def run_chaos_workload(n_nodes: int = 31, n_clients: int = 16,
     if not vproc.triggered or not vproc.ok:
         errors.append("verifier did not complete")
 
+    # Liveness-dependent snapshots (per-rank metrics, health views at
+    # the acting root) must be taken before stop() marks every broker
+    # dead.
+    live_ranks = [r for r in range(n_nodes) if session.brokers[r].alive]
+    root = session.acting_root()
+    health = (session.brokers[root].modules.get("health")
+              if root is not None else None)
+    health_doc = ({"cluster": health.cluster_view(),
+                   "views": list(health.views[-16:])}
+                  if health is not None else None)
     session.stop()
     if trace_out:
         session.span_tracer.write_chrome_trace(trace_out)
@@ -248,9 +304,10 @@ def run_chaos_workload(n_nodes: int = 31, n_clients: int = 16,
                      "sim_time": sim.now},
             "aggregate": session.metrics_aggregate(),
             "per_rank": [session.metrics_snapshot(r)
-                         for r in range(n_nodes)
-                         if session.brokers[r].alive],
+                         for r in live_ranks],
         }
+        if health_doc is not None:
+            doc["health"] = health_doc
         with open(stats_out, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=1, sort_keys=True)
             fh.write("\n")
@@ -265,7 +322,8 @@ def run_chaos_workload(n_nodes: int = 31, n_clients: int = 16,
         makespan=makespan, errors=errors,
         sanitizer_findings=(list(session.sanitizers.finish())
                             if sanitize else []),
-        event_fingerprint=fingerprint.digest() if sanitize else "")
+        event_fingerprint=fingerprint.digest() if sanitize else "",
+        postmortem_path=postmortem_path)
 
 
 # ----------------------------------------------------------------------
@@ -296,6 +354,8 @@ class JobChaosReport:
     errors: list = field(default_factory=list)
     sanitizer_findings: list = field(default_factory=list)
     event_fingerprint: str = ""
+    #: Post-mortem bundle written for this run ("" = none).
+    postmortem_path: str = ""
 
     @property
     def retry_amplification(self) -> float:
@@ -321,8 +381,11 @@ def run_job_chaos_workload(n_nodes: int = 31, nprocs: int = 24,
                            respawn_backoff: float = 0.05,
                            timeout: float = 0.5, retries: int = 8,
                            run_until: float = 60.0,
+                           trace_out: Optional[str] = None,
                            sanitize: bool = False,
-                           kvs_replicas: tuple = ()) -> JobChaosReport:
+                           kvs_replicas: tuple = (),
+                           postmortem_out: Optional[str] = None
+                           ) -> JobChaosReport:
     """Drive one ``wexec`` bulk launch across every rank while
     ``kill_ranks`` die mid-run, then verify the exactly-once contract:
 
@@ -355,6 +418,8 @@ def run_job_chaos_workload(n_nodes: int = 31, nprocs: int = 24,
                       "respawn_backoff": respawn_backoff})
     session.start()
     sim = cluster.sim
+    if trace_out:
+        session.enable_tracing()
     fingerprint = None
     if sanitize:
         from repro.analysis.sanitizers import replay_fingerprint_hook
@@ -449,6 +514,29 @@ def run_job_chaos_workload(n_nodes: int = 31, nprocs: int = 24,
     for handle in handles:
         hung += len(handle._waiters)
 
+    triggers = []
+    if errors:
+        triggers.append(f"{len(errors)} workload error(s)")
+    if not terminal:
+        triggers.append("job never reached a terminal state")
+    if lost:
+        triggers.append(f"job {jobid!r} declared lost")
+    if hung:
+        triggers.append(f"{hung} hung waiter(s)")
+    if session.terminal_errors:
+        triggers.append(f"{len(session.terminal_errors)} terminal "
+                        f"RpcError(s)")
+    if kill_ranks:
+        triggers.append(f"chaos kill of ranks {list(kill_ranks)}")
+    postmortem_path = _maybe_postmortem(
+        session, kind="job-chaos", out=postmortem_out,
+        triggers=triggers,
+        default_name=f"job-chaos-pm-s{seed}-f{fault_seed}.json",
+        extra={"seed": seed, "fault_seed": fault_seed,
+               "kill_ranks": list(kill_ranks), "jobid": jobid,
+               "nprocs": nprocs, "max_restarts": max_restarts,
+               "hung_waiters": hung, "errors": errors[:20]})
+
     # Verification pass over a clean fabric: every completed task's
     # stdout must be durable and readable at the observation rank.
     cluster.network.fault_plan = None
@@ -478,6 +566,8 @@ def run_job_chaos_workload(n_nodes: int = 31, nprocs: int = 24,
     broker_stats = session.retry_stats()
     fault_stats = plan.stats()
     session.stop()
+    if trace_out:
+        session.span_tracer.write_chrome_trace(trace_out)
     converged = (completed and exactly_once and verified[1] == 0
                  and hung == 0 and vproc.triggered and vproc.ok
                  and not errors)
@@ -493,4 +583,5 @@ def run_job_chaos_workload(n_nodes: int = 31, nprocs: int = 24,
         makespan=max(0.0, term_t - launch_t[0]), errors=errors,
         sanitizer_findings=(list(session.sanitizers.finish())
                             if sanitize else []),
-        event_fingerprint=fingerprint.digest() if sanitize else "")
+        event_fingerprint=fingerprint.digest() if sanitize else "",
+        postmortem_path=postmortem_path)

@@ -1,0 +1,162 @@
+"""Flight recorder: ring semantics and always-on broker integration.
+
+The :class:`~repro.obs.flight.FlightRecorder` is the per-broker black
+box behind the post-mortem tentpole: always on, O(1) append, pure
+observer.  These tests pin the ring arithmetic (wrap, peak, dropped,
+ordering) and the integration contract — every broker records its
+message-plane activity, and same-seed runs produce bit-identical
+rings (the "pure observer" promise, stronger than the SAN105
+fingerprint which only sees the event stream).
+"""
+
+from repro import make_cluster, standard_session
+from repro.kvs import KvsClient
+from repro.obs import FlightRecorder
+
+
+# ----------------------------------------------------------------------
+# ring unit behaviour
+# ----------------------------------------------------------------------
+class TestRing:
+    def test_capacity_rounds_up_to_power_of_two(self):
+        assert FlightRecorder(1).capacity == 1
+        assert FlightRecorder(3).capacity == 4
+        assert FlightRecorder(1000).capacity == 1024
+        assert FlightRecorder(1024).capacity == 1024
+
+    def test_append_below_capacity(self):
+        fr = FlightRecorder(8)
+        for i in range(5):
+            fr.rec(float(i), "k", i)
+        assert fr.appended == 5
+        assert fr.dropped == 0
+        assert fr.peak == 5
+        assert len(fr) == 5
+        assert [r[3] for r in fr.records()] == [0, 1, 2, 3, 4]
+
+    def test_wrap_overwrites_oldest(self):
+        fr = FlightRecorder(4)
+        for i in range(10):
+            fr.rec(float(i), "k", i)
+        assert fr.appended == 10
+        assert fr.dropped == 6
+        assert fr.peak == fr.capacity == 4
+        # Retained records are the newest 4, oldest first.
+        assert [r[3] for r in fr.records()] == [6, 7, 8, 9]
+
+    def test_records_carry_monotonic_seq(self):
+        fr = FlightRecorder(4)
+        for i in range(7):
+            fr.rec(0.0, "k")          # identical timestamps
+        seqs = [r[1] for r in fr.records()]
+        assert seqs == sorted(seqs) == [3, 4, 5, 6]
+
+    def test_record_shape(self):
+        fr = FlightRecorder(2)
+        fr.rec(1.5, "send", "topic", 3, ("x", 1))
+        t, seq, kind, a, b, c = fr.records()[0]
+        assert (t, seq, kind, a, b, c) == (1.5, 0, "send", "topic", 3,
+                                           ("x", 1))
+
+    def test_snapshot_is_jsonable_shape(self):
+        fr = FlightRecorder(4)
+        fr.rec(0.1, "k", 1)
+        snap = fr.snapshot()
+        assert snap["capacity"] == 4
+        assert snap["appended"] == 1
+        assert snap["dropped"] == 0
+        assert snap["peak"] == 1
+        assert snap["records"] == [[0.1, 0, "k", 1, None, None]]
+
+    def test_clear_resets(self):
+        fr = FlightRecorder(4)
+        for i in range(9):
+            fr.rec(0.0, "k")
+        fr.clear()
+        assert fr.appended == 0 and fr.dropped == 0
+        assert fr.records() == []
+
+
+# ----------------------------------------------------------------------
+# broker integration: always on, deterministic
+# ----------------------------------------------------------------------
+def _run_workload(seed: int = 3):
+    cluster = make_cluster(8, seed=seed)
+    session = standard_session(cluster)
+    session.start()
+    sim = cluster.sim
+
+    def client(rank):
+        kvs = KvsClient(session.connect(rank, collective=False))
+        yield kvs.put(f"flight.r{rank}", rank)
+        yield kvs.commit()
+        value = yield kvs.get(f"flight.r{rank}")
+        assert value == rank
+
+    procs = [sim.spawn(client(r)) for r in (2, 5, 7)]
+    sim.run(until=30.0)
+    assert all(p.triggered and p.ok for p in procs)
+    snaps = session.flight_snapshots()
+    session.stop()
+    return snaps
+
+
+def test_brokers_record_without_tracing_enabled():
+    """The recorder is on even with tracing/sanitizers off."""
+    snaps = _run_workload()
+    assert set(snaps) == set(range(8))
+    # The root (rank 0, KVS master) dispatched the commits, applied
+    # the new root versions, and published the setroot events.
+    kinds_root = {r[2] for r in snaps[0]["records"]}
+    assert "dispatch" in kinds_root
+    assert "kvs_apply_root" in kinds_root
+    assert "event" in kinds_root
+    total = sum(s["appended"] for s in snaps.values())
+    assert total > 0
+
+
+def _normalize(snaps):
+    """Renumber the process-global request ids some records carry
+    (msgid allocation never resets between runs in one process) so
+    same-seed rings can be compared record for record."""
+    out = {}
+    for rank, s in snaps.items():
+        ids: dict = {}
+        recs = []
+        for t, seq, kind, a, b, c in (tuple(r) for r in s["records"]):
+            if kind in ("dispatch", "replay", "dup_parked") \
+                    and b is not None:
+                b = ids.setdefault(b, len(ids))
+            recs.append((t, seq, kind, a, b, c))
+        out[rank] = dict(s, records=recs)
+    return out
+
+
+def test_same_seed_rings_identical():
+    """Pure-observer contract: two same-seed runs must leave every
+    broker's ring identical, record for record (modulo the process-
+    global request-id counter, renumbered by ``_normalize``)."""
+    assert _normalize(_run_workload(seed=11)) == \
+        _normalize(_run_workload(seed=11))
+
+
+def test_session_flight_peak_and_plane_bytes():
+    cluster = make_cluster(4, seed=1)
+    session = standard_session(cluster)
+    session.start()
+    sim = cluster.sim
+
+    def client():
+        kvs = KvsClient(session.connect(3, collective=False))
+        yield kvs.put("a", 1)
+        yield kvs.commit()
+
+    proc = sim.spawn(client())
+    sim.run(until=10.0)
+    assert proc.triggered and proc.ok
+    assert session.flight_peak() > 0
+    planes = session.plane_bytes()
+    # The commit crossed the tree plane; event planes saw the setroot.
+    assert planes.get("tree", 0) > 0
+    assert sum(planes.values()) > 0
+    session.stop()

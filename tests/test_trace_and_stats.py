@@ -1,11 +1,19 @@
 """Tests for statistics collection, tracing, and KAP result handling."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.sim.trace import StatSeries, Summary, Tracer
 from repro.kap.config import KapConfig
 from repro.kap.results import KapResult
+from repro.obs.metrics import (MetricsRegistry, parse_prometheus_text,
+                               snapshot_to_prometheus)
+from repro.obs.span import SpanTracer
+from repro.stats import validate_trace
+
+from .chaos import run_chaos_workload, run_job_chaos_workload
 
 
 class TestStatSeries:
@@ -116,3 +124,167 @@ class TestKapResult:
         assert r.max_producer_latency == 0.5
         assert r.max_sync_latency == 1.0
         assert r.summaries()["producer"].count == 3
+
+
+# ----------------------------------------------------------------------
+# adaptive span sampling (SpanTracer head/tail sampling)
+# ----------------------------------------------------------------------
+class TestSpanSampling:
+    def _trace(self, tr, error=False):
+        root = tr.start_trace("call", 0)
+        child = tr.start_span((root.trace_id, root.span_id),
+                              "hop", "fwd", 1)
+        tr.finish(child, **({"error": "boom"} if error else {}))
+        tr.finish(root)
+        return root.trace_id
+
+    def test_default_keeps_every_trace(self):
+        tr = SpanTracer(lambda: 0.0)
+        for _ in range(10):
+            self._trace(tr)
+        assert len(tr.traces()) == 10
+        assert tr.dropped_traces == 0
+
+    def test_head_sampling_keeps_every_nth(self):
+        tr = SpanTracer(lambda: 0.0, sample_every=3)
+        tids = [self._trace(tr) for _ in range(9)]
+        kept = set(tr.traces())
+        assert kept == {tids[0], tids[3], tids[6]}
+        assert tr.dropped_traces == 6
+
+    def test_error_traces_always_kept(self):
+        tr = SpanTracer(lambda: 0.0, sample_every=1000)
+        tids = [self._trace(tr, error=(i == 5)) for i in range(10)]
+        kept = set(tr.traces())
+        assert tids[0] in kept          # head-sampled
+        assert tids[5] in kept          # tail-kept on error
+        assert len(kept) == 2
+        errs = tr.error_spans()
+        assert errs and all(s.trace_id == tids[5] for s in errs)
+
+    def test_budget_doubles_sample_rate(self):
+        tr = SpanTracer(lambda: 0.0, sample_every=2, span_budget=4)
+        tr._compact_at = 16             # compact early for the test
+        for _ in range(64):
+            self._trace(tr)
+        assert tr.sample_every > 2
+        assert tr.dropped_spans > 0
+
+    def test_sampled_chrome_trace_still_validates(self):
+        tr = SpanTracer(lambda: 0.0, sample_every=4)
+        for i in range(16):
+            self._trace(tr, error=(i == 9))
+        doc = tr.to_chrome_trace()
+        assert validate_trace(doc) == []
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition (HELP/TYPE + validating parser)
+# ----------------------------------------------------------------------
+class TestPrometheusExport:
+    def _snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("reqs_total", plane="tree").inc(3)
+        reg.gauge("depth").set(2)
+        h = reg.histogram("lat_seconds", bounds=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        return reg.snapshot()
+
+    def test_help_and_type_precede_samples(self):
+        text = snapshot_to_prometheus(self._snapshot())
+        lines = text.splitlines()
+        for family in ("reqs_total", "depth", "lat_seconds"):
+            help_i = lines.index(next(
+                ln for ln in lines
+                if ln.startswith(f"# HELP {family} ")))
+            type_i = lines.index(f"# TYPE {family} " + (
+                "counter" if family.endswith("_total") else
+                "gauge" if family == "depth" else "histogram"))
+            first_sample = min(i for i, ln in enumerate(lines)
+                               if ln.startswith(family))
+            assert help_i < first_sample and type_i < first_sample
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        text = snapshot_to_prometheus(self._snapshot())
+        buckets = [ln for ln in text.splitlines()
+                   if ln.startswith("lat_seconds_bucket")]
+        counts = [int(ln.rsplit(" ", 1)[1]) for ln in buckets]
+        assert counts == sorted(counts)      # cumulative
+        assert 'le="+Inf"' in buckets[-1]
+        count_line = next(ln for ln in text.splitlines()
+                          if ln.startswith("lat_seconds_count"))
+        assert int(count_line.rsplit(" ", 1)[1]) == counts[-1]
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("odd_total", tag='a"b\\c\nd').inc()
+        text = snapshot_to_prometheus(reg.snapshot())
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        assert parse_prometheus_text(text) == []
+
+    def test_exported_text_parses_clean(self):
+        assert parse_prometheus_text(
+            snapshot_to_prometheus(self._snapshot())) == []
+
+    def test_parser_flags_undeclared_family(self):
+        bad = "# HELP a a\n# TYPE a counter\na 1\nb 2\n"
+        assert any("b" in p for p in parse_prometheus_text(bad))
+
+    def test_parser_flags_noncumulative_buckets(self):
+        bad = ("# HELP h h\n# TYPE h histogram\n"
+               'h_bucket{le="0.1"} 5\nh_bucket{le="1"} 3\n'
+               'h_bucket{le="+Inf"} 5\nh_count 5\nh_sum 1\n')
+        assert parse_prometheus_text(bad)
+
+    def test_parser_flags_missing_inf_bucket(self):
+        bad = ("# HELP h h\n# TYPE h histogram\n"
+               'h_bucket{le="0.1"} 1\nh_count 1\nh_sum 0.05\n')
+        assert parse_prometheus_text(bad)
+
+
+# ----------------------------------------------------------------------
+# Chrome-trace export of failover spans (election + respawn)
+# ----------------------------------------------------------------------
+class TestFailoverSpanExport:
+    def test_election_spans_exported(self, tmp_path):
+        """Killing the KVS root with standbys configured must leave
+        per-candidate ``kvs_election`` traces in the Chrome export,
+        with the winner recorded on the winning candidate's span."""
+        path = str(tmp_path / "election-trace.json")
+        report = run_chaos_workload(
+            n_nodes=15, n_clients=8, drop_rate=0.01,
+            seed=5, fault_seed=13, kill_ranks=(0,), kill_at=0.12,
+            hb_period=0.05, n_iters=2, iter_gap=0.1,
+            timeout=0.5, retries=10, run_until=40.0,
+            kvs_replicas=(1, 2), trace_out=path)
+        assert report.converged, report.errors
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert validate_trace(doc) == []
+        elections = [ev for ev in doc["traceEvents"]
+                     if ev.get("name") == "kvs_election"]
+        assert elections, "no kvs_election spans in the export"
+        winners = [ev["args"]["winner"] for ev in elections
+                   if "winner" in ev["args"]]
+        assert winners, "no candidate recorded an election winner"
+        assert all(w in (1, 2) for w in winners)
+
+    def test_respawn_spans_exported(self, tmp_path):
+        """A mid-job broker kill must leave a ``wexec_respawn`` root
+        span (the respawn epoch fanout) in the Chrome export."""
+        path = str(tmp_path / "respawn-trace.json")
+        report = run_job_chaos_workload(
+            n_nodes=15, nprocs=8, kill_ranks=(1,), task_work=1.0,
+            trace_out=path)
+        assert report.converged, report.errors
+        assert report.respawns > 0
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert validate_trace(doc) == []
+        respawns = [ev for ev in doc["traceEvents"]
+                    if ev.get("name") == "wexec_respawn"]
+        assert respawns, "no wexec_respawn spans in the export"
+        root_spans = [ev for ev in respawns
+                      if ev["args"].get("parent_id") is None]
+        assert root_spans, "respawn fanout should open its own trace"
