@@ -59,9 +59,12 @@ def paper_config(nnodes: int, seed: int = 1) -> KapConfig:
 def time_kap(nnodes: int) -> dict:
     """One timed paper-default run; returns the table row."""
     cfg = paper_config(nnodes)
-    t0 = time.perf_counter()
+    # Wall-clock on purpose: this benchmark measures the *host's*
+    # simulator throughput (events/sec of real time), not simulated
+    # time — the one place wall time is the measurand.
+    t0 = time.perf_counter()  # repro: noqa[DET001]
     res = run_kap(cfg)
-    dt = time.perf_counter() - t0
+    dt = time.perf_counter() - t0  # repro: noqa[DET001]
     return {
         "producers": cfg.nprocs,
         "nnodes": nnodes,
@@ -76,10 +79,11 @@ def time_kap(nnodes: int) -> dict:
 
 def time_chaos() -> dict:
     """Timed chaos scenario: lossy fabric, retries, sanitizers on."""
-    t0 = time.perf_counter()
+    # Wall-clock on purpose (see time_kap): throughput measurand.
+    t0 = time.perf_counter()  # repro: noqa[DET001]
     rep = run_chaos_workload(n_nodes=31, n_clients=16, drop_rate=0.01,
                              n_iters=2, sanitize=True)
-    dt = time.perf_counter() - t0
+    dt = time.perf_counter() - t0  # repro: noqa[DET001]
     return {
         "wall_s": round(dt, 3),
         "converged": rep.converged,

@@ -6,12 +6,21 @@ model:
 - :mod:`repro.analysis.lint` — an AST linter enforcing determinism
   and protocol hygiene over ``src/repro`` (``python -m repro.analysis
   lint --strict`` is the CI gate);
+- :mod:`repro.analysis.effects` / :mod:`repro.analysis.flowgraph` —
+  the whole-program protocol-flow analyzer: per-handler effect
+  summaries (reply-on-all-paths, retry-duplicated side effects,
+  unbounded waits) stitched into a global message-flow graph with
+  static wait-cycle detection (``python -m repro.analysis flow
+  --strict``);
 - :mod:`repro.analysis.sanitizers` — pure-observer runtime checkers
   (FIFO link order, KVS read consistency, span-forest shape, replay
   divergence) hooked into the sim kernel and network.
 """
 
+from .effects import (FLOW_RULES, HandlerSummary, SendSite,
+                      analyze_paths, analyze_source)
 from .findings import Finding, render_json, render_text, worst_severity
+from .flowgraph import FlowGraph, build_graph, to_dot, to_json
 from .lint import RULES, lint_paths, lint_source
 from .sanitizers import (FifoLinkSanitizer, KvsConsistencySanitizer,
                          SanitizerSet, SpanForestSanitizer,
@@ -20,6 +29,9 @@ from .sanitizers import (FifoLinkSanitizer, KvsConsistencySanitizer,
 __all__ = [
     "Finding", "render_json", "render_text", "worst_severity",
     "RULES", "lint_paths", "lint_source",
+    "FLOW_RULES", "HandlerSummary", "SendSite",
+    "analyze_paths", "analyze_source",
+    "FlowGraph", "build_graph", "to_dot", "to_json",
     "SanitizerSet", "FifoLinkSanitizer", "KvsConsistencySanitizer",
     "SpanForestSanitizer", "replay_fingerprint_hook",
 ]

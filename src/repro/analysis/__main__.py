@@ -1,9 +1,19 @@
 """CLI for the analysis suite.
 
 ``python -m repro.analysis lint [paths...]``
-    Run the AST linter (default target: the installed ``repro``
-    package source).  ``--strict`` exits nonzero on any finding —
-    the CI gate.
+    Run the AST linter.  The default target is the installed ``repro``
+    package source plus, when run from a repo checkout, ``benchmarks/``
+    and ``tests/chaos.py`` (deterministic harness code is held to the
+    same determinism/protocol rules).  ``--strict`` exits nonzero on
+    any finding — the CI gate.
+
+``python -m repro.analysis flow [paths...]``
+    Run the whole-program protocol-flow analyzer (handler effect
+    summaries + the global message-flow graph).  ``--strict`` gates;
+    ``--dot``/``--graph-json`` export the graph alongside.
+
+``python -m repro.analysis graph``
+    Export the message-flow graph only (DOT on stdout by default).
 
 ``python -m repro.analysis sanitize``
     Run a small KAP scenario (and optionally a chaos scenario) with
@@ -18,13 +28,28 @@ import argparse
 import os
 import sys
 
+from .effects import FLOW_RULES
 from .findings import Finding, render_json, render_text
 from .lint import RULES, lint_paths
 
 
-def _default_lint_paths() -> list[str]:
+def _package_path() -> str:
     import repro
-    return [os.path.dirname(os.path.abspath(repro.__file__))]
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def _default_lint_paths() -> list[str]:
+    paths = [_package_path()]
+    # Harness code rides along when linting from a repo checkout.
+    for extra in ("benchmarks", os.path.join("tests", "chaos.py")):
+        if os.path.exists(extra):
+            paths.append(extra)
+    return paths
+
+
+def _default_flow_paths() -> list[str]:
+    # Comms-module classes all live inside the package.
+    return [_package_path()]
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -41,6 +66,54 @@ def cmd_lint(args: argparse.Namespace) -> int:
             print(render_text(findings))
     if findings and args.strict:
         return 1
+    return 0
+
+
+def _export_graph(graph, args) -> None:
+    from .flowgraph import to_dot, to_json
+    if getattr(args, "dot", None):
+        with open(args.dot, "w", encoding="utf-8") as fh:
+            fh.write(to_dot(graph))
+    if getattr(args, "graph_json", None):
+        with open(args.graph_json, "w", encoding="utf-8") as fh:
+            fh.write(to_json(graph) + "\n")
+
+
+def cmd_flow(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule, desc in sorted(FLOW_RULES.items()):
+            print(f"{rule}  {desc}")
+        return 0
+    from .flowgraph import build_graph
+    paths = args.paths or _default_flow_paths()
+    graph, findings = build_graph(paths,
+                                  include_orphans=args.orphans)
+    _export_graph(graph, args)
+    if args.json:
+        print(render_json(findings, kind="flow", paths=paths,
+                          handlers=len(graph.handlers),
+                          edges=len(graph.edges),
+                          cycles=graph.cycles,
+                          orphans=graph.orphans))
+    else:
+        if findings or not args.quiet:
+            print(render_text(findings))
+            print(f"flow graph: {len(graph.handlers)} handlers, "
+                  f"{len(graph.edges)} edges, "
+                  f"{len(graph.cycles)} cycle(s), "
+                  f"{graph.unresolved} unresolved send(s)")
+    if findings and args.strict:
+        return 1
+    return 0
+
+
+def cmd_graph(args: argparse.Namespace) -> int:
+    from .flowgraph import build_graph, to_dot, to_json
+    paths = args.paths or _default_flow_paths()
+    graph, _findings = build_graph(paths)
+    _export_graph(graph, args)
+    if not args.dot and not args.graph_json:
+        print(to_json(graph) if args.json else to_dot(graph), end="")
     return 0
 
 
@@ -123,6 +196,35 @@ def main(argv=None) -> int:
                         help="print nothing when clean")
     p_lint.add_argument("--list-rules", action="store_true")
     p_lint.set_defaults(func=cmd_lint)
+
+    p_flow = sub.add_parser(
+        "flow", help="run the protocol-flow analyzer")
+    p_flow.add_argument("paths", nargs="*",
+                        help="files/dirs to analyze "
+                             "(default: repro pkg)")
+    p_flow.add_argument("--strict", action="store_true",
+                        help="exit nonzero on any finding")
+    p_flow.add_argument("--json", action="store_true")
+    p_flow.add_argument("--quiet", action="store_true",
+                        help="print nothing when clean")
+    p_flow.add_argument("--list-rules", action="store_true")
+    p_flow.add_argument("--orphans", action="store_true",
+                        help="also report FLOW001 orphan-topic "
+                             "warnings")
+    p_flow.add_argument("--dot", metavar="PATH",
+                        help="write the graph as Graphviz DOT")
+    p_flow.add_argument("--graph-json", metavar="PATH",
+                        help="write the graph as JSON (doctor input)")
+    p_flow.set_defaults(func=cmd_flow)
+
+    p_graph = sub.add_parser(
+        "graph", help="export the message-flow graph")
+    p_graph.add_argument("paths", nargs="*")
+    p_graph.add_argument("--json", action="store_true",
+                         help="JSON to stdout instead of DOT")
+    p_graph.add_argument("--dot", metavar="PATH")
+    p_graph.add_argument("--graph-json", metavar="PATH")
+    p_graph.set_defaults(func=cmd_graph)
 
     p_san = sub.add_parser("sanitize",
                            help="run scenarios under the sanitizers")

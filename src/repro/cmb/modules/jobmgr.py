@@ -77,6 +77,12 @@ class JobManagerModule(CommsModule):
     _SPEC_FIELDS = ("ncores", "duration", "walltime", "name", "task",
                     "ntasks")
 
+    #: Per-RPC deadline for the takeover recovery reads.  A dead or
+    #: mid-election KVS peer then answers ``ETIMEDOUT`` (retryable)
+    #: instead of parking the recovery proc forever; the backoff loop
+    #: absorbs the retries.
+    RECOVER_RPC_TIMEOUT = 5.0
+
     def __init__(self, broker):
         super().__init__(broker)
         self._submit_hook: Optional[Callable[[dict], "Job"]] = None
@@ -252,7 +258,10 @@ class JobManagerModule(CommsModule):
         names: list = []
         for _attempt in range(8):
             try:
-                resp = yield self.broker.rpc_up("kvs.get", {"key": "lwj"})
+                resp = yield self.broker.rpc_up(
+                    "kvs.get", {"key": "lwj"},
+                    deadline=self.broker.sim.now
+                    + self.RECOVER_RPC_TIMEOUT)
             except RpcError as exc:
                 if exc.retryable:
                     yield self.broker.sim.timeout(delay)
@@ -265,7 +274,9 @@ class JobManagerModule(CommsModule):
             jobid = int(jobid_name)
             try:
                 st = yield self.broker.rpc_up(
-                    "kvs.get", {"key": f"lwj.{jobid_name}.state"})
+                    "kvs.get", {"key": f"lwj.{jobid_name}.state"},
+                    deadline=self.broker.sim.now
+                    + self.RECOVER_RPC_TIMEOUT)
             except RpcError:
                 continue
             val = st.get("value")

@@ -34,6 +34,14 @@ Each finding carries the evidence lines that matched, so the report
 reads as a diagnosis, not an assertion.  ``--expect <pathology>``
 exits nonzero unless the named pathology was found (CI smoke);
 ``--json`` emits the raw diagnosis document.
+
+With ``--flow-graph graph.json`` (the export of ``python -m
+repro.analysis flow --graph-json``), every finding that implicates a
+request topic is cross-referenced against the *static* message-flow
+graph: the report then names the handler serving that topic, its
+source location, its reply disposition, any analyzer flags on it, and
+whether it sits on a statically-detected wait cycle — "this hung
+waiter sits on an edge the analyzer flagged".
 """
 
 from __future__ import annotations
@@ -57,10 +65,14 @@ def _rec_tuple(rank: int, rec: list) -> tuple:
 class Doctor:
     """Merged view over one or more post-mortem bundles."""
 
-    def __init__(self, bundles: list[dict]):
+    def __init__(self, bundles: list[dict],
+                 flow_graph: Optional[dict] = None):
         if not bundles:
             raise ValueError("no bundles to diagnose")
         self.bundles = bundles
+        #: Parsed flow-graph JSON (``repro.analysis flow --graph-json``)
+        #: for static/runtime cross-referencing, or ``None``.
+        self.flow_graph = flow_graph
         self.meta = bundles[0].get("meta", {})
         #: rank -> broker entry (later bundles win on conflict).
         self.brokers: dict[int, dict] = {}
@@ -158,6 +170,7 @@ class Doctor:
                         f"attempts={p.get('attempts')}/{budget} "
                         f"timer_armed={p.get('timer_armed')}",
                     ],
+                    "topics": [p.get("topic")],
                 })
         return findings
 
@@ -200,6 +213,7 @@ class Doctor:
                                f"{f['held']} waiter(s) at rank {rank}",
                     "evidence": evidence,
                     "entity": ("fence", name),
+                    "topics": ["kvs.fence"],
                 })
         return findings
 
@@ -231,6 +245,7 @@ class Doctor:
                         f"rank {rank} local version: "
                         f"{kvs.get('version')}",
                     ],
+                    "topics": ["kvs.waitversion"],
                 })
         return findings
 
@@ -318,6 +333,7 @@ class Doctor:
                 "summary": f"job {jobid!r} lost: {reason}",
                 "evidence": evidence,
                 "entity": ("job", str(jobid)),
+                "topics": ["wexec.run"],
             })
         return findings
 
@@ -363,7 +379,41 @@ class Doctor:
                        f"RpcError(s) across "
                        f"{len(by_key)} (topic, code) group(s)",
             "evidence": evidence,
+            "topics": sorted({t for t, _c in by_key if t}),
         }]
+
+    # -- static flow-graph cross-reference -----------------------------
+    def _flow_notes(self, topic: str) -> list[str]:
+        """Evidence lines tying ``topic`` back to the static graph."""
+        graph = self.flow_graph or {}
+        handlers = graph.get("handlers", {})
+        key = topic if topic in handlers else (
+            f"{topic}.default" if f"{topic}.default" in handlers
+            else None)
+        if key is None:
+            return [f"static flow: {topic!r} matches no handler in "
+                    f"the analyzed graph"]
+        h = handlers[key]
+        notes = [f"static flow: {key} -> {h.get('cls')}."
+                 f"{h.get('method')} ({h.get('file')}:{h.get('line')})"
+                 f", reply={h.get('reply') or '?'}"]
+        if h.get("flags"):
+            notes.append(f"static flow: analyzer flagged this handler: "
+                         f"{', '.join(h['flags'])}")
+        for cycle in graph.get("cycles", ()):
+            if key in cycle:
+                notes.append(f"static flow: {key} sits on a "
+                             f"statically-detected wait cycle "
+                             f"{' -> '.join(cycle)}")
+        return notes
+
+    def _annotate_flow(self, findings: list[dict]) -> None:
+        if not self.flow_graph:
+            return
+        for f in findings:
+            for topic in f.get("topics", ()):
+                if topic:
+                    f["evidence"].extend(self._flow_notes(topic))
 
     _MATCHERS = (
         _find_stalled_retransmission,
@@ -384,6 +434,7 @@ class Doctor:
         order = {"error": 0, "warning": 1, "info": 2}
         findings.sort(key=lambda f: (order.get(f["severity"], 3),
                                      f["pathology"]))
+        self._annotate_flow(findings)
         timelines: dict[str, list] = {}
         for f in findings:
             entity = f.get("entity")
@@ -411,9 +462,15 @@ class Doctor:
         }
 
 
-def diagnose(paths: list[str]) -> dict:
+def diagnose(paths: list[str],
+             flow_graph_path: Optional[str] = None) -> dict:
     """Load bundles from ``paths`` and run the full diagnosis."""
-    return Doctor([load_bundle(p) for p in paths]).diagnose()
+    flow_graph = None
+    if flow_graph_path:
+        with open(flow_graph_path, encoding="utf-8") as fh:
+            flow_graph = json.load(fh)
+    return Doctor([load_bundle(p) for p in paths],
+                  flow_graph=flow_graph).diagnose()
 
 
 # ----------------------------------------------------------------------
@@ -463,8 +520,12 @@ def main(argv: Optional[list[str]] = None) -> int:
                     help="emit the raw diagnosis document")
     ap.add_argument("--expect", metavar="PATHOLOGY",
                     help="exit nonzero unless this pathology was found")
+    ap.add_argument("--flow-graph", metavar="PATH",
+                    help="flow-graph JSON (repro.analysis flow "
+                         "--graph-json) to cross-reference findings "
+                         "against the static handler graph")
     args = ap.parse_args(argv)
-    diag = diagnose(args.bundles)
+    diag = diagnose(args.bundles, flow_graph_path=args.flow_graph)
     if args.json:
         print(json.dumps(diag, indent=1, sort_keys=True, default=str))
     else:
