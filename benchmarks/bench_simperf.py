@@ -3,19 +3,33 @@
 The reproduction's usefulness at the paper's Section V scales (64-512
 nodes x 16 brokers = 1024-8192 producers) is bounded by simulator
 throughput, not by anything the paper measures.  This bench records
-the perf trajectory: kernel events processed per wall-clock second for
-the paper-default KAP configuration at each producer count, plus one
-chaos scenario (faulty fabric + sanitizers, the worst-case per-event
-overhead), and writes ``out/BENCH_simperf.json`` so successive
-commits have comparable numbers.
+the perf trajectory in two modes:
+
+- ``legacy`` — the classic protocol (whole objects on every hop,
+  single-heap kernel): the baseline whose tree-plane bytes explode
+  super-linearly with producer count.
+- ``optimized`` — per-link payload dedup (``dedup=True``: object
+  bodies cross each tree edge once, sha references afterward; misses
+  walk to the master instead of faulting whole directories) on the
+  sharded kernel (``shards=16``: per-subtree sub-kernels under the
+  conservative lookahead barrier).
+
+Each row records the *real* row dimensions (producers, nnodes,
+procs_per_node, value_size), the per-tree-level ``bytes_sent``
+breakdown, and ``interned_bytes_saved`` from the KVS dedup counters.
+``--paper-scale`` extends the optimized sweep to 16384 and 65536
+producers (1024/4096 nodes; the 65k row must finish inside
+``PAPER_65K_BUDGET_S``).
 
 Timing numbers are machine-dependent, so — unlike the figure tables —
 ``out/simperf.txt``/``out/BENCH_simperf.json`` are gitignored and the
 assertions here are *determinism* gates, not speed gates: same-seed
-runs must produce identical SAN105 replay fingerprints (the
-optimization contract: caching and lazy rendering must be invisible
-to the event stream), and the 8192-producer run must finish within a
-generous CI wall-clock ceiling.
+runs must reproduce the golden SAN105 replay fingerprints (the
+optimization contract: interning, dedup-off defaults, the merged
+sharded kernel and the inlined run loop must be invisible to the
+default event stream), plus a *flat-scaling* gate in smoke mode
+(optimized events/sec at 4096 producers >= 0.7x the 256-producer
+rate) and wall-clock ceilings.
 
 Standalone smoke mode for CI (from ``benchmarks/``)::
 
@@ -23,25 +37,47 @@ Standalone smoke mode for CI (from ``benchmarks/``)::
 """
 
 import argparse
+import json
 import pathlib
 import sys
 import time
 
 import pytest
 
-from conftest import write_table
+from conftest import OUT_DIR, write_table
 from repro.kap import KapConfig, run_kap
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "tests"))
 from chaos import run_chaos_workload  # noqa: E402
 
-#: Node counts swept at 16 procs/node: 64 -> 8192 producers.
+#: Node counts swept at 16 procs/node: 64 -> 8192 producers.  The
+#: smoke sweep includes 16 and 256 nodes (256 / 4096 producers)
+#: because the flat-scaling gate compares exactly those two rows.
 SWEEP_NODES = (4, 16, 64, 256, 512)
-SMOKE_NODES = (4, 64, 512)
+SMOKE_NODES = (4, 16, 64, 256, 512)
+PAPER_SCALE_NODES = (1024, 4096)
 
-#: CI ceiling for the 8192-producer (512 x 16) run.  Measured ~2.5 s on
-#: a development box; the ceiling leaves ~40x headroom for slow runners.
+#: Shard count for optimized rows (per-subtree sub-kernels).
+OPT_SHARDS = 16
+
+#: CI ceiling for the 8192-producer (512 x 16) run.  Measured ~4 s
+#: legacy / ~6 s optimized on a development box; the ceiling leaves
+#: >10x headroom for slow runners.
 PAPER_SCALE_BUDGET_S = 100.0
+
+#: Ceiling for the 65536-producer (4096 x 16) --paper-scale run
+#: (measured ~100 s on a development box; "single-digit minutes").
+PAPER_65K_BUDGET_S = 600.0
+
+#: Smoke-mode flat-scaling gate: optimized events/sec at 4096
+#: producers must stay within this fraction of the 256-producer rate.
+FLAT_SCALING_MIN_RATIO = 0.7
+
+#: Golden SAN105 replay fingerprints for the default (single-shard,
+#: dedup-off) mode.  Any change to these is an event-stream change and
+#: must be deliberate.
+GOLDEN_KAP_256 = "52654cf1c7ec6e222120c2123f5d6763dbdc9834"
+GOLDEN_CHAOS_15 = "aab95fab6805f380726e1e083f4889f731cb2654"
 
 #: Pre-optimization reference on the development box (commit 82f684f,
 #: 1024-producer config below): 51.9k events/s.  Recorded in the JSON
@@ -50,15 +86,18 @@ PAPER_SCALE_BUDGET_S = 100.0
 REFERENCE_EPS_1024 = 51_853
 
 
-def paper_config(nnodes: int, seed: int = 1) -> KapConfig:
+def paper_config(nnodes: int, seed: int = 1, **kw) -> KapConfig:
     """Paper-default KAP at ``nnodes`` x 16 (Section V defaults)."""
     return KapConfig(nnodes=nnodes, procs_per_node=16, value_size=64,
-                     seed=seed)
+                     seed=seed, **kw)
 
 
-def time_kap(nnodes: int) -> dict:
+def time_kap(nnodes: int, mode: str = "legacy") -> dict:
     """One timed paper-default run; returns the table row."""
-    cfg = paper_config(nnodes)
+    if mode == "optimized":
+        cfg = paper_config(nnodes, dedup=True, shards=OPT_SHARDS)
+    else:
+        cfg = paper_config(nnodes)
     # Wall-clock on purpose: this benchmark measures the *host's*
     # simulator throughput (events/sec of real time), not simulated
     # time — the one place wall time is the measurand.
@@ -66,13 +105,19 @@ def time_kap(nnodes: int) -> dict:
     res = run_kap(cfg)
     dt = time.perf_counter() - t0  # repro: noqa[DET001]
     return {
+        "mode": mode,
         "producers": cfg.nprocs,
         "nnodes": nnodes,
+        "procs_per_node": cfg.procs_per_node,
+        "value_size": cfg.value_size,
         "wall_s": round(dt, 3),
         "events": res.events,
         "events_per_sec": round(res.events / dt, 1),
         "bytes_sent": res.bytes_sent,
         "plane_bytes": dict(sorted(res.plane_bytes.items())),
+        "level_bytes": {str(k): v for k, v
+                        in sorted(res.level_bytes.items())},
+        "interned_bytes_saved": res.interned_bytes_saved,
         "flight_peak": res.flight_peak,
     }
 
@@ -93,33 +138,57 @@ def time_chaos() -> dict:
 
 
 def fingerprint_gate() -> dict:
-    """Same-seed replay fingerprints (SAN105) — run twice, must match.
+    """Replay-fingerprint (SAN105) identity gates.
 
-    This is the gate that licenses every hot-path optimization in this
-    PR: if memoized sizes, lazy event names or the inlined run loop
-    perturbed the event stream in any way, the two fingerprints (or
-    the two latency sets) would differ.
+    These license every optimization in this bench: the default mode
+    must reproduce the *golden* fingerprints exactly (interning and
+    the dedup/shard machinery are invisible when off), the sharded
+    kernel in merged mode must produce the identical event stream,
+    and dedup mode must be same-seed deterministic.
     """
     cfg = dict(nnodes=16, procs_per_node=16, value_size=64, seed=1)
     a = run_kap(KapConfig(**cfg), sanitize=True)
     b = run_kap(KapConfig(**cfg), sanitize=True)
     assert a.event_fingerprint == b.event_fingerprint, \
         "same-seed KAP replay fingerprint diverged"
+    assert a.event_fingerprint == GOLDEN_KAP_256, \
+        f"default-mode fingerprint {a.event_fingerprint} != golden"
     assert a.max_producer_latency == b.max_producer_latency
     assert a.events == b.events
+    # Sharded kernel, merged mode (the fingerprint hook forces it):
+    # provably the same total order, so the same fingerprint.
+    sh = run_kap(KapConfig(**cfg, shards=4), sanitize=True)
+    assert sh.event_fingerprint == GOLDEN_KAP_256, \
+        "sharded (merged) fingerprint diverged from single-shard"
+    # Dedup mode changes the wire protocol (different stream, by
+    # design) but must be same-seed deterministic.
+    da = run_kap(KapConfig(**cfg, dedup=True), sanitize=True)
+    db = run_kap(KapConfig(**cfg, dedup=True), sanitize=True)
+    assert da.event_fingerprint == db.event_fingerprint, \
+        "same-seed dedup replay fingerprint diverged"
+    assert not da.sanitizer_findings
     ca = run_chaos_workload(n_nodes=15, n_clients=8, drop_rate=0.01,
                             n_iters=1, sanitize=True)
     cb = run_chaos_workload(n_nodes=15, n_clients=8, drop_rate=0.01,
                             n_iters=1, sanitize=True)
     assert ca.event_fingerprint == cb.event_fingerprint, \
         "same-seed chaos replay fingerprint diverged"
+    assert ca.event_fingerprint == GOLDEN_CHAOS_15, \
+        f"default-mode chaos fingerprint {ca.event_fingerprint} != golden"
     return {"kap_256": a.event_fingerprint,
+            "kap_256_dedup": da.event_fingerprint,
             "chaos_15": ca.event_fingerprint}
 
 
-def collect(nodes=SWEEP_NODES) -> dict:
-    """Run the sweep + chaos + fingerprint gate; return the document."""
-    rows = [time_kap(nn) for nn in nodes]
+def collect(nodes=SWEEP_NODES, paper_scale=False) -> dict:
+    """Run the sweeps + chaos + fingerprint gate; return the document."""
+    # Warm the interpreter/allocator so the smallest row isn't timing
+    # first-touch effects.
+    run_kap(paper_config(4))
+    rows = [time_kap(nn, "legacy") for nn in nodes]
+    rows += [time_kap(nn, "optimized") for nn in nodes]
+    if paper_scale:
+        rows += [time_kap(nn, "optimized") for nn in PAPER_SCALE_NODES]
     return {
         "kap": rows,
         "chaos": time_chaos(),
@@ -128,24 +197,45 @@ def collect(nodes=SWEEP_NODES) -> dict:
     }
 
 
+def simperf_meta(nodes, paper_scale=False) -> dict:
+    """The real sweep dimensions of *this* bench (meta override)."""
+    node_counts = list(nodes) + (
+        list(PAPER_SCALE_NODES) if paper_scale else [])
+    return {"node_counts": node_counts, "procs_per_node": 16,
+            "value_sizes": [64], "paper_scale": bool(paper_scale)}
+
+
+def _rows(doc, mode):
+    return [r for r in doc["kap"] if r["mode"] == mode]
+
+
 def render(doc: dict) -> str:
     lines = ["Simulator throughput: paper-default KAP (value_size=64, "
              "16 procs/node)", ""]
-    lines.append(f"{'producers':>10} {'events':>10} {'wall_s':>8} "
-                 f"{'events/s':>10} {'ring_peak':>9}")
+    lines.append(f"{'mode':>9} {'producers':>10} {'events':>10} "
+                 f"{'wall_s':>8} {'events/s':>10} {'bytes_sent':>13} "
+                 f"{'interned_saved':>14}")
     for r in doc["kap"]:
-        lines.append(f"{r['producers']:>10} {r['events']:>10} "
-                     f"{r['wall_s']:>8.3f} {r['events_per_sec']:>10.0f} "
-                     f"{r.get('flight_peak', 0):>9}")
-    planes = (doc["kap"][-1] or {}).get("plane_bytes", {})
-    if planes:
-        total = sum(planes.values()) or 1
-        lines.append("")
-        lines.append("per-plane bytes (largest sweep point):")
-        for plane, nbytes in sorted(planes.items(),
-                                    key=lambda kv: -kv[1]):
-            lines.append(f"  {plane:<12} {nbytes:>12} "
-                         f"({100.0 * nbytes / total:5.1f}%)")
+        lines.append(f"{r['mode']:>9} {r['producers']:>10} "
+                     f"{r['events']:>10} {r['wall_s']:>8.3f} "
+                     f"{r['events_per_sec']:>10.0f} "
+                     f"{r['bytes_sent']:>13} "
+                     f"{r['interned_bytes_saved']:>14}")
+    for mode in ("legacy", "optimized"):
+        rows = _rows(doc, mode)
+        if not rows:
+            continue
+        big = max(rows, key=lambda r: r["producers"])
+        levels = big.get("level_bytes", {})
+        if levels:
+            total = sum(levels.values()) or 1
+            lines.append("")
+            lines.append(f"per-tree-level bytes_sent ({mode}, "
+                         f"{big['producers']} producers):")
+            for lvl, nbytes in sorted(levels.items(),
+                                      key=lambda kv: int(kv[0])):
+                lines.append(f"  level {lvl:<3} {nbytes:>12} "
+                             f"({100.0 * nbytes / total:5.1f}%)")
     ch = doc["chaos"]
     lines.append("")
     lines.append(f"chaos (31 nodes, drop 1%, sanitizers on): "
@@ -156,26 +246,65 @@ def render(doc: dict) -> str:
     return "\n".join(lines)
 
 
+def write_level_breakdown(doc: dict) -> pathlib.Path:
+    """Write the per-tree-level bytes breakdown (CI artifact)."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / "simperf_levels.json"
+    payload = {
+        "rows": [{"mode": r["mode"], "producers": r["producers"],
+                  "nnodes": r["nnodes"],
+                  "bytes_sent": r["bytes_sent"],
+                  "level_bytes": r["level_bytes"],
+                  "interned_bytes_saved": r["interned_bytes_saved"]}
+                 for r in doc["kap"]],
+    }
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return path
+
+
 # -- pytest interface ---------------------------------------------------
 
 @pytest.fixture(scope="module")
 def simperf_doc():
     doc = collect()
-    write_table("simperf", render(doc), data=doc)
+    write_table("simperf", render(doc), data=doc,
+                meta=simperf_meta(SWEEP_NODES))
+    write_level_breakdown(doc)
     return doc
 
 
 def test_simperf_table_regenerated(simperf_doc):
-    assert len(simperf_doc["kap"]) == len(SWEEP_NODES)
-    assert simperf_doc["kap"][0]["producers"] == 64
-    assert simperf_doc["kap"][-1]["producers"] == 8192
+    legacy, opt = (_rows(simperf_doc, m) for m in ("legacy", "optimized"))
+    assert len(legacy) == len(SWEEP_NODES)
+    assert len(opt) == len(SWEEP_NODES)
+    assert legacy[0]["producers"] == 64
+    assert legacy[-1]["producers"] == 8192
+    for row in simperf_doc["kap"]:
+        # Meta-drift guard: every row records its real dimensions.
+        assert row["procs_per_node"] == 16
+        assert row["value_size"] == 64
+        assert row["producers"] == row["nnodes"] * 16
 
 
 def test_simperf_paper_scale_within_budget(simperf_doc):
-    """The 8192-producer (512 x 16) run fits the CI smoke budget."""
-    big = simperf_doc["kap"][-1]
-    assert big["wall_s"] < PAPER_SCALE_BUDGET_S, \
-        f"8192-producer run took {big['wall_s']}s"
+    """The 8192-producer (512 x 16) runs fit the CI smoke budget."""
+    for mode in ("legacy", "optimized"):
+        big = max(_rows(simperf_doc, mode), key=lambda r: r["producers"])
+        assert big["wall_s"] < PAPER_SCALE_BUDGET_S, \
+            f"8192-producer {mode} run took {big['wall_s']}s"
+
+
+def test_simperf_dedup_byte_reduction(simperf_doc):
+    """Dedup cuts tree-plane bytes >= 5x at 8192 producers."""
+    legacy = max(_rows(simperf_doc, "legacy"),
+                 key=lambda r: r["producers"])
+    opt = max(_rows(simperf_doc, "optimized"),
+              key=lambda r: r["producers"])
+    assert opt["bytes_sent"] * 5 <= legacy["bytes_sent"], \
+        (opt["bytes_sent"], legacy["bytes_sent"])
+    # The dedup counters account for (far) more avoided bytes than the
+    # optimized run actually sent.
+    assert opt["interned_bytes_saved"] > opt["bytes_sent"]
 
 
 def test_simperf_chaos_converged(simperf_doc):
@@ -185,10 +314,12 @@ def test_simperf_chaos_converged(simperf_doc):
 def test_simperf_deterministic_events(simperf_doc):
     """Event counts (unlike wall-clock) are seed-determined; a second
     run of one sweep point must reproduce them exactly."""
-    again = time_kap(16)
-    row = next(r for r in simperf_doc["kap"] if r["nnodes"] == 16)
-    assert again["events"] == row["events"]
-    assert again["bytes_sent"] == row["bytes_sent"]
+    for mode in ("legacy", "optimized"):
+        again = time_kap(16, mode)
+        row = next(r for r in _rows(simperf_doc, mode)
+                   if r["nnodes"] == 16)
+        assert again["events"] == row["events"]
+        assert again["bytes_sent"] == row["bytes_sent"]
 
 
 # -- standalone smoke mode (CI perf-smoke job) --------------------------
@@ -196,15 +327,42 @@ def test_simperf_deterministic_events(simperf_doc):
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--smoke", action="store_true",
-                    help="shrink the sweep to 64/1024/8192 producers")
+                    help="CI sweep with the flat-scaling gate")
+    ap.add_argument("--paper-scale", action="store_true",
+                    help="extend the optimized sweep to 16384 and "
+                         "65536 producers (1024/4096 nodes)")
     args = ap.parse_args(argv)
     nodes = SMOKE_NODES if args.smoke else SWEEP_NODES
-    doc = collect(nodes)
-    write_table("simperf", render(doc), data=doc)
-    big = max(doc["kap"], key=lambda r: r["producers"])
-    if big["producers"] >= 8192 and big["wall_s"] >= PAPER_SCALE_BUDGET_S:
-        print(f"FAIL: 8192-producer run took {big['wall_s']}s "
-              f"(budget {PAPER_SCALE_BUDGET_S}s)")
+    doc = collect(nodes, paper_scale=args.paper_scale)
+    write_table("simperf", render(doc), data=doc,
+                meta=simperf_meta(nodes, args.paper_scale))
+    write_level_breakdown(doc)
+    failures = []
+    legacy_big = max(_rows(doc, "legacy"), key=lambda r: r["producers"])
+    if (legacy_big["producers"] >= 8192
+            and legacy_big["wall_s"] >= PAPER_SCALE_BUDGET_S):
+        failures.append(f"8192-producer legacy run took "
+                        f"{legacy_big['wall_s']}s "
+                        f"(budget {PAPER_SCALE_BUDGET_S}s)")
+    opt = {r["producers"]: r for r in _rows(doc, "optimized")}
+    if 256 in opt and 4096 in opt:
+        # Flat-scaling gate: optimized events/sec must not collapse
+        # as producer count grows 16x.
+        lo = opt[256]["events_per_sec"]
+        hi = opt[4096]["events_per_sec"]
+        if hi < FLAT_SCALING_MIN_RATIO * lo:
+            failures.append(
+                f"flat-scaling gate: {hi:.0f} events/s at 4096 "
+                f"producers < {FLAT_SCALING_MIN_RATIO} x {lo:.0f} "
+                f"at 256 producers")
+    if args.paper_scale:
+        big = opt.get(65536)
+        if big is not None and big["wall_s"] >= PAPER_65K_BUDGET_S:
+            failures.append(f"65536-producer run took {big['wall_s']}s "
+                            f"(budget {PAPER_65K_BUDGET_S}s)")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
         return 1
     print("simperf OK")
     return 0

@@ -355,6 +355,19 @@ class CommsSession:
         """Highest flight-ring occupancy across brokers."""
         return max((b.flight.peak for b in self.brokers), default=0)
 
+    def level_bytes(self) -> dict[int, int]:
+        """Payload bytes sent per *tree level*: all planes, grouped by
+        the sending broker's static topology depth (root = 0).  The
+        per-level view shows where aggregation payloads concentrate —
+        the Figure 3 pathology is a byte bulge at the low depths."""
+        totals: dict[int, int] = {}
+        for broker in self.brokers:
+            d = self.topology.depth(broker.rank)
+            n = sum(broker.plane_bytes.values())
+            if n:
+                totals[d] = totals.get(d, 0) + n
+        return totals
+
     def retry_stats(self) -> dict[str, int]:
         """Aggregate chaos-recovery counters across every broker:
         retransmissions, reroutes around dead hops, replay-cache hits,

@@ -27,7 +27,9 @@ from collections import OrderedDict
 from typing import Any
 
 __all__ = ["canonical_dumps", "canonical_size", "sha1_of",
-           "digest_and_size", "json_loads"]
+           "digest_and_size", "json_loads", "intern_fragment",
+           "interned_size", "set_interning", "intern_stats",
+           "clear_intern_table"]
 
 
 def canonical_dumps(obj: Any) -> bytes:
@@ -61,6 +63,86 @@ def _str_size(s: str) -> int:
     return size
 
 
+#: Fragment intern table: ``id(frozen container) -> (obj, size, sha)``.
+#: Holds a *strong* reference to each interned object, so an id can
+#: never be recycled while its entry is alive (the aliasing hazard the
+#: keyed digest cache's docstring warns about does not apply here); the
+#: ``ent[0] is obj`` identity check on probe is belt-and-braces.  Only
+#: *frozen* fragments may be interned — containers that no code path
+#: mutates after registration (e.g. a fence aggregate's ops list after
+#: it has been swapped out for flushing).  LRU-bounded: evicting an
+#: entry drops the reference and the memoized size together.
+_interned: "OrderedDict[int, tuple[Any, int, Any]]" = OrderedDict()
+_INTERN_CAP = 8192
+_interning = True
+_intern_hits = 0
+_intern_bytes = 0
+
+
+def intern_fragment(obj: Any, size: int = None, *, sha: str = None) -> Any:
+    """Register a frozen dict/list so later sizings are one probe.
+
+    ``size`` MUST be the object's exact canonical byte size when
+    supplied (an off-by-one would silently shift every simulated
+    timeline downstream); omitted, it is measured here once.  ``sha``
+    optionally memoizes the canonical SHA1 for :func:`digest_and_size`.
+    Returns ``obj`` for call-chaining.  No-op while interning is
+    disabled (:func:`set_interning`).
+    """
+    if not _interning or type(obj) not in (dict, list):
+        return obj
+    if size is None:
+        size = canonical_size(obj)
+    _interned[id(obj)] = (obj, size, sha)
+    if len(_interned) > _INTERN_CAP:
+        _interned.popitem(last=False)
+    return obj
+
+
+def interned_size(obj: Any) -> "int | None":
+    """Memoized canonical size of ``obj``, or None if not interned."""
+    ent = _interned.get(id(obj))
+    if ent is not None and ent[0] is obj:
+        return ent[1]
+    return None
+
+
+def set_interning(enabled: bool) -> None:
+    """Enable/disable the fragment intern table (A/B equivalence runs).
+
+    Disabling clears the table, so every probe misses and every sizing
+    re-walks — byte-for-byte the same results, just slower.
+    """
+    global _interning
+    _interning = bool(enabled)
+    if not enabled:
+        _interned.clear()
+
+
+def intern_stats() -> dict:
+    """Intern-table effectiveness counters (for benches/tests)."""
+    return {"entries": len(_interned), "hits": _intern_hits,
+            "bytes_saved": _intern_bytes}
+
+
+def clear_intern_table() -> None:
+    """Drop all interned fragments (test isolation)."""
+    global _intern_hits, _intern_bytes
+    _interned.clear()
+    _intern_hits = 0
+    _intern_bytes = 0
+
+
+def _intern_probe(obj: Any) -> "int | None":
+    global _intern_hits, _intern_bytes
+    ent = _interned.get(id(obj))
+    if ent is not None and ent[0] is obj:
+        _intern_hits += 1
+        _intern_bytes += ent[1]
+        return ent[1]
+    return None
+
+
 def canonical_size(obj: Any) -> int:
     """Byte length of the canonical encoding (message cost accounting).
 
@@ -82,6 +164,10 @@ def canonical_size(obj: Any) -> int:
         n = len(obj)
         if n == 0:
             return 2
+        if _interned:
+            hit = _intern_probe(obj)
+            if hit is not None:
+                return hit
         total = 1 + n  # braces plus the n-1 inter-entry commas
         for k, v in obj.items():
             if type(k) is not str:
@@ -96,6 +182,10 @@ def canonical_size(obj: Any) -> int:
         n = len(obj)
         if n == 0:
             return 2
+        if _interned and t is list:
+            hit = _intern_probe(obj)
+            if hit is not None:
+                return hit
         total = 1 + n
         for v in obj:
             tv = type(v)
@@ -134,6 +224,10 @@ def digest_and_size(obj: Any, *, key: Any = None) -> tuple[str, int]:
         if hit is not None:
             _digest_cache.move_to_end(key)
             return hit
+    elif _interned:
+        ent = _interned.get(id(obj))
+        if ent is not None and ent[0] is obj and ent[2] is not None:
+            return (ent[2], ent[1])
     data = canonical_dumps(obj)
     out = (hashlib.sha1(data).hexdigest(), len(data))
     if key is not None:

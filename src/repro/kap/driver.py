@@ -30,7 +30,9 @@ from ..cmb.session import CommsSession, ModuleSpec
 from ..cmb.topology import TreeTopology
 from ..kvs.api import KvsClient
 from ..kvs.module import KvsModule
-from ..sim.cluster import make_cluster
+from ..sim.kernel import paused_gc
+from ..sim.cluster import make_cluster, zin_like_params
+from ..sim.shard import ShardedSimulation, shard_map_from_topology
 from .config import KapConfig
 from .patterns import consumer_targets, make_value, object_key, proc_rank_node
 from .results import KapResult
@@ -65,12 +67,23 @@ def run_kap(config: KapConfig,
     flight-recorder ring plus waiter/pending censuses are dumped to
     that path for ``python -m repro.obs.doctor``.
     """
-    cluster = make_cluster(config.nnodes, seed=config.seed)
-    sim = cluster.sim
+    topology = TreeTopology(config.nnodes, arity=config.tree_arity)
+    if config.shards > 1:
+        params = zin_like_params()
+        sim = ShardedSimulation(
+            seed=config.seed, strict=True, nshards=config.shards,
+            lookahead=params.per_message_overhead + params.latency)
+        sim.set_shard_map(
+            shard_map_from_topology(topology, config.shards))
+        cluster = make_cluster(config.nnodes, sim=sim)
+    else:
+        cluster = make_cluster(config.nnodes, seed=config.seed)
+        sim = cluster.sim
     session = CommsSession(
         cluster,
-        topology=TreeTopology(config.nnodes, arity=config.tree_arity),
-        modules=[ModuleSpec(KvsModule), ModuleSpec(BarrierModule)],
+        topology=topology,
+        modules=[ModuleSpec(KvsModule, dedup=config.dedup),
+                 ModuleSpec(BarrierModule)],
     ).start()
     if tracing or trace_out:
         session.enable_tracing()
@@ -130,7 +143,11 @@ def run_kap(config: KapConfig,
     procs = [sim.spawn(tester(i), name=f"kap[{i}]")
              for i in range(nprocs)]
     all_done = sim.all_of(procs)
-    sim.run(max_events=max_events)
+    # Cyclic GC otherwise dominates large runs (per-event cost grows
+    # with live-store size); reference counting reclaims the hot path's
+    # garbage, so pausing the collector is result-invisible.
+    with paused_gc():
+        sim.run(max_events=max_events)
     if not all_done.triggered:
         if postmortem_out:
             from ..obs.postmortem import capture_bundle, write_bundle
@@ -151,6 +168,10 @@ def run_kap(config: KapConfig,
     result.plane_bytes = session.plane_bytes()
     result.flight_peak = session.flight_peak()
     result.msg_counts = session.message_counts()
+    result.level_bytes = session.level_bytes()
+    result.interned_bytes_saved = sum(
+        broker.modules["kvs"].interned_bytes_saved()
+        for broker in session.brokers)
     session.stop()
     if sanitize:
         result.sanitizer_findings = list(session.sanitizers.finish())

@@ -37,6 +37,13 @@ class KapResult:
     #: Per-(module, plane, kind) message counts from the run's comms
     #: session (see :meth:`repro.cmb.session.CommsSession.message_counts`).
     msg_counts: dict = field(default_factory=dict)
+    #: Payload bytes sent per *tree level* (topology depth of the
+    #: sending broker) — the breakdown that shows where aggregation
+    #: payloads concentrate.
+    level_bytes: dict = field(default_factory=dict)
+    #: Bytes of work the KVS interning/dedup machinery avoided, summed
+    #: over ranks (``kvs_interned_bytes_saved_total``; 0 off/idle).
+    interned_bytes_saved: int = 0
     #: Runtime-sanitizer findings (``run_kap(sanitize=True)``); empty
     #: on a clean run or when sanitizers were off.
     sanitizer_findings: list = field(default_factory=list)

@@ -61,13 +61,14 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Callable, Optional
 
-from ..cmb.errors import (EEXIST, EHOSTUNREACH, EINVAL, EIO, ENOENT,
-                          RETRYABLE_CODES)
+from ..cmb.errors import (EAGAIN, EEXIST, EHOSTUNREACH, EINVAL, EIO,
+                          ENOENT, RETRYABLE_CODES)
 from ..cmb.message import (HEADER_BYTES, Message, MessageType,
                            RequestContext)
 from ..cmb.module import CommsModule, request_handler
 from ..obs import DEFAULT_SIZE_LADDER
-from ..jsonutil import canonical_size, digest_and_size
+from ..jsonutil import (canonical_size, digest_and_size, intern_fragment,
+                        interned_size)
 from .cache import SlaveCache
 from .hashtree import KvsPathError, apply_updates, lookup_ref, split_key
 from .master import CommitRecord, KvsMaster
@@ -118,13 +119,18 @@ class _FenceAgg:
     __slots__ = ("name", "nprocs", "count", "ops", "objs", "held",
                  "total_seen", "timer_armed", "local_count", "local_ops",
                  "local_objs", "created_version", "shares", "completing",
-                 "span")
+                 "span", "ops_size")
 
     def __init__(self, name: str, nprocs: int, created_version: int = 0):
         self.name = name
         self.nprocs = nprocs
         self.count = 0
         self.ops: list[list] = []
+        #: Running sum of the canonical byte sizes of ``ops``'s
+        #: *elements* — maintained incrementally at every mutation of
+        #: ``ops`` so the flush-time payload sizing never re-walks the
+        #: aggregate (outgoing list size = 1 + len(ops) + ops_size).
+        self.ops_size = 0
         self.objs: dict[str, dict] = {}
         self.held: list[Message] = []       # local client fence requests
         self.total_seen = 0
@@ -158,14 +164,16 @@ class KvsModule(CommsModule):
                  fence_window: float = 1e-4, name: str = "kvs",
                  master_rank: int = 0, master_commit_cost: float = 0.0,
                  master_op_cost: float = 0.0,
-                 replicas: tuple = (), repl_ack_min: int = 1):
+                 replicas: tuple = (), repl_ack_min: int = 1,
+                 dedup: bool = False):
         self.name = name  # instance override: sharded namespaces load
         # several KvsModule instances under distinct topic heads.
         super().__init__(broker, expiry=expiry, fence_window=fence_window,
                          name=name, master_rank=master_rank,
                          master_commit_cost=master_commit_cost,
                          master_op_cost=master_op_cost,
-                         replicas=replicas, repl_ack_min=repl_ack_min)
+                         replicas=replicas, repl_ack_min=repl_ack_min,
+                         dedup=dedup)
         self.expiry = expiry
         #: Aggregation window for partial fence flushes (seconds): how
         #: long a slave waits for more subtree contributions before
@@ -261,6 +269,34 @@ class KvsModule(CommsModule):
         # is off).
         self._cv_owner_commits = broker.registry.counter_vec(
             "kvs_owner_commits_total", ("ns", "owner"))
+        #: Wire dedup mode (off by default — the classic protocol stays
+        #: byte-identical).  When on, objs-carrying payloads replace
+        #: objects the uplink peer already holds with sha references
+        #: ("orefs"), and cold reads walk remotely instead of faulting
+        #: whole directories down the tree (see ``req_walk``).
+        self.dedup = bool(dedup)
+        #: Per-uplink-peer "already sent" sha filter.  Purely an
+        #: optimization: a receiver missing a referenced object answers
+        #: with a retryable ``{"missing": [...]}`` error and the sender
+        #: re-sends in full, so stale filter state (reroute, failover,
+        #: retransmit races) costs one extra round-trip, never
+        #: correctness.  Cleared wholesale on every topology-visible
+        #: event (live.down, promotion, newmaster).
+        self._link_sent: dict[int, set] = {}
+        #: Walk-get triggers already charged to the "walk" savings
+        #: counter (one legacy directory fault-in avoided per distinct
+        #: trigger sha per rank, mirroring ``_loads`` coalescing).
+        self._walk_seen: set = set()
+        # Bytes of work the interning/dedup machinery avoided, by kind:
+        # "sizing" (canonical re-serialization skipped via the intern
+        # table), "link" (wire bytes replaced by sha references), and
+        # "walk" (directory bytes not faulted down the tree).  Cells
+        # materialize on first inc, so snapshots are unchanged when the
+        # machinery is idle.
+        self._cv_interned = broker.registry.counter_vec(
+            "kvs_interned_bytes_saved_total", ("ns", "kind"))
+        self._cv_walks = broker.registry.counter_vec(
+            "kvs_walk_gets_total", ("ns",))
         # Registry instruments (broker-owned registry; `ns` label keeps
         # sharded namespaces apart).  Cache hit/miss stay in the
         # SlaveCache's own hot-path counters and are synced into the
@@ -779,6 +815,7 @@ class KvsModule(CommsModule):
         self.master_rank = self.rank
         self._failed_over = True
         self._master_down = False
+        self._link_sent.clear()   # the uplink peer just changed
         self.broker._frec(self.broker.sim.now, "kvs_promote",
                           self.master.version, self.rank, None)
         tr = self.broker.session.span_tracer
@@ -811,6 +848,7 @@ class KvsModule(CommsModule):
             return
         self.master_rank = p["rank"]
         self._failed_over = True
+        self._link_sent.clear()   # master-ward routing just changed
         tr = self.broker.session.span_tracer
         if tr is not None and self._elect_span is not None:
             # We lost (or never finished) the election this span
@@ -1505,16 +1543,110 @@ class KvsModule(CommsModule):
                        callback: Callable[[Message], None],
                        ctx: Optional[RequestContext] = None,
                        span: Optional[tuple] = None) -> None:
-        payload = {"ops": ops, "objs": objs}
-        self._toward_master_cb(
-            f"{self.name}.flush", payload, callback, ctx=ctx, span=span,
-            payload_size=self._payload_size_with_objs(payload, objs))
+        self._send_objs(f"{self.name}.flush", {"ops": ops}, objs,
+                        callback, ctx=ctx, span=span)
+
+    def _uplink_peer(self) -> Optional[int]:
+        """The next-hop rank the master-ward path currently uses
+        (mirrors :meth:`_toward_master_cb`'s routing), or ``None``."""
+        if self.master_rank == 0 and not self._failed_over:
+            return self.broker.parent
+        return self._live_hop_toward(self.master_rank)
+
+    def _send_objs(self, topic: str, payload: dict, objs: dict, callback,
+                   *, ctx: Optional[RequestContext] = None,
+                   span: Optional[tuple] = None) -> None:
+        """Send an objs-carrying payload toward the master.
+
+        In dedup mode each distinct object crosses a given uplink once:
+        objects the per-link filter says the peer has already been sent
+        travel as sha references (``"orefs"``) instead of bodies.  The
+        filter is purely an optimization — a receiver missing any
+        referenced object (filter gone stale across reroute, failover
+        or an epoch bump) rejects with a retryable ``{"missing": [...]}``
+        error and the payload is re-sent in full — so no chaos path can
+        ever lose an object to it.
+        """
+        if not self.dedup or not objs:
+            body = {**payload, "objs": objs}
+            self._toward_master_cb(
+                topic, body, callback, ctx=ctx, span=span,
+                payload_size=self._payload_size_with_objs(body, objs))
+            return
+        peer = self._uplink_peer()
+        sent = self._link_sent.setdefault(peer, set()) \
+            if peer is not None else set()
+        known = objs.keys() & sent
+        sent.update(objs)
+        if not known:
+            body = {**payload, "objs": objs}
+            self._toward_master_cb(
+                topic, body, callback, ctx=ctx, span=span,
+                payload_size=self._payload_size_with_objs(body, objs))
+            return
+        new = {s: o for s, o in objs.items() if s not in known}
+        body = {**payload, "objs": new, "orefs": sorted(known)}
+        full = {**payload, "objs": objs}
+        full_size = self._payload_size_with_objs(full, objs)
+        body_size = self._payload_size_with_objs(body, new)
+
+        def cb(resp: Message) -> None:
+            if resp.error is not None and "missing" in (resp.payload
+                                                        or {}):
+                # The receiver lacks a referenced object: re-send the
+                # whole thing.  (No savings are recorded on this path.)
+                self._toward_master_cb(topic, full, callback, ctx=ctx,
+                                       span=span, payload_size=full_size)
+                return
+            if resp.error is None and full_size > body_size:
+                self._cv_interned.inc((self.name, "link"),
+                                      full_size - body_size)
+            callback(resp)
+
+        self._toward_master_cb(topic, body, cb, ctx=ctx, span=span,
+                               payload_size=body_size)
+
+    def _resolve_orefs(self, msg: Message) -> Optional[dict]:
+        """Resolve an inbound payload's ``"orefs"`` from the local
+        store.  Returns ``{sha: obj}`` (empty when there were none); on
+        any miss, rejects the request with a retryable error naming the
+        missing shas — the sender re-sends in full — and returns
+        ``None`` (the caller must not have touched any state yet)."""
+        refs = msg.payload.get("orefs")
+        if not refs:
+            return {}
+        out: dict = {}
+        missing: list = []
+        for sha in refs:
+            obj = self._obj_get(sha)
+            if obj is None:
+                missing.append(sha)
+            else:
+                out[sha] = obj
+        if missing:
+            self.respond(msg, {"missing": missing},
+                         error="unknown object references", code=EAGAIN)
+            return None
+        return out
+
+    def interned_bytes_saved(self) -> int:
+        """Total bytes of work the interning/dedup machinery avoided at
+        this rank (all kinds — see the counter's init comment)."""
+        return sum(self._cv_interned.data.values())
 
     @request_handler(required=("ops", "objs"))
     def req_flush(self, msg: Message) -> None:
         """A commit passing through from a downstream slave."""
         ops = msg.payload["ops"]
         objs = msg.payload["objs"]
+        resolved = self._resolve_orefs(msg)
+        if resolved is None:
+            return
+        if resolved:
+            # Referenced objects rejoin the payload before any further
+            # relay/commit: downstream of this link they are plain
+            # objects again (the next hop runs its own filter).
+            objs = {**objs, **resolved}
         pfx = msg.payload.get("pfx")
         if pfx is not None:
             # Delegated-namespace commit part en route to its owner
@@ -1587,6 +1719,8 @@ class KvsModule(CommsModule):
         if d is not None:
             agg.ops.extend(d.ops)
             agg.local_ops.extend(d.ops)
+            for op in d.ops:
+                agg.ops_size += canonical_size(op)
             for sha, obj in d.objs.items():
                 agg.objs[sha] = obj
                 agg.local_objs[sha] = obj
@@ -1618,15 +1752,36 @@ class KvsModule(CommsModule):
             # epoch, so folding this one in would double-count.
             self.respond(msg, {})
             return
+        # Resolve sha references *before* folding anything in: a
+        # missing reference rejects the whole message (the sender
+        # re-sends in full), so a rejected contribution must leave the
+        # aggregate untouched or the retry would double-count.
+        resolved = self._resolve_orefs(msg)
+        if resolved is None:
+            return
         agg = self._fence_for(p["name"], p["nprocs"])
         agg.count += p["count"]
         agg.total_seen += p["count"]
         if msg.span is not None:
             agg.span = msg.span
-        agg.ops.extend(p["ops"])
+        child_ops = p["ops"]
+        agg.ops.extend(child_ops)
+        if child_ops:
+            # One intern probe replaces the O(len) re-walk of the
+            # child's aggregate: the sender interned the flushed list
+            # with its exact size, and in-process delivery shares the
+            # object, so the probe hits at every tree level.
+            csize = interned_size(child_ops)
+            if csize is not None:
+                self._cv_interned.inc((self.name, "sizing"), csize)
+            else:
+                csize = canonical_size(child_ops)
+            agg.ops_size += csize - 1 - len(child_ops)
         for sha, obj in p["objs"].items():
             agg.objs[sha] = obj      # union by SHA1: redundancy reduces
             self._obj_put(sha, obj)
+        for sha, obj in resolved.items():
+            agg.objs[sha] = obj
         self.respond(msg, {})
         self._maybe_flush_fence(agg)
 
@@ -1639,9 +1794,14 @@ class KvsModule(CommsModule):
             # back in could re-create (and re-commit) the fence.
             self.respond(msg, {})
             return
+        resolved = self._resolve_orefs(msg)
+        if resolved is None:
+            return
         agg = self._fence_for(name, p["nprocs"])
         if msg.span is not None:
             agg.span = msg.span
+        for sha, obj in resolved.items():
+            agg.objs[sha] = obj
         changed = False
         for origin_s, share in p["shares"].items():
             origin = int(origin_s)
@@ -1703,6 +1863,7 @@ class KvsModule(CommsModule):
         count, agg.count = agg.count, 0
         ops, agg.ops = agg.ops, []
         objs, agg.objs = agg.objs, {}
+        ops_size, agg.ops_size = agg.ops_size, 0
         if self.master is not None:
             groups: dict = {}
             if self.owners:
@@ -1727,15 +1888,22 @@ class KvsModule(CommsModule):
             self._master_run(len(ops), apply)
             return
         payload = {"name": agg.name, "nprocs": agg.nprocs, "count": count,
-                   "ops": ops, "objs": objs}
+                   "ops": ops}
         if self.fence_epoch > 0:
             # Tag only after a failure: fault-free payloads (and hence
             # wire sizes/latencies) stay byte-identical.
             payload["fepoch"] = self.fence_epoch
-        self._toward_master_cb(
-            f"{self.name}.fencedata", payload, lambda resp: None,
-            span=agg.span,
-            payload_size=self._payload_size_with_objs(payload, objs))
+        if ops:
+            # The flushed list is frozen from here on: intern it with
+            # its incrementally maintained exact size, so this hop's
+            # frame sizing — and the parent's fold-in — are each one
+            # probe instead of an O(len) re-walk.
+            total = 1 + len(ops) + ops_size
+            intern_fragment(ops, total)
+            if interned_size(ops) is not None:
+                self._cv_interned.inc((self.name, "sizing"), total)
+        self._send_objs(f"{self.name}.fencedata", payload, objs,
+                        lambda resp: None, span=agg.span)
         # Held client fences answer when the fence's setroot arrives.
 
     def _flush_fence_shared(self, agg: _FenceAgg) -> None:
@@ -1753,12 +1921,9 @@ class KvsModule(CommsModule):
         objs = {**agg.objs, **agg.local_objs}
         payload = {"name": agg.name, "nprocs": agg.nprocs,
                    "shares": {str(o): [s[0], s[1]]
-                              for o, s in agg.shares.items()},
-                   "objs": objs}
-        self._toward_master_cb(
-            f"{self.name}.fencedata", payload, lambda resp: None,
-            span=agg.span,
-            payload_size=self._payload_size_with_objs(payload, objs))
+                              for o, s in agg.shares.items()}}
+        self._send_objs(f"{self.name}.fencedata", payload, objs,
+                        lambda resp: None, span=agg.span)
 
     def _maybe_complete_shared(self, agg: _FenceAgg) -> None:
         """Commit a shares-mode fence once every participant's share
@@ -1868,6 +2033,10 @@ class KvsModule(CommsModule):
             # A standby may have died: recompute the ack watermark so
             # commits waiting on it are not stranded.
             self.broker.after(0.0, self._drain_repl_waiters)
+        # Topology just changed: every per-link "already sent" filter
+        # is suspect (the uplink may heal to a different peer).  Clear
+        # them all — worst case the next send re-ships some objects.
+        self._link_sent.clear()
         if self._shared_mode():
             self.broker.after(0.0, self._recover_shared)
             return
@@ -1902,6 +2071,8 @@ class KvsModule(CommsModule):
             agg.ops = list(agg.local_ops)
             agg.objs = dict(agg.local_objs)
             agg.total_seen = agg.local_count
+            agg.ops_size = (canonical_size(agg.ops) - 1 - len(agg.ops)
+                            if agg.ops else 0)
             if agg.count > 0:
                 self._flush_fence(name)
         if self.master is None and (self.master_rank == 0
@@ -2069,7 +2240,7 @@ class KvsModule(CommsModule):
         self.broker.sim.spawn(self._get_proc(msg),
                               name=self._getproc_name)
 
-    def _get_proc(self, msg: Message):
+    def _get_proc(self, msg: Message, allow_walk: bool = True):
         key = msg.payload["key"]
         want_ref = msg.payload.get("ref", False)
         root = self.root_sha
@@ -2084,6 +2255,12 @@ class KvsModule(CommsModule):
             for i, part in enumerate(parts):
                 obj = self._obj_get(sha)
                 if obj is None:
+                    if self.dedup and allow_walk and self.master is None:
+                        # Dedup-mode cold read: ship the walk to the
+                        # data instead of faulting whole directories
+                        # down the tree (the Figure 4a effect).
+                        self._walk_remote(msg, key, want_ref, root, sha)
+                        return
                     obj = yield self._fault(sha, ctx=msg.ctx,
                                             span=msg.span)
                 if obj is None:
@@ -2109,6 +2286,9 @@ class KvsModule(CommsModule):
                 return
             obj = self._obj_get(sha)
             if obj is None:
+                if self.dedup and allow_walk and self.master is None:
+                    self._walk_remote(msg, key, want_ref, root, sha)
+                    return
                 obj = yield self._fault(sha, ctx=msg.ctx, span=msg.span)
             if obj is None:
                 raise KvsPathError(f"object {sha} lost in transit",
@@ -2194,6 +2374,117 @@ class KvsModule(CommsModule):
         self._toward_master_cb(f"{self.name}.load", {"sha": sha},
                                lambda resp: self._fault_done(sha, resp),
                                ctx=msg.ctx, span=msg.span)
+
+    # ------------------------------------------------------------------
+    # remote walks (dedup mode)
+    # ------------------------------------------------------------------
+    def _walk_remote(self, msg: Message, key: str, want_ref: bool,
+                     root: str, trigger: str) -> None:
+        """Resolve a cold read by shipping the *walk* master-ward
+        instead of faulting every directory on the path into this
+        rank's cache.  The response's ``"sv"`` reports the directory
+        bytes the resolver traversed on our behalf — bytes that, under
+        the legacy protocol, would have crossed every tree edge between
+        here and the resolver exactly once (``_fault`` coalescing), so
+        they are charged to the "walk" savings counter once per
+        distinct trigger sha."""
+        self._cv_walks.inc((self.name,))
+        payload = {"key": key, "root": root}
+        if want_ref:
+            payload["ref"] = True
+
+        def done(resp: Message) -> None:
+            if resp.error is not None:
+                self.respond(msg, error=resp.error, code=resp.errnum,
+                             err_rank=resp.err_rank)
+                return
+            p = resp.payload
+            if p.get("link"):
+                # The walk crossed into a delegated namespace; the
+                # legacy fault-in path re-routes through link objects.
+                self.broker.sim.spawn(self._get_proc(msg, False),
+                                      name=self._getproc_name)
+                return
+            sv = p.get("sv", 0)
+            if sv and trigger not in self._walk_seen:
+                self._walk_seen.add(trigger)
+                self._cv_interned.inc((self.name, "walk"), sv)
+            if "ref" in p:
+                self.respond(msg, {"ref": p["ref"]})
+            elif "dir" in p:
+                self.respond(msg, {"dir": p["dir"]})
+            else:
+                if "sha" in p:
+                    # Cache the terminal value object (the legacy path
+                    # would have), so repeat gets stay local.
+                    self._obj_put(p["sha"], make_val_obj(p["value"]))
+                self.respond(msg, {"value": p["value"]})
+
+        self._toward_master_cb(f"{self.name}.walk", payload, done,
+                               ctx=msg.ctx, span=msg.span)
+
+    @request_handler(required=("key", "root"))
+    def req_walk(self, msg: Message) -> None:
+        """Resolve a full key walk on behalf of a downstream rank
+        (dedup mode).  The request carries the requester's root
+        snapshot, so this is the same pure hash-tree lookup the
+        requester would have performed — identical read semantics,
+        minus the directory fault-ins.  A rank missing any object on
+        the path forwards the walk another hop toward the master."""
+        p = msg.payload
+        key, root = p["key"], p["root"]
+        try:
+            parts = split_key(key)
+        except KvsPathError as exc:
+            self.respond(msg, error=str(exc), code=exc.code)
+            return
+        sha = root
+        traversed = 0
+        for i, part in enumerate(parts):
+            obj = self._obj_get(sha)
+            if obj is None:
+                self._forward_walk(msg, sha)
+                return
+            if is_link_obj(obj):
+                self.respond(msg, {"link": True, "sv": traversed})
+                return
+            if not is_dir_obj(obj):
+                self.respond(
+                    msg,
+                    error=f"{'.'.join(parts[:i])!r} is not a directory",
+                    code=EINVAL)
+                return
+            traversed += self._obj_size(sha, obj)
+            entries = dir_entries(obj)
+            if part not in entries:
+                self.respond(msg, error=f"key {key!r} not found",
+                             code=ENOENT)
+                return
+            sha = entries[part]
+        if p.get("ref"):
+            self.respond(msg, {"ref": sha, "sv": traversed})
+            return
+        obj = self._obj_get(sha)
+        if obj is None:
+            self._forward_walk(msg, sha)
+            return
+        if is_link_obj(obj):
+            self.respond(msg, {"link": True, "sv": traversed})
+        elif is_dir_obj(obj):
+            self.respond(msg, {"dir": sorted(dir_entries(obj)),
+                               "sv": traversed})
+        else:
+            self.respond(msg, {"value": val_of(obj), "sha": sha,
+                               "sv": traversed})
+
+    def _forward_walk(self, msg: Message, sha: str) -> None:
+        if self.master is not None:
+            self.respond(msg, error=f"unknown object {sha}", code=ENOENT)
+            return
+        self._toward_master_cb(
+            f"{self.name}.walk", dict(msg.payload),
+            lambda resp: self._relay_response(msg, resp),
+            ctx=msg.ctx, span=msg.span)
 
     # ------------------------------------------------------------------
     # debugging / administration

@@ -234,14 +234,16 @@ class Network:
                                              self.sim.now + delay + extra)
                 for _ in range(1 + dups):
                     at = plan.fifo_clamp(src, dst, deliver_at)
-                    ev = self.sim.timeout(at - self.sim.now)
+                    ev = self.sim.deliver_timeout(dst, at - self.sim.now)
                     ev._cb1 = (
                         lambda _ev: self._deliver(src, dst, port, payload))
                 return
         # Freshly created timeouts have no waiters, so the first-callback
         # slot is assigned directly (equivalent to add_callback, minus
-        # its state checks on this hottest of paths).
-        ev = self.sim.timeout(delay)
+        # its state checks on this hottest of paths).  deliver_timeout
+        # (not timeout) so a sharded kernel can home the delivery event
+        # in the destination node's shard.
+        ev = self.sim.deliver_timeout(dst, delay)
         ev._cb1 = lambda _ev: self._deliver(src, dst, port, payload)
 
     def _deliver(self, src: int, dst: int, port: Any,
